@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark file regenerates one table or figure of the paper (see
+DESIGN.md §4). Run them with::
+
+    pytest benchmarks/ --benchmark-only
+
+Wall time measured by pytest-benchmark covers the harness run; the numbers
+the paper reports are the *simulated* device seconds, which each benchmark
+prints and saves as a JSON record under ``benchmarks/results/``.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: long-running benchmark")
+
+
+@pytest.fixture(scope="session")
+def run_once():
+    """Memoise expensive sub-computations shared between benchmarks."""
+    cache = {}
+
+    def _run(key, fn):
+        if key not in cache:
+            cache[key] = fn()
+        return cache[key]
+
+    return _run

@@ -1,0 +1,63 @@
+"""Extension — multi-GPU boundary algorithm scaling.
+
+The boundary algorithm descends from a multi-node scheme [Djidjev et al.]
+and the paper's conclusion motivates scaling beyond one device. This
+experiment distributes components (step 2) and output block-rows (step 4)
+across 1–4 simulated V100s, with the boundary-graph closure (step 3) serial
+on one device — an Amdahl profile: near-linear in the distributed steps,
+bounded by the serial closure and load imbalance.
+"""
+
+from repro.bench import ExperimentRecord, device_profile
+from repro.core.multi_gpu import ooc_boundary_multi
+from repro.gpu.device import Device
+from repro.graphs.suite import DEFAULT_SCALE, get_suite_graph
+
+DEVICE_COUNTS = [1, 2, 4]
+
+
+def run_experiment() -> ExperimentRecord:
+    spec = device_profile("ratio")
+    record = ExperimentRecord(
+        experiment="ext_multi_gpu",
+        title="Boundary algorithm across multiple simulated V100s",
+        paper_expectation=(
+            "extension (paper future work): sublinear but monotone scaling; "
+            "serial boundary closure bounds the speedup"
+        ),
+    )
+    for name in ("usroads", "nm2010"):
+        graph = get_suite_graph(name, DEFAULT_SCALE)
+        base = None
+        for nd in DEVICE_COUNTS:
+            devices = [Device(spec) for _ in range(nd)]
+            res = ooc_boundary_multi(graph, devices, seed=0)
+            if base is None:
+                base = res.simulated_seconds
+            record.add(
+                graph=name,
+                devices=nd,
+                seconds=res.simulated_seconds,
+                speedup=base / res.simulated_seconds,
+                imbalance=res.stats["imbalance"],
+            )
+    return record
+
+
+def test_ext_multi_gpu(benchmark):
+    record = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    record.print()
+    record.save()
+    for name in ("usroads", "nm2010"):
+        rows = sorted(
+            (r for r in record.rows if r["graph"] == name), key=lambda r: r["devices"]
+        )
+        speedups = [r["speedup"] for r in rows]
+        # monotone improvement, sublinear (Amdahl)
+        assert speedups == sorted(speedups), name
+        assert speedups[-1] > 1.5, name
+        assert speedups[-1] < 4.0, name
+
+
+if __name__ == "__main__":
+    run_experiment().print()

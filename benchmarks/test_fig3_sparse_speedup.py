@@ -1,0 +1,65 @@
+"""Figure 3 — out-of-core Johnson's algorithm vs BGL-plus, other sparse graphs.
+
+Paper: for the 8 Table III graphs *without* a small separator (FEM/structural
+matrices), the out-of-core implementation (Johnson's algorithm) beats
+BGL-plus by **2.23–2.79×**. The speedups are lower than Fig 2's because
+larger edge counts shrink the batch size and with it the exposed
+parallelism.
+"""
+
+from repro.baselines import bgl_plus_apsp
+from repro.bench import ExperimentRecord, cpu_profile, device_profile
+from repro.core import ooc_johnson
+from repro.gpu.device import Device
+from repro.graphs.suite import list_suite
+
+PAPER_BAND = (2.23, 2.79)
+#: FEM stand-ins run at 1/128 to bound numpy wall time (documented in
+#: EXPERIMENTS.md; the scaled-device rules make ratios scale-invariant)
+SCALE = 1.0 / 128.0
+
+
+def run_experiment() -> ExperimentRecord:
+    spec = device_profile("ratio", scale=SCALE)
+    cpu = cpu_profile(scale=SCALE)
+    record = ExperimentRecord(
+        experiment="fig3",
+        title="Johnson's algorithm vs BGL-plus (other sparse graphs, V100)",
+        paper_expectation=f"speedups {PAPER_BAND[0]}x-{PAPER_BAND[1]}x",
+    )
+    for entry in list_suite(tier="cpu-fit", small_separator=False):
+        graph = entry.generate(SCALE)
+        device = Device(spec)
+        res = ooc_johnson(graph, device)
+        bgl = bgl_plus_apsp(graph, cpu, seed=1)
+        record.add(
+            graph=entry.name,
+            n=graph.num_vertices,
+            m=graph.num_edges,
+            bat=res.stats["batch_size"],
+            johnson_s=res.simulated_seconds,
+            bgl_plus_s=bgl.simulated_seconds,
+            speedup=bgl.simulated_seconds / res.simulated_seconds,
+        )
+    speedups = [r["speedup"] for r in record.rows]
+    record.note(
+        f"measured speedup range {min(speedups):.2f}x-{max(speedups):.2f}x "
+        f"(paper {PAPER_BAND[0]}-{PAPER_BAND[1]}x)"
+    )
+    return record
+
+
+def test_fig3_sparse_speedup(benchmark):
+    record = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    record.print()
+    record.save()
+    speedups = [r["speedup"] for r in record.rows]
+    # the FEM band sits well below the small-separator band and above 1
+    assert min(speedups) > 1.3
+    assert max(speedups) < 5.0
+    benchmark.extra_info["speedup_min"] = min(speedups)
+    benchmark.extra_info["speedup_max"] = max(speedups)
+
+
+if __name__ == "__main__":
+    run_experiment().print()

@@ -1,0 +1,25 @@
+"""Figure 7 — estimated vs actual times, boundary & Johnson, K80.
+
+Same methodology as Figure 6 on the older device (generality check: the
+cost models carry over with only the device constants changing — including
+the K80's slower PCIe at 7.23 GB/s and ~5x lower kernel rates).
+"""
+
+from repro.bench import device_profile
+from repro.gpu.device import K80
+
+from benchmarks.test_fig6_cost_model_v100 import check_record, run_cost_model_experiment
+
+
+def test_fig7_cost_model_k80(benchmark):
+    spec = device_profile("ratio", base=K80)
+    record = benchmark.pedantic(
+        run_cost_model_experiment, args=(spec, "fig7", "K80"), rounds=1, iterations=1
+    )
+    record.print()
+    record.save()
+    check_record(record)
+
+
+if __name__ == "__main__":
+    run_cost_model_experiment(device_profile("ratio", base=K80), "fig7", "K80").print()

@@ -1,0 +1,100 @@
+"""Figure 8 — boundary-algorithm optimisation ablation.
+
+Paper (§V-F): on the small-separator graphs, with k = √n/4 components:
+
+* **transfer batching** speeds the boundary algorithm up by
+  **1.988–5.706×** (the naive version spends 69.96–83.90% of its time in
+  k² small strided transfers);
+* **overlapping** transfers with computation adds **12.7–29.1%** on top.
+
+This experiment uses the "transfer" device profile (physical PCIe latency
+and throughput) so the small transfers sit in the same latency-bound regime
+as the paper's — see EXPERIMENTS.md "device profiles".
+"""
+
+from repro.bench import ExperimentRecord, device_profile
+from repro.core import ooc_boundary
+from repro.gpu.device import Device
+from repro.graphs.suite import DEFAULT_SCALE, list_suite
+
+PAPER_BATCHING = (1.988, 5.706)
+PAPER_OVERLAP = (0.127, 0.291)
+
+
+def run_experiment() -> ExperimentRecord:
+    spec = device_profile("transfer")
+    record = ExperimentRecord(
+        experiment="fig8",
+        title="Boundary algorithm: transfer batching and overlap ablation",
+        paper_expectation=(
+            f"batching {PAPER_BATCHING[0]}-{PAPER_BATCHING[1]}x; overlap "
+            f"+{PAPER_OVERLAP[0]:.1%}-{PAPER_OVERLAP[1]:.1%}; naive version "
+            "spends 69.96-83.90% of its time transferring"
+        ),
+    )
+    for entry in list_suite(tier="cpu-fit", small_separator=True):
+        graph = entry.generate(DEFAULT_SCALE)
+        naive = ooc_boundary(
+            graph, Device(spec), batch_transfers=False, overlap=False, seed=0
+        )
+        batched = ooc_boundary(
+            graph, Device(spec), batch_transfers=True, overlap=False, seed=0
+        )
+        overlapped = ooc_boundary(
+            graph, Device(spec), batch_transfers=True, overlap=True, seed=0
+        )
+        t0, t1, t2 = (
+            naive.simulated_seconds,
+            batched.simulated_seconds,
+            overlapped.simulated_seconds,
+        )
+        record.add(
+            graph=entry.name,
+            naive_s=t0,
+            batched_s=t1,
+            overlapped_s=t2,
+            batching_speedup=t0 / t1,
+            overlap_gain=(t1 - t2) / t2,
+            double_buffered=overlapped.stats["num_buffers"] == 2,
+            naive_transfer_frac=(
+                naive.stats["transfer_seconds"] / t0
+            ),
+        )
+    sp = [r["batching_speedup"] for r in record.rows]
+    ov = [r["overlap_gain"] for r in record.rows if r["double_buffered"]]
+    record.note(
+        f"batching {min(sp):.2f}-{max(sp):.2f}x (paper {PAPER_BATCHING[0]}-"
+        f"{PAPER_BATCHING[1]}x); overlap +{min(ov):.1%}-+{max(ov):.1%} on the "
+        f"{len(ov)} graphs with room for double buffering "
+        f"(paper +{PAPER_OVERLAP[0]:.1%}-+{PAPER_OVERLAP[1]:.1%}); the "
+        "largest redistrict stand-ins lack the headroom at 1/64 scale — "
+        "strip/memory grows as s^-0.5 (EXPERIMENTS.md)"
+    )
+    return record
+
+
+def test_fig8_optimization_ablation(benchmark):
+    record = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    record.print()
+    record.save()
+    sp = [r["batching_speedup"] for r in record.rows]
+    # batching lands in (or near) the paper's 1.99-5.71x band
+    assert min(sp) > 1.5
+    assert max(sp) < 8.0
+    # overlap helps wherever double buffering fits, by a paper-like fraction
+    ov = [r["overlap_gain"] for r in record.rows if r["double_buffered"]]
+    assert ov, "double buffering engaged on no graph"
+    assert min(ov) > 0.0
+    assert max(ov) < 0.6
+    # and never hurts where it does not
+    rest = [r["overlap_gain"] for r in record.rows if not r["double_buffered"]]
+    assert all(abs(g) < 0.02 for g in rest)
+    # unbatched transfers dominate, as the paper reports (69.96-83.90%)
+    fracs = [r["naive_transfer_frac"] for r in record.rows]
+    assert min(fracs) > 0.5
+    benchmark.extra_info["batching"] = (min(sp), max(sp))
+    benchmark.extra_info["overlap"] = (min(ov), max(ov))
+
+
+if __name__ == "__main__":
+    run_experiment().print()

@@ -1,0 +1,105 @@
+"""Microbenchmarks — wall-clock throughput of the numeric hot paths.
+
+Unlike the experiment benchmarks (which report *simulated* seconds), these
+measure the real numpy kernels with pytest-benchmark's statistics, guarding
+against performance regressions in the primitives everything else is built
+on: the min-plus product, the FW inner loop, the vectorised scatter-min,
+frontier expansion, and the partitioner.
+
+Profiled choices these enshrine (see repro/core/minplus.py):
+rank-1 min-plus updates beat the 3-D broadcast ~4×, and float32 beats
+float64 ~2.5× while staying exact for integer weights.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.blocked_fw import floyd_warshall_inplace
+from repro.core.minplus import minplus_update
+from repro.graphs.generators import planar_like, rmat
+from repro.partition import partition_kway
+from repro.sssp.frontier import expand_frontier, scatter_min
+from repro.sssp.near_far import near_far_batch
+
+
+@pytest.fixture(scope="module")
+def tiles():
+    rng = np.random.default_rng(0)
+    a = rng.integers(1, 100, (256, 256)).astype(np.float32)
+    b = rng.integers(1, 100, (256, 256)).astype(np.float32)
+    return a, b
+
+
+def test_minplus_throughput(benchmark, tiles):
+    a, b = tiles
+    c = np.full((256, 256), np.inf, dtype=np.float32)
+
+    def run():
+        c[...] = np.inf
+        minplus_update(c, a, b)
+
+    benchmark(run)
+    ops = 2 * 256**3
+    benchmark.extra_info["gop_per_s"] = ops / benchmark.stats["mean"] / 1e9
+    # regression guard: the rank-1 formulation should exceed 0.5 Gop/s
+    assert ops / benchmark.stats["mean"] > 0.5e9
+
+
+def test_fw_tile_throughput(benchmark, tiles):
+    a, _ = tiles
+
+    def run():
+        floyd_warshall_inplace(a.copy())
+
+    benchmark(run)
+    ops = 2 * 256**3
+    assert ops / benchmark.stats["mean"] > 0.3e9
+
+
+def test_scatter_min_throughput(benchmark):
+    rng = np.random.default_rng(1)
+    target = rng.random(100_000)
+    idx = rng.integers(0, 100_000, size=500_000)
+    vals = rng.random(500_000)
+
+    def run():
+        scatter_min(target.copy(), idx, vals)
+
+    benchmark(run)
+    rate = 500_000 / benchmark.stats["mean"]
+    benchmark.extra_info["updates_per_s"] = rate
+    assert rate > 2e6  # reduceat path, not ufunc.at
+
+
+def test_frontier_expansion_throughput(benchmark):
+    g = rmat(20_000, 320_000, seed=2)
+    frontier = np.arange(0, 20_000, 2)
+
+    def run():
+        expand_frontier(g, frontier)
+
+    benchmark(run)
+
+
+def test_near_far_batch_throughput(benchmark):
+    g = planar_like(1000, seed=3)
+    sources = np.arange(32)
+
+    def run():
+        near_far_batch(g, sources)
+
+    benchmark(run)
+    _, stats = near_far_batch(g, sources)
+    rate = stats.relaxations / benchmark.stats["mean"]
+    benchmark.extra_info["relax_per_s"] = rate
+    assert rate > 1e5
+
+
+def test_partitioner_throughput(benchmark):
+    g = planar_like(2000, seed=4)
+
+    def run():
+        partition_kway(g, 16, seed=0)
+
+    benchmark(run)
+    assert benchmark.stats["mean"] < 5.0  # seconds, generous regression bound

@@ -1,0 +1,73 @@
+"""Robustness — sensitivity of the Fig 2 conclusion to model constants.
+
+The device model's rates are *calibrated*, so this experiment perturbs each
+load-bearing constant by 0.5×/2× and re-measures the boundary-vs-BGL-plus
+speedup on usroads. The conclusion ("boundary wins by roughly an order of
+magnitude") must survive every 2× miscalibration; the reported elasticities
+show which constants the magnitude actually rides on.
+"""
+
+from repro.baselines import bgl_plus_apsp
+from repro.bench import ExperimentRecord, cpu_profile, device_profile
+from repro.core import ooc_boundary
+from repro.gpu.device import Device
+from repro.gpu.sweep import sweep_constant
+from repro.graphs.suite import DEFAULT_SCALE, get_suite_graph
+
+FIELDS = ["minplus_rate", "transfer_throughput", "transfer_latency", "mem_bandwidth"]
+
+
+def run_experiment() -> ExperimentRecord:
+    base_spec = device_profile("ratio")
+    cpu = cpu_profile()
+    graph = get_suite_graph("usroads", DEFAULT_SCALE)
+    bgl_seconds = bgl_plus_apsp(graph, cpu, seed=1).simulated_seconds
+
+    def speedup_metric(spec):
+        res = ooc_boundary(graph, Device(spec), seed=0)
+        return bgl_seconds / res.simulated_seconds
+
+    record = ExperimentRecord(
+        experiment="model_sensitivity",
+        title="Fig 2 speedup under 0.5x/2x perturbation of device constants",
+        paper_expectation=(
+            "the order-of-magnitude conclusion survives any single 2x "
+            "miscalibration; the magnitude depends only on the directly "
+            "measured PCIe throughput, not on any inferred constant"
+        ),
+    )
+    for field in FIELDS:
+        result = sweep_constant(base_spec, field, speedup_metric)
+        lo = min(p.value for p in result.points)
+        hi = max(p.value for p in result.points)
+        record.add(
+            constant=field,
+            speedup_at_half=result.points[0].value,
+            speedup_at_base=result.baseline,
+            speedup_at_double=result.points[-1].value,
+            elasticity=result.elasticity,
+            min_speedup=lo,
+            max_speedup=hi,
+        )
+    return record
+
+
+def test_model_sensitivity(benchmark):
+    record = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    record.print()
+    record.save()
+    rows = {r["constant"]: r for r in record.rows}
+    for row in record.rows:
+        # the win never drops below ~4x under any single 2x miscalibration
+        assert row["min_speedup"] > 4.0, row["constant"]
+    # every *inferred* (calibrated) constant is nearly irrelevant ...
+    for field in ("minplus_rate", "transfer_latency", "mem_bandwidth"):
+        assert abs(rows[field]["elasticity"]) < 0.2, field
+    # ... while the magnitude rides on PCIe throughput alone — which is the
+    # one constant the paper measured directly with nvprof (11.75 GB/s), so
+    # the calibration risk is concentrated where there is no calibration
+    assert rows["transfer_throughput"]["elasticity"] > 0.5
+
+
+if __name__ == "__main__":
+    run_experiment().print()

@@ -1,0 +1,56 @@
+"""Table III — features of the graphs whose output fits in CPU memory.
+
+Paper columns: n, m, √(kn), #boundary nodes after METIS k-way partitioning
+(k = √n), separator class, and density. Our stand-ins must land in the
+same separator class and density band as the paper graph they stand in for.
+"""
+
+from repro.bench import ExperimentRecord
+from repro.graphs.suite import DEFAULT_SCALE, list_suite
+from repro.partition import classify_separator
+
+
+def run_experiment() -> ExperimentRecord:
+    record = ExperimentRecord(
+        experiment="table3",
+        title="Evaluation graphs, output fits CPU memory (scaled stand-ins)",
+        paper_expectation=(
+            "11 of 19 graphs classify as small-separator; stand-in density "
+            "(paper-equivalent) tracks the reported column"
+        ),
+    )
+    for entry in list_suite(tier="cpu-fit"):
+        graph = entry.generate(DEFAULT_SCALE)
+        info = classify_separator(graph, seed=0)
+        record.add(
+            graph=entry.name,
+            family=entry.family,
+            n=graph.num_vertices,
+            m=graph.num_edges,
+            sqrt_kn=round(info.ideal_boundary),
+            boundary=info.num_boundary,
+            nb_ratio=info.ratio,
+            small_sep=info.small_separator,
+            paper_small_sep=entry.small_separator,
+            density_pct=100 * entry.effective_density(graph, DEFAULT_SCALE),
+            paper_density_pct=entry.paper_density_pct,
+        )
+    return record
+
+
+def test_table3_graph_features(benchmark):
+    record = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    record.print()
+    record.save()
+    match = [r for r in record.rows if r["small_sep"] == r["paper_small_sep"]]
+    # onera_dual's 3-D separator ratio shrinks with scale (EXPERIMENTS.md);
+    # every other stand-in must classify exactly as the paper does
+    assert len(match) >= len(record.rows) - 1
+    # paper-equivalent density within a factor ~2.5 of the reported column
+    for r in record.rows:
+        assert r["density_pct"] < r["paper_density_pct"] * 2.5
+        assert r["density_pct"] > r["paper_density_pct"] / 2.5
+
+
+if __name__ == "__main__":
+    run_experiment().print()

@@ -1,0 +1,46 @@
+"""Table IV — features of the graphs whose output exceeds CPU memory.
+
+Paper columns: n, m, density for the 10 large matrices. At full size their
+n² outputs (4 bytes/entry) exceed the 128 GB host; the scaled stand-ins
+carry the same density bands and families.
+"""
+
+from repro.bench import ExperimentRecord
+from repro.graphs.suite import DEFAULT_SCALE, list_suite
+
+
+def run_experiment() -> ExperimentRecord:
+    record = ExperimentRecord(
+        experiment="table4",
+        title="Evaluation graphs, output exceeds CPU memory (scaled stand-ins)",
+        paper_expectation="10 graphs; paper-size outputs all exceed 128 GB",
+    )
+    for entry in list_suite(tier="cpu-exceed"):
+        graph = entry.generate(DEFAULT_SCALE)
+        paper_output_gb = entry.paper_n**2 * 4 / 2**30
+        record.add(
+            graph=entry.name,
+            family=entry.family,
+            n=graph.num_vertices,
+            m=graph.num_edges,
+            density_pct=100 * entry.effective_density(graph, DEFAULT_SCALE),
+            paper_density_pct=entry.paper_density_pct,
+            paper_output_gb=paper_output_gb,
+        )
+    return record
+
+
+def test_table4_large_graphs(benchmark):
+    record = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    record.print()
+    record.save()
+    assert len(record.rows) == 10
+    # at paper size, every output is bigger than the 128 GB host memory
+    assert all(r["paper_output_gb"] > 128 for r in record.rows)
+    for r in record.rows:
+        assert r["density_pct"] < r["paper_density_pct"] * 3.0
+        assert r["density_pct"] > r["paper_density_pct"] / 3.0
+
+
+if __name__ == "__main__":
+    run_experiment().print()

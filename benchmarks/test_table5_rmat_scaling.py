@@ -1,0 +1,73 @@
+"""Table V — R-MAT scaling study on V100 and K80.
+
+Paper: R-MAT graphs from 5,000 to 320,000 vertices (output ranging from
+GPU-resident to beyond CPU memory); the optimal implementation is always
+Johnson's, and the computational efficiency ``n·m/s`` stays roughly stable
+as size grows — data movement does not come to dominate.
+"""
+
+from repro.bench import ExperimentRecord, device_profile
+from repro.core import ooc_johnson
+from repro.gpu.device import K80, Device
+from repro.graphs.generators import rmat
+from repro.graphs.suite import DEFAULT_SCALE
+
+#: paper sizes 5k…320k, scaled by 1/64 (edge factor 16, as in R-MAT suites)
+PAPER_SIZES = [5_000, 10_000, 20_000, 40_000, 80_000, 160_000, 320_000]
+EDGE_FACTOR = 16
+
+
+def run_experiment() -> ExperimentRecord:
+    record = ExperimentRecord(
+        experiment="table5",
+        title="R-MAT scaling: Johnson's algorithm on V100 and K80",
+        paper_expectation=(
+            "n·m/s stays roughly stable as graphs grow (data movement does "
+            "not dominate); K80 ~5x slower than V100"
+        ),
+    )
+    for dev_name, base in (("V100", None), ("K80", K80)):
+        if base is None:
+            spec = device_profile("ratio", scale=DEFAULT_SCALE)
+        else:
+            spec = device_profile("ratio", base=base, scale=DEFAULT_SCALE)
+        for paper_n in PAPER_SIZES:
+            n = max(128, int(paper_n * DEFAULT_SCALE))
+            m = n * EDGE_FACTOR
+            graph = rmat(n, m, seed=paper_n, name=f"rmat-{paper_n}")
+            res = ooc_johnson(graph, Device(spec))
+            t = res.simulated_seconds
+            record.add(
+                device=dev_name,
+                paper_n=paper_n,
+                n=graph.num_vertices,
+                m=graph.num_edges,
+                johnson_s=t,
+                nm_per_s=graph.num_vertices * graph.num_edges / t,
+                transfer_s=res.stats["transfer_seconds"],
+                transfer_frac=res.stats["transfer_seconds"] / t,
+            )
+    return record
+
+
+def test_table5_rmat_scaling(benchmark):
+    record = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    record.print()
+    record.save()
+    for dev in ("V100", "K80"):
+        rows = [r for r in record.rows if r["device"] == dev]
+        effs = [r["nm_per_s"] for r in rows]
+        # efficiency stable within a small factor across a 64x size sweep
+        assert max(effs) / min(effs) < 4.0, dev
+        # transfers never dominate
+        assert all(r["transfer_frac"] < 0.5 for r in rows), dev
+    v100 = {r["paper_n"]: r["johnson_s"] for r in record.rows if r["device"] == "V100"}
+    k80 = {r["paper_n"]: r["johnson_s"] for r in record.rows if r["device"] == "K80"}
+    ratios = [k80[n] / v100[n] for n in v100]
+    # K80 slower by roughly the rate ratio (paper shows ~4-6x)
+    assert 2.0 < sum(ratios) / len(ratios) < 10.0
+    benchmark.extra_info["k80_over_v100"] = sum(ratios) / len(ratios)
+
+
+if __name__ == "__main__":
+    run_experiment().print()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Currency conversion and arbitrage via negative-weight APSP.
+
+The classic application of Johnson-reweighted shortest paths: model an
+exchange market as a graph with edge weight ``−log(rate)``. Then
+
+* the shortest distance u→v is the negative log of the *best achievable
+  conversion rate* through any chain of trades, and
+* a **negative cycle** is an arbitrage loop (multiply rates around the
+  cycle and you end up with more than you started).
+
+This exercises the library's negative-weight extension end to end:
+Bellman–Ford potentials, reweighted out-of-core Johnson, restoration, and
+negative-cycle detection.
+
+Run:  python examples/currency_arbitrage.py
+"""
+
+import numpy as np
+
+from repro.core import reconstruct_path, solve_apsp_negative
+from repro.gpu.device import TEST_DEVICE
+from repro.sssp.reweight import NegativeCycleError, johnson_potentials
+
+CURRENCIES = ["USD", "EUR", "GBP", "JPY", "CHF", "AUD", "CAD", "NZD"]
+
+# A consistent market (rates derived from per-currency values + spreads):
+# no arbitrage, but multi-hop routes still beat direct quotes with wide
+# spreads.
+rng = np.random.default_rng(7)
+value = {c: v for c, v in zip(CURRENCIES, [1.0, 1.08, 1.27, 0.0067, 1.12, 0.66, 0.74, 0.61])}
+
+pairs = []
+for i, a in enumerate(CURRENCIES):
+    for b in CURRENCIES[i + 1 :]:
+        spread = rng.uniform(0.001, 0.04)  # some quotes are terrible
+        pairs.append((a, b, (value[a] / value[b]) * (1 - spread)))
+        pairs.append((b, a, (value[b] / value[a]) * (1 - spread)))
+
+idx = {c: i for i, c in enumerate(CURRENCIES)}
+src = np.array([idx[a] for a, _, _ in pairs])
+dst = np.array([idx[b] for _, b, _ in pairs])
+rates = np.array([r for _, _, r in pairs])
+weights = -np.log(rates)
+assert (weights < 0).any()  # rates > 1 give genuinely negative edges
+
+result = solve_apsp_negative(
+    len(CURRENCIES), src, dst, weights, algorithm="johnson", device=TEST_DEVICE,
+    name="fx-market",
+)
+print("consistent market: no arbitrage, best conversion rates:\n")
+print("        " + "".join(f"{c:>10}" for c in CURRENCIES))
+for a in CURRENCIES:
+    row = [np.exp(-result.distance(idx[a], idx[b])) if a != b else 1.0 for b in CURRENCIES]
+    print(f"{a:>6}  " + "".join(f"{r:10.4f}" for r in row))
+
+# A route that beats the direct (wide-spread) quote:
+graph_rates = {(a, b): r for a, b, r in pairs}
+best_gain, best_pair = 0.0, None
+for a, b, direct in pairs:
+    via = np.exp(-result.distance(idx[a], idx[b]))
+    if via / direct > best_gain:
+        best_gain, best_pair = via / direct, (a, b, direct, via)
+a, b, direct, via = best_pair
+print(f"\nbest multi-hop win: {a}->{b} direct {direct:.4f}, routed {via:.4f} "
+      f"({(best_gain - 1):.2%} better)")
+
+# --- now inject a mispriced quote and detect the arbitrage ---------------
+bad = np.concatenate([weights, [-np.log(1.3 * value['GBP'] / value['USD'])]])
+src2 = np.concatenate([src, [idx["GBP"]]])
+dst2 = np.concatenate([dst, [idx["USD"]]])
+try:
+    johnson_potentials(len(CURRENCIES), src2, dst2, bad)
+    print("\nno arbitrage detected (unexpected!)")
+except NegativeCycleError:
+    print("\nmispriced GBP->USD quote injected -> NegativeCycleError: "
+          "arbitrage loop detected, as it should be")

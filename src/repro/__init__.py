@@ -1,0 +1,20 @@
+"""repro — out-of-core GPU APSP (IPDPS 2022 reproduction).
+
+Reproduction of Xia, Agrawal, Jiang & Ramnath, *"Scaling and Selecting GPU
+Methods for All Pairs Shortest Paths (APSP) Computations"* (IPDPS 2022),
+on a simulated GPU substrate.
+
+Public API highlights
+---------------------
+* :func:`repro.core.solve_apsp` — run APSP out-of-core with a chosen or
+  auto-selected algorithm.
+* :class:`repro.select.Selector` — the paper's density filter + cost-model
+  selection methodology.
+* :mod:`repro.graphs` — CSR graphs, generators, Matrix Market I/O, and the
+  evaluation-suite registry.
+* :mod:`repro.gpu` — the simulated V100/K80 devices.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,54 @@
+"""Graph analytics over APSP results.
+
+The paper motivates APSP with applications — traffic simulation, routing,
+sensor networks (§I) — that consume the distance matrix through aggregate
+queries. This subpackage provides them as a public API over
+:class:`~repro.core.result.APSPResult` (or a plain distance matrix):
+
+* :mod:`~repro.analysis.metrics` — eccentricity, diameter/radius,
+  center/periphery, average path length, reachability;
+* :mod:`~repro.analysis.centrality` — closeness and harmonic centrality,
+  plus facility-location pickers (1-median/1-center);
+* :mod:`~repro.analysis.betweenness` — Brandes betweenness (exact and
+  pivot-sampled), which needs its own SSSP passes rather than the matrix.
+
+Every function streams the matrix in row blocks, so results spilled to a
+disk-backed store (the paper's Table IV regime) are analysed without ever
+materialising n² values in RAM.
+"""
+
+from repro.analysis.betweenness import betweenness_centrality
+from repro.analysis.centrality import (
+    closeness_centrality,
+    harmonic_centrality,
+    one_center,
+    one_median,
+)
+from repro.analysis.metrics import (
+    DistanceStatistics,
+    average_path_length,
+    center_vertices,
+    diameter,
+    distance_statistics,
+    eccentricity,
+    periphery_vertices,
+    radius,
+    reachability_matrix_density,
+)
+
+__all__ = [
+    "DistanceStatistics",
+    "average_path_length",
+    "betweenness_centrality",
+    "center_vertices",
+    "closeness_centrality",
+    "diameter",
+    "distance_statistics",
+    "eccentricity",
+    "harmonic_centrality",
+    "one_center",
+    "one_median",
+    "periphery_vertices",
+    "radius",
+    "reachability_matrix_density",
+]

@@ -1,0 +1,53 @@
+"""Row-block streaming over APSP results.
+
+All analysis functions iterate the distance matrix in bounded row blocks in
+*external* vertex order, so they work identically on RAM-backed results,
+disk-backed (memmap) results, permuted results from the boundary algorithm,
+and plain numpy matrices — without materialising more than one block.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.result import APSPResult
+
+__all__ = ["iter_row_blocks", "num_vertices_of"]
+
+#: default rows per streamed block
+BLOCK_ROWS = 256
+
+
+def num_vertices_of(result: "APSPResult | np.ndarray") -> int:
+    if isinstance(result, APSPResult):
+        return result.n
+    if result.ndim != 2 or result.shape[0] != result.shape[1]:
+        raise ValueError("distance matrix must be square")
+    return result.shape[0]
+
+
+def iter_row_blocks(
+    result: "APSPResult | np.ndarray", *, block_rows: int = BLOCK_ROWS
+) -> Iterator[tuple[int, int, np.ndarray]]:
+    """Yield ``(row_start, row_stop, block)`` with rows/columns in external
+    vertex order; ``block`` is float64 and safe to mutate."""
+    n = num_vertices_of(result)
+    if isinstance(result, APSPResult):
+        data = result.store.data
+        perm = result.perm
+        for lo in range(0, n, block_rows):
+            hi = min(lo + block_rows, n)
+            if perm is None:
+                block = np.asarray(data[lo:hi, :], dtype=np.float64)
+            else:
+                # external rows lo..hi map to internal rows perm[lo..hi];
+                # columns come back to external order via perm as well
+                block = np.asarray(data[perm[lo:hi], :], dtype=np.float64)
+                block = block[:, perm]
+            yield lo, hi, block
+    else:
+        for lo in range(0, n, block_rows):
+            hi = min(lo + block_rows, n)
+            yield lo, hi, np.array(result[lo:hi, :], dtype=np.float64)

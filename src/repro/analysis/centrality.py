@@ -1,0 +1,102 @@
+"""Centrality measures and facility-location pickers from APSP output.
+
+Out-directed conventions (distance *from* the vertex); run the solve on
+``graph.reverse()`` for in-centralities. Disconnected graphs follow the
+Wasserman–Faust correction for closeness (scale by the reachable fraction)
+and the standard harmonic definition (unreachable contributes 0).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis._stream import BLOCK_ROWS, iter_row_blocks, num_vertices_of
+
+__all__ = ["closeness_centrality", "harmonic_centrality", "one_median", "one_center"]
+
+
+def closeness_centrality(result, *, block_rows: int = BLOCK_ROWS) -> np.ndarray:
+    """Wasserman–Faust closeness: ``((r−1)/(n−1)) · ((r−1)/Σd)`` with ``r``
+    the vertex's reachable-set size. 0 for vertices reaching nothing."""
+    n = num_vertices_of(result)
+    out = np.zeros(n)
+    for lo, hi, block in iter_row_blocks(result, block_rows=block_rows):
+        for i in range(block.shape[0]):
+            block[i, lo + i] = np.inf
+        finite = np.isfinite(block)
+        r = finite.sum(axis=1)  # reachable others
+        sums = np.where(finite, block, 0.0).sum(axis=1)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            c = (r / max(1, n - 1)) * (r / sums)
+        out[lo:hi] = np.where((r > 0) & (sums > 0), c, 0.0)
+    return out
+
+
+def harmonic_centrality(result, *, block_rows: int = BLOCK_ROWS) -> np.ndarray:
+    """``Σ_{v≠u, reachable} 1/d(u,v) / (n−1)``; robust to disconnection."""
+    n = num_vertices_of(result)
+    out = np.zeros(n)
+    for lo, hi, block in iter_row_blocks(result, block_rows=block_rows):
+        for i in range(block.shape[0]):
+            block[i, lo + i] = np.inf
+        with np.errstate(divide="ignore"):
+            inv = np.where(np.isfinite(block) & (block > 0), 1.0 / block, 0.0)
+        out[lo:hi] = inv.sum(axis=1) / max(1, n - 1)
+    return out
+
+
+def one_median(result, *, candidates: np.ndarray | None = None, block_rows: int = BLOCK_ROWS) -> tuple[int, float]:
+    """Best single facility by *total* distance to all reachable vertices
+    (1-median). Returns ``(vertex, mean distance)``; unreachable targets are
+    penalised by excluding vertices that don't reach everything the best
+    competitor reaches (ties broken by coverage, then id)."""
+    n = num_vertices_of(result)
+    cand = np.arange(n) if candidates is None else np.asarray(candidates)
+    cand_set = set(cand.tolist())
+    best = (-1, np.inf, -1)  # (vertex, mean, coverage) with coverage maximised
+    for lo, hi, block in iter_row_blocks(result, block_rows=block_rows):
+        for i in range(block.shape[0]):
+            block[i, lo + i] = np.inf
+        for i in range(block.shape[0]):
+            v = lo + i
+            if v not in cand_set:
+                continue
+            row = block[i]
+            finite = np.isfinite(row)
+            cover = int(finite.sum())
+            if cover == 0:
+                continue
+            mean = float(row[finite].mean())
+            # maximise coverage first, then minimise mean distance
+            if (cover > best[2]) or (cover == best[2] and mean < best[1]):
+                best = (v, mean, cover)
+    if best[0] < 0:
+        raise ValueError("no candidate reaches any vertex")
+    return best[0], best[1]
+
+
+def one_center(result, *, candidates: np.ndarray | None = None, block_rows: int = BLOCK_ROWS) -> tuple[int, float]:
+    """Best single facility by *worst-case* distance (1-center): the vertex
+    of minimum eccentricity among the candidates (max coverage first)."""
+    n = num_vertices_of(result)
+    cand = np.arange(n) if candidates is None else np.asarray(candidates)
+    cand_set = set(cand.tolist())
+    best = (-1, np.inf, -1)
+    for lo, hi, block in iter_row_blocks(result, block_rows=block_rows):
+        for i in range(block.shape[0]):
+            block[i, lo + i] = np.inf
+        for i in range(block.shape[0]):
+            v = lo + i
+            if v not in cand_set:
+                continue
+            row = block[i]
+            finite = np.isfinite(row)
+            cover = int(finite.sum())
+            if cover == 0:
+                continue
+            ecc = float(row[finite].max())
+            if (cover > best[2]) or (cover == best[2] and ecc < best[1]):
+                best = (v, ecc, cover)
+    if best[0] < 0:
+        raise ValueError("no candidate reaches any vertex")
+    return best[0], best[1]

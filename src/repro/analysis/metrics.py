@@ -1,0 +1,145 @@
+"""Distance-matrix metrics: eccentricity, diameter, path-length statistics.
+
+Conventions for disconnected graphs: unreachable pairs are excluded from
+averages; eccentricity considers only reachable targets (a vertex that
+reaches nothing has eccentricity 0); diameter/radius are over vertices that
+reach at least one other vertex.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis._stream import BLOCK_ROWS, iter_row_blocks, num_vertices_of
+
+__all__ = [
+    "DistanceStatistics",
+    "average_path_length",
+    "center_vertices",
+    "diameter",
+    "distance_statistics",
+    "eccentricity",
+    "periphery_vertices",
+    "radius",
+    "reachability_matrix_density",
+]
+
+
+def eccentricity(result, *, block_rows: int = BLOCK_ROWS) -> np.ndarray:
+    """Per-vertex eccentricity: max finite distance to any other vertex."""
+    n = num_vertices_of(result)
+    ecc = np.zeros(n)
+    for lo, hi, block in iter_row_blocks(result, block_rows=block_rows):
+        finite = np.where(np.isfinite(block), block, 0.0)
+        ecc[lo:hi] = finite.max(axis=1) if n else 0.0
+    return ecc
+
+
+def diameter(result, **kw) -> float:
+    """Largest finite shortest distance (0 for edgeless graphs)."""
+    ecc = eccentricity(result, **kw)
+    return float(ecc.max()) if ecc.size else 0.0
+
+
+def radius(result, **kw) -> float:
+    """Smallest eccentricity among vertices that reach something."""
+    ecc = eccentricity(result, **kw)
+    active = ecc[ecc > 0]
+    return float(active.min()) if active.size else 0.0
+
+
+def center_vertices(result, **kw) -> np.ndarray:
+    """Vertices whose eccentricity equals the radius."""
+    ecc = eccentricity(result, **kw)
+    r = radius(result, **kw)
+    if r == 0.0:
+        return np.nonzero(ecc == ecc.min())[0]
+    return np.nonzero(ecc == r)[0]
+
+
+def periphery_vertices(result, **kw) -> np.ndarray:
+    """Vertices whose eccentricity equals the diameter."""
+    ecc = eccentricity(result, **kw)
+    return np.nonzero(ecc == ecc.max())[0] if ecc.size else np.empty(0, dtype=np.int64)
+
+
+def average_path_length(result, *, block_rows: int = BLOCK_ROWS) -> float:
+    """Mean finite distance over ordered reachable pairs (u ≠ v)."""
+    total = 0.0
+    count = 0
+    for lo, hi, block in iter_row_blocks(result, block_rows=block_rows):
+        # exclude the diagonal (distance 0 to self)
+        for i in range(block.shape[0]):
+            block[i, lo + i] = np.inf
+        finite = np.isfinite(block)
+        total += block[finite].sum()
+        count += int(finite.sum())
+    return total / count if count else 0.0
+
+
+def reachability_matrix_density(result, *, block_rows: int = BLOCK_ROWS) -> float:
+    """Fraction of ordered pairs (incl. self) with a finite distance."""
+    n = num_vertices_of(result)
+    reachable = 0
+    for _lo, _hi, block in iter_row_blocks(result, block_rows=block_rows):
+        reachable += int(np.isfinite(block).sum())
+    return reachable / (n * n) if n else 1.0
+
+
+@dataclass(frozen=True)
+class DistanceStatistics:
+    """One-pass summary of a distance matrix."""
+
+    num_vertices: int
+    reachable_pairs: int  # ordered, excluding self
+    mean: float
+    p50: float
+    p95: float
+    max: float  # == diameter
+
+    @property
+    def reachable_fraction(self) -> float:
+        n = self.num_vertices
+        return self.reachable_pairs / (n * (n - 1)) if n > 1 else 1.0
+
+
+def distance_statistics(
+    result, *, block_rows: int = BLOCK_ROWS, sample_quantiles: int = 200_000, seed: int = 0
+) -> DistanceStatistics:
+    """Summary statistics; quantiles via reservoir sampling so the pass
+    stays O(n·block) in memory even for disk-backed stores."""
+    n = num_vertices_of(result)
+    rng = np.random.default_rng(seed)
+    total = 0.0
+    count = 0
+    maxval = 0.0
+    reservoir: list[np.ndarray] = []
+    seen = 0
+    for lo, hi, block in iter_row_blocks(result, block_rows=block_rows):
+        for i in range(block.shape[0]):
+            block[i, lo + i] = np.inf
+        vals = block[np.isfinite(block)]
+        if vals.size == 0:
+            continue
+        total += vals.sum()
+        count += vals.size
+        maxval = max(maxval, float(vals.max()))
+        # uniform subsample of this block, sized to its share
+        take = min(vals.size, max(1, sample_quantiles // max(1, (n // max(1, hi - lo)))))
+        if vals.size > take:
+            vals = rng.choice(vals, size=take, replace=False)
+        reservoir.append(vals)
+        seen += vals.size
+    if count == 0:
+        return DistanceStatistics(n, 0, 0.0, 0.0, 0.0, 0.0)
+    sample = np.concatenate(reservoir)
+    return DistanceStatistics(
+        num_vertices=n,
+        reachable_pairs=count,
+        mean=total / count,
+        p50=float(np.percentile(sample, 50)),
+        p95=float(np.percentile(sample, 95)),
+        max=maxval,
+    )

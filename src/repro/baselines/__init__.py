@@ -1,0 +1,22 @@
+"""CPU baseline implementations the paper compares against.
+
+* :func:`~repro.baselines.bgl_plus.bgl_plus_apsp` — **BGL-plus** (Section
+  V-C): Dijkstra per source from the Boost Graph Library, parallelised over
+  sources with OpenMP. Our stand-in runs the real binary-heap Dijkstra and
+  converts its operation counts through the Xeon machine model.
+* :func:`~repro.baselines.super_fw.super_fw_apsp` — **SuperFW** [31]: a
+  highly optimised multicore blocked Floyd–Warshall.
+* :func:`~repro.baselines.galois.galois_apsp` — the **Galois** library's
+  APSP (delta-stepping per source).
+
+Each returns a :class:`~repro.baselines.common.BaselineResult` with
+simulated seconds on the same time base as the GPU model, and (optionally)
+the exact distance matrix for correctness tests.
+"""
+
+from repro.baselines.bgl_plus import bgl_plus_apsp
+from repro.baselines.common import BaselineResult
+from repro.baselines.galois import galois_apsp
+from repro.baselines.super_fw import super_fw_apsp
+
+__all__ = ["BaselineResult", "bgl_plus_apsp", "galois_apsp", "super_fw_apsp"]

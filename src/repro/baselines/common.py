@@ -1,0 +1,34 @@
+"""Shared result type and source-sampling helper for CPU baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["BaselineResult", "sample_sources"]
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of one CPU baseline run.
+
+    ``simulated_seconds`` is on the same simulated time base as the GPU
+    results. ``distances`` is filled only when the caller asks for exact
+    numerics (small graphs / correctness tests); the baselines otherwise
+    extrapolate from sampled sources exactly the way the paper's Johnson
+    cost model samples batches.
+    """
+
+    name: str
+    simulated_seconds: float
+    sampled_sources: int
+    distances: np.ndarray | None = None
+    stats: dict = field(default_factory=dict)
+
+
+def sample_sources(n: int, count: int, *, seed: int = 0) -> np.ndarray:
+    """Uniformly sampled distinct source vertices."""
+    count = min(count, n)
+    rng = np.random.default_rng(seed)
+    return np.sort(rng.choice(n, size=count, replace=False))

@@ -1,0 +1,63 @@
+"""Galois-style APSP: parallel delta-stepping per source (Section V-C).
+
+The Galois graph library solves APSP by running its delta-stepping SSSP for
+each source; the paper uses the times reported on the 32-core Haswell
+machine (Fig 4). The stand-in runs the real delta-stepping implementation
+on sampled sources and converts relaxation/bucket counts through the CPU
+model, whose ``delta_rate`` is calibrated to the reported numbers (which
+imply a low effective per-thread rate — the paper measures Galois
+79.9–152.6× slower than its GPU runs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.common import BaselineResult, sample_sources
+from repro.cpumodel.model import HASWELL_32, CpuSpec
+from repro.sssp.delta_stepping import delta_stepping
+
+__all__ = ["galois_apsp", "DEFAULT_SAMPLES"]
+
+DEFAULT_SAMPLES = 8
+
+#: modelled per-bucket scheduling overhead of the runtime, seconds
+BUCKET_OVERHEAD = 1e-5
+
+
+def galois_apsp(
+    graph,
+    cpu: CpuSpec = HASWELL_32,
+    *,
+    num_samples: int = DEFAULT_SAMPLES,
+    exact: bool = False,
+    delta: float | None = None,
+    seed: int = 0,
+) -> BaselineResult:
+    """APSP time of the Galois baseline (and distances when ``exact``)."""
+    n = graph.num_vertices
+    sources = np.arange(n) if exact else sample_sources(n, num_samples, seed=seed)
+    distances = np.empty((n, n)) if exact else None
+
+    total_relax = 0
+    total_buckets = 0
+    for row, s in enumerate(sources):
+        dist, stats = delta_stepping(graph, int(s), delta=delta)
+        if distances is not None:
+            distances[row] = dist
+        total_relax += stats.relaxations
+        total_buckets += stats.buckets_processed + stats.inner_iterations
+
+    k = max(1, len(sources))
+    per_source = (total_relax / k) / cpu.delta_rate + (total_buckets / k) * BUCKET_OVERHEAD
+    seconds = cpu.source_parallel_time(per_source, n)
+    return BaselineResult(
+        name="galois",
+        simulated_seconds=seconds,
+        sampled_sources=len(sources),
+        distances=distances,
+        stats={
+            "relaxations_per_source": total_relax / k,
+            "buckets_per_source": total_buckets / k,
+        },
+    )

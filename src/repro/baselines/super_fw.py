@@ -1,0 +1,40 @@
+"""SuperFW: a state-of-the-art multicore blocked Floyd–Warshall [31].
+
+The paper compares against SuperFW's *reported* execution times from a
+dual-socket 32-core Haswell (Section V-C, Fig 4) — it could not run the
+code itself. Our stand-in executes the real blocked FW for exact distances
+when asked, and models the reported times as a cache-blocked, vectorised
+``2n³`` sweep at the Haswell preset's effective per-core rate.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import BaselineResult
+from repro.core.blocked_fw import blocked_floyd_warshall, fw_ops
+from repro.core.minplus import DIST_DTYPE
+from repro.cpumodel.model import HASWELL_32, CpuSpec
+
+__all__ = ["super_fw_apsp"]
+
+
+def super_fw_apsp(
+    graph,
+    cpu: CpuSpec = HASWELL_32,
+    *,
+    exact: bool = False,
+    block_size: int = 64,
+) -> BaselineResult:
+    """APSP time of SuperFW (and distances when ``exact``)."""
+    n = graph.num_vertices
+    distances = None
+    if exact:
+        distances = graph.to_dense(dtype=DIST_DTYPE)
+        blocked_floyd_warshall(distances, block_size)
+    seconds = fw_ops(n) / (cpu.fw_rate * cpu.cores * cpu.parallel_efficiency)
+    return BaselineResult(
+        name="super-fw",
+        simulated_seconds=seconds,
+        sampled_sources=0,
+        distances=distances,
+        stats={"ops": fw_ops(n)},
+    )

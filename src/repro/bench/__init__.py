@@ -1,0 +1,29 @@
+"""Benchmark harness: device profiles, experiment records, table output.
+
+Each file under ``benchmarks/`` regenerates one table or figure of the
+paper. This package supplies the shared machinery:
+
+* :func:`device_profile` — the per-experiment scaled device operating
+  points (see EXPERIMENTS.md, "device profiles");
+* :class:`ExperimentRecord` — rows + paper-expectation metadata, saved as
+  JSON under ``benchmarks/results/`` so EXPERIMENTS.md can be regenerated;
+* :func:`format_table` — aligned text tables for terminal output.
+"""
+
+from repro.bench.runner import (
+    ExperimentRecord,
+    cpu_profile,
+    device_profile,
+    format_bars,
+    format_table,
+    results_dir,
+)
+
+__all__ = [
+    "ExperimentRecord",
+    "cpu_profile",
+    "device_profile",
+    "format_bars",
+    "format_table",
+    "results_dir",
+]

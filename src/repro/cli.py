@@ -1,0 +1,256 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``solve``     run out-of-core APSP on a graph file or generator spec
+``info``      graph features: density, degrees, separator class (Table III columns)
+``select``    run the Section-IV selector and print the report
+``suite``     list the paper's evaluation-graph registry
+``devices``   list the device presets and their constants
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main"]
+
+
+def _load_graph(args):
+    from repro.graphs.generators import erdos_renyi, planar_like, random_geometric, rmat, road_like
+    from repro.graphs.io import read_edge_list, read_matrix_market
+    from repro.graphs.suite import get_suite_graph
+
+    if args.graph.endswith((".mtx", ".mtx.gz")):
+        return read_matrix_market(args.graph)
+    if args.graph.endswith((".txt", ".el", ".edges")):
+        return read_edge_list(args.graph)
+    kind, _, rest = args.graph.partition(":")
+    if kind == "suite":
+        return get_suite_graph(rest, args.scale)
+    try:
+        params = dict(p.split("=", 1) for p in rest.split(",") if p)
+    except ValueError:
+        params = None
+    if params is None or kind not in ("rmat", "road", "planar", "geometric", "er"):
+        raise SystemExit(
+            f"unrecognised graph spec {args.graph!r}; use a .mtx/.txt path or "
+            "suite:<name> | rmat:n=..,m=.. | road:n=..,deg=.. | planar:n=.. | "
+            "geometric:n=..,r=..[,dim=3] | er:n=..,m=.."
+        )
+    n = int(params.get("n", 1000))
+    seed = int(params.get("seed", 0))
+    if kind == "rmat":
+        return rmat(n, int(params.get("m", 8 * n)), seed=seed)
+    if kind == "road":
+        return road_like(n, float(params.get("deg", 2.6)), seed=seed)
+    if kind == "planar":
+        return planar_like(n, seed=seed)
+    if kind == "geometric":
+        return random_geometric(
+            n, float(params.get("r", 0.1)), dim=int(params.get("dim", 2)), seed=seed
+        )
+    return erdos_renyi(n, int(params.get("m", 8 * n)), seed=seed)
+
+
+def _device_spec(args):
+    from repro.gpu.device import K80, TEST_DEVICE, V100
+
+    base = {"v100": V100, "k80": K80, "test": TEST_DEVICE}[args.device]
+    return base.scaled(args.scale) if args.scale < 1.0 else base
+
+
+def cmd_solve(args) -> int:
+    from repro.core import solve_apsp
+    from repro.core.verify import verify_result
+    from repro.gpu.device import Device
+
+    graph = _load_graph(args)
+    device = Device(_device_spec(args))
+    print(f"graph:  {graph}")
+    print(f"device: {device.spec.name} ({device.spec.memory_bytes / 2**20:.1f} MiB)")
+    result = solve_apsp(
+        graph,
+        algorithm=args.algorithm,
+        device=device,
+        density_scale=args.scale,
+        store_mode="disk" if args.disk else "ram",
+    )
+    print(f"algorithm: {result.algorithm}")
+    print(f"simulated time: {result.simulated_seconds:.6f}s")
+    for key in ("block_size", "num_blocks", "batch_size", "num_batches",
+                "num_components", "num_boundary", "num_transfers"):
+        if key in result.stats:
+            print(f"  {key}: {result.stats[key]}")
+    if args.verify:
+        report = verify_result(graph, result, num_rows=args.verify)
+        status = "ok" if report.ok else "FAILED"
+        print(f"verification ({report.checked_rows} rows): {status} "
+              f"(max |err| {report.max_abs_error:g})")
+        if not report.ok:
+            return 1
+    if args.trace:
+        from repro.gpu.trace import export_chrome_trace, utilization_report
+
+        print(utilization_report(device))
+        path = export_chrome_trace(device, args.trace)
+        print(f"trace written to {path}")
+    if args.query:
+        u, v = (int(x) for x in args.query.split(","))
+        print(f"dist({u}, {v}) = {result.distance(u, v):g}")
+    return 0
+
+
+def cmd_info(args) -> int:
+    from repro.graphs.properties import analyze
+    from repro.partition import classify_separator
+
+    graph = _load_graph(args)
+    props = analyze(graph)
+    print(f"graph: {graph}")
+    print(f"  vertices:        {props.num_vertices}")
+    print(f"  edges:           {props.num_edges}")
+    print(f"  density:         {props.density_percent:.4f}%")
+    print(f"  degrees:         mean {props.mean_out_degree:.2f}, "
+          f"p99 {props.degree_p99:.0f}, max {props.max_out_degree}")
+    print(f"  components:      {props.num_components}")
+    info = classify_separator(graph, seed=0)
+    cls = "small" if info.small_separator else "large"
+    print(f"  separator:       {info.num_boundary} boundary vertices over "
+          f"{info.num_parts} parts (√(kn)={info.ideal_boundary:.0f}, "
+          f"ratio {info.ratio:.2f}) -> {cls}")
+    return 0
+
+
+def cmd_select(args) -> int:
+    import json as _json
+
+    from repro.gpu.device import Device
+    from repro.select import Selector
+
+    graph = _load_graph(args)
+    spec = _device_spec(args)
+    if not args.json:
+        print("calibrating cost models...")
+    selector = Selector(spec, density_scale=args.scale, seed=0)
+    report = selector.select(graph, device=Device(spec))
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2))
+        return 0
+    print(f"graph:      {graph}")
+    print(f"density:    {report.density:.4%} (band {report.band!r})")
+    print(f"candidates: {', '.join(report.candidates)}")
+    for name, est in report.estimates.items():
+        print(f"  {name:<16} {est.total_seconds:.6f}s "
+              f"(compute {est.compute_seconds:.6f} + transfer {est.transfer_seconds:.6f})")
+    if report.infeasible:
+        print(f"infeasible: {', '.join(report.infeasible)}")
+    print(f"selected:   {report.algorithm}")
+    return 0
+
+
+def cmd_plan(args) -> int:
+    from repro.core.planner import explain_plan
+
+    graph = _load_graph(args)
+    report = explain_plan(graph, _device_spec(args), seed=0)
+    print(report.describe())
+    return 0
+
+
+def cmd_suite(args) -> int:
+    from repro.graphs.suite import list_suite
+
+    print(f"{'name':<16} {'family':<11} {'tier':<11} {'sep':<6} "
+          f"{'paper n':>9} {'paper m':>11} {'density%':>9}")
+    for e in list_suite():
+        print(f"{e.name:<16} {e.family:<11} {e.tier:<11} "
+              f"{'small' if e.small_separator else 'large':<6} "
+              f"{e.paper_n:>9} {e.paper_m:>11} {e.paper_density_pct:>9.4f}")
+    return 0
+
+
+def cmd_devices(args) -> int:
+    from repro.gpu.device import K80, TEST_DEVICE, V100
+
+    for spec in (V100, K80, TEST_DEVICE):
+        print(f"{spec.name}:")
+        print(f"  memory:            {spec.memory_bytes / 2**30:.1f} GiB")
+        print(f"  min-plus rate:     {spec.minplus_rate:.3g} ops/s")
+        print(f"  relax rate:        {spec.relax_rate:.3g} relax/s")
+        print(f"  PCIe:              {spec.transfer_throughput / 1e9:.2f} GB/s, "
+              f"{spec.transfer_latency * 1e6:.0f} µs/copy")
+        print(f"  active blocks:     {spec.max_active_blocks}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.bench.report import collect_records, render_markdown, write_report
+
+    if args.stdout:
+        print(render_markdown(collect_records()))
+    else:
+        path = write_report()
+        print(f"wrote {path}")
+    return 0
+
+
+def main(argv=None) -> int:
+    """Parse arguments and dispatch to the chosen subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Out-of-core GPU APSP (IPDPS 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_graph_args(p):
+        p.add_argument("graph", help="path (.mtx/.txt) or spec (suite:usroads, rmat:n=1000,m=8000, ...)")
+        p.add_argument("--scale", type=float, default=1 / 64,
+                       help="linear scale of graph/device relative to paper size (default 1/64)")
+        p.add_argument("--device", choices=["v100", "k80", "test"], default="v100")
+
+    p = sub.add_parser("solve", help="run out-of-core APSP")
+    add_graph_args(p)
+    p.add_argument("--algorithm", default="auto",
+                   choices=["auto", "floyd-warshall", "johnson", "boundary"])
+    p.add_argument("--disk", action="store_true", help="disk-backed output store")
+    p.add_argument("--verify", type=int, metavar="ROWS", default=0,
+                   help="verify N sampled rows against Dijkstra")
+    p.add_argument("--trace", metavar="PATH", default="",
+                   help="write a chrome://tracing JSON of the device schedule")
+    p.add_argument("--query", metavar="U,V", default="",
+                   help="print one distance after solving")
+    p.set_defaults(fn=cmd_solve)
+
+    p = sub.add_parser("info", help="graph features (Table III columns)")
+    add_graph_args(p)
+    p.set_defaults(fn=cmd_info)
+
+    p = sub.add_parser("select", help="run the algorithm selector")
+    add_graph_args(p)
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(fn=cmd_select)
+
+    p = sub.add_parser("plan", help="explain each algorithm's execution plan")
+    add_graph_args(p)
+    p.set_defaults(fn=cmd_plan)
+
+    p = sub.add_parser("suite", help="list the paper's evaluation graphs")
+    p.set_defaults(fn=cmd_suite)
+
+    p = sub.add_parser("devices", help="list device presets")
+    p.set_defaults(fn=cmd_devices)
+
+    p = sub.add_parser("report", help="render benchmarks/results/*.json to RESULTS.md")
+    p.add_argument("--stdout", action="store_true", help="print instead of writing")
+    p.set_defaults(fn=cmd_report)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,446 @@
+"""Out-of-core boundary algorithm (paper Algorithm 3, after Djidjev et al.).
+
+Four steps:
+
+1. **partition** the graph into ``k`` components with the multilevel k-way
+   partitioner (METIS stand-in); vertices are *permuted* so each component
+   is contiguous and its boundary vertices come first (paper Figure 1a);
+2. **dist2** — solve APSP independently inside each component: upload the
+   component's dense block ``A(i,i)``, close it with FW on the device,
+   download;
+3. **dist3** — build the boundary graph ``bound``: nodes are all boundary
+   vertices, entries are cross-component edge weights plus *virtual edges*
+   ``dist2(b, b')`` between same-component boundary pairs; close it with FW
+   on the device (it stays resident);
+4. **dist4** — every off-diagonal block is two successive min-plus products
+   (paper Eq. 1, Fig 1b):
+   ``A(i,j) = C2B[i] ⊗ bound(i,j) ⊗ B2C[j]`` where ``C2B[i] = A(i,i)[:, :bᵢ]``
+   (component→boundary distances) and ``B2C[j] = A(j,j)[:bⱼ, :]``; diagonal
+   blocks take the elementwise min with ``dist2``.
+
+Two optimisations from Section III-C, both togglable for the Fig 8
+ablation:
+
+* ``batch_transfers`` — instead of ``k²`` small D2H copies (one per block,
+  latency-bound), results accumulate in a device buffer holding ``N_row``
+  block-rows (``N_row = S_rem / (N_max · n · W)``) and transfer in one
+  bandwidth-bound copy;
+* ``overlap`` — double buffering: two accumulation buffers on two streams,
+  so the transfer of one buffer overlaps the products filling the other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.blocked_fw import floyd_warshall_inplace
+from repro.core.minplus import DIST_DTYPE, minplus_update
+from repro.core.result import APSPResult
+from repro.core.tiling import HostStore
+from repro.gpu.device import Device, DeviceSpec
+from repro.gpu.errors import OutOfMemoryError
+from repro.gpu.kernels import extract_cost, fw_tile_cost, minplus_cost
+from repro.gpu.stream import Event
+from repro.partition.kway import partition_kway
+from repro.partition.separator import boundary_nodes
+
+__all__ = [
+    "BoundaryInfeasibleError",
+    "BoundaryPlan",
+    "default_num_components",
+    "ooc_boundary",
+    "plan_boundary",
+]
+
+_ELEM = np.dtype(DIST_DTYPE).itemsize
+
+
+class BoundaryInfeasibleError(OutOfMemoryError):
+    """No component count makes the boundary algorithm's working set fit.
+
+    Raised for graphs whose separator is so large that the boundary matrix
+    cannot reside on the device at any balanced ``k`` — the paper's "the
+    maximal number of components allowed ... is small" failure mode that
+    pushes such graphs to Johnson's algorithm.
+    """
+
+    def __init__(self, requested: int, free: int, capacity: int, detail: str) -> None:
+        super().__init__(requested, free, capacity)
+        self.detail = detail
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"boundary algorithm infeasible: {self.detail}"
+
+
+def default_num_components(n: int) -> int:
+    """The paper's best-performing component count ``k = √n / 4`` (§V-F)."""
+    return max(2, int(round(np.sqrt(n) / 4.0)))
+
+
+@dataclass(frozen=True)
+class BoundaryPlan:
+    """A feasible execution plan for the boundary algorithm."""
+
+    labels: np.ndarray  # component id per original vertex
+    perm: np.ndarray  # internal id of original vertex
+    inv_perm: np.ndarray  # original id of internal vertex
+    comp_start: np.ndarray  # internal start offset per component (k+1,)
+    comp_boundary: np.ndarray  # number of boundary vertices per component
+    num_components: int
+    num_boundary: int
+    n_row: int  # block-rows accumulated per batched transfer
+    num_buffers: int  # output accumulation buffers (2 = double-buffered)
+
+    @property
+    def max_component(self) -> int:
+        return int(np.diff(self.comp_start).max())
+
+
+def _build_permutation(
+    graph, labels: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Order vertices component-major, boundary-first inside each component."""
+    n = graph.num_vertices
+    bnd = boundary_nodes(graph, labels)
+    is_bnd = np.zeros(n, dtype=bool)
+    is_bnd[bnd] = True
+    # Sort by (component, interior-after-boundary, id) — stable and cheap.
+    order = np.lexsort((np.arange(n), ~is_bnd, labels))
+    inv_perm = order  # internal -> original
+    perm = np.empty(n, dtype=np.int64)
+    perm[order] = np.arange(n)  # original -> internal
+    sizes = np.bincount(labels, minlength=k)
+    comp_start = np.zeros(k + 1, dtype=np.int64)
+    np.cumsum(sizes, out=comp_start[1:])
+    comp_boundary = np.bincount(labels[bnd], minlength=k) if bnd.size else np.zeros(k, dtype=np.int64)
+    return perm, inv_perm, comp_start, comp_boundary
+
+
+def plan_boundary(
+    graph,
+    spec: DeviceSpec,
+    *,
+    num_components: int | None = None,
+    batch_transfers: bool = True,
+    overlap: bool = True,
+    seed: int = 0,
+    max_attempts: int = 8,
+) -> BoundaryPlan:
+    """Partition and check the device memory budget; search ``k`` if needed.
+
+    Tries the requested/default ``k`` first; on memory failure, halves or
+    doubles ``k`` (whichever constraint is violated) up to ``max_attempts``
+    times before raising :class:`BoundaryInfeasibleError`.
+    """
+    n = graph.num_vertices
+    k = num_components if num_components is not None else default_num_components(n)
+    budget = spec.memory_bytes
+    last_detail = ""
+    tried: set[int] = set()
+    fallback: BoundaryPlan | None = None  # single-buffer plan found en route
+    for _attempt in range(max_attempts):
+        k = max(2, min(k, n // 2 if n >= 4 else 2))
+        if k in tried:
+            break
+        tried.add(k)
+        part = partition_kway(graph, k, seed=seed)
+        perm, inv_perm, comp_start, comp_bnd = _build_permutation(graph, part.labels, k)
+        nmax = int(np.diff(comp_start).max())
+        nb = int(comp_bnd.sum())
+        bmax = int(comp_bnd.max()) if k else 0
+
+        bound_bytes = nb * nb * _ELEM
+        step2_bytes = nmax * nmax * _ELEM
+        # step 4 residents: bound + C2B + B2C + tmp1 (+ output buffers below)
+        step4_fixed = bound_bytes + (2 * nmax * bmax + nmax * bmax) * _ELEM
+        strip_bytes = nmax * n * _ELEM  # one block-row of output
+
+        if step2_bytes > budget:
+            last_detail = (
+                f"component block {nmax}² exceeds device memory at k={k}; "
+                f"need {step2_bytes}B of {budget}B"
+            )
+            k = int(np.ceil(k * 1.5))  # more components -> smaller blocks
+            continue
+        if bound_bytes > budget or step4_fixed > budget:
+            last_detail = (
+                f"boundary matrix {nb}² (+{step4_fixed - bound_bytes}B residents) "
+                f"exceeds device memory at k={k}"
+            )
+            k = max(2, int(k / 1.5))  # fewer components -> fewer boundary vertices
+            continue
+        if batch_transfers:
+            # Prefer double buffering (overlap); fall back to one buffer
+            # when two strips do not fit at this k (the strip-to-memory
+            # ratio grows as n^-0.5 under scaling, so scaled runs hit this
+            # more often than the paper's full-size runs did).
+            n_row = 0
+            nbuf = 1
+            for cand_nbuf in ((2, 1) if overlap else (1,)):
+                rem = budget - step4_fixed
+                cand_rows = int(rem // (cand_nbuf * strip_bytes)) if rem > 0 else 0
+                cand_rows = min(cand_rows, k)  # never buffer more rows than exist
+                if cand_rows >= 1:
+                    n_row, nbuf = cand_rows, cand_nbuf
+                    break
+            if n_row < 1:
+                last_detail = (
+                    f"no room for {'double-buffered ' if overlap else ''}output "
+                    f"block-rows at k={k}"
+                )
+                if fallback is None:
+                    rem = budget - step4_fixed
+                    single_rows = min(int(rem // strip_bytes) if rem > 0 else 0, k)
+                    if overlap and single_rows >= 1:
+                        # single accumulation buffer, batching intact
+                        fallback = BoundaryPlan(
+                            labels=part.labels, perm=perm, inv_perm=inv_perm,
+                            comp_start=comp_start, comp_boundary=comp_bnd,
+                            num_components=k, num_boundary=nb,
+                            n_row=single_rows, num_buffers=1,
+                        )
+                    elif step4_fixed + nmax * nmax * _ELEM <= budget:
+                        # not even one strip fits anywhere: degrade to the
+                        # unbatched per-block path (n_row=0) rather than
+                        # declaring the whole algorithm infeasible
+                        fallback = BoundaryPlan(
+                            labels=part.labels, perm=perm, inv_perm=inv_perm,
+                            comp_start=comp_start, comp_boundary=comp_bnd,
+                            num_components=k, num_boundary=nb,
+                            n_row=0, num_buffers=1,
+                        )
+                k = int(np.ceil(k * 1.5))
+                continue
+        else:
+            n_row, nbuf = 0, 1
+            if step4_fixed + nmax * nmax * _ELEM > budget:
+                last_detail = f"no room for the single-block staging buffer at k={k}"
+                k = int(np.ceil(k * 1.5))
+                continue
+        return BoundaryPlan(
+            labels=part.labels,
+            perm=perm,
+            inv_perm=inv_perm,
+            comp_start=comp_start,
+            comp_boundary=comp_bnd,
+            num_components=k,
+            num_boundary=nb,
+            n_row=n_row,
+            num_buffers=nbuf,
+        )
+    if fallback is not None:
+        return fallback
+    raise BoundaryInfeasibleError(0, 0, budget, last_detail or "k search exhausted")
+
+
+def ooc_boundary(
+    graph,
+    device: Device,
+    *,
+    num_components: int | None = None,
+    batch_transfers: bool = True,
+    overlap: bool = True,
+    plan: BoundaryPlan | None = None,
+    store_mode: str = "ram",
+    store_dir=None,
+    seed: int = 0,
+) -> APSPResult:
+    """Solve APSP with the out-of-core boundary algorithm."""
+    n = graph.num_vertices
+    spec = device.spec
+    if plan is None:
+        plan = plan_boundary(
+            graph, spec,
+            num_components=num_components,
+            batch_transfers=batch_transfers, overlap=overlap, seed=seed,
+        )
+    k = plan.num_components
+    nb_total = plan.num_boundary
+    pg = graph.permute(plan.perm)  # internal ordering (Fig 1a)
+    host = HostStore.empty(n, mode=store_mode, directory=store_dir)
+    host.data[...] = np.inf
+
+    device.reset_clock()
+    compute = device.default_stream
+    copier = device.create_stream("bound-copy") if overlap else compute
+
+    with device.memory.cleanup_on_error():
+        return _run_boundary(
+            graph, device, compute, copier, host, plan, pg,
+            batch_transfers, overlap,
+        )
+
+
+def _run_boundary(
+    graph, device, compute, copier, host, plan, pg, batch_transfers, overlap
+):
+    """Steps 2-4 of Algorithm 3 (see module docstring)."""
+    n = graph.num_vertices
+    spec = device.spec
+    k = plan.num_components
+    nb_total = plan.num_boundary
+
+    starts = plan.comp_start
+    bcounts = plan.comp_boundary
+    # boundary vertices are the first b_i internal ids of each component
+    bnd_offsets = np.zeros(k + 1, dtype=np.int64)
+    np.cumsum(bcounts, out=bnd_offsets[1:])
+
+    # ---- step 2: per-component APSP (dist2) ---------------------------
+    dist2_blocks: list[np.ndarray] = []
+    for i in range(k):
+        lo, hi = int(starts[i]), int(starts[i + 1])
+        ni = hi - lo
+        sub = pg.subgraph(np.arange(lo, hi))
+        with device.memory.alloc((ni, ni), DIST_DTYPE, name=f"comp{i}") as tile:
+            compute.copy_h2d(tile, sub.to_dense(dtype=DIST_DTYPE), pinned=True)
+            floyd_warshall_inplace(tile.data)
+            compute.launch("fw_comp", fw_tile_cost(spec, ni))
+            block = np.empty((ni, ni), dtype=DIST_DTYPE)
+            compute.copy_d2h(block, tile, pinned=True)
+        dist2_blocks.append(block)
+
+    # ---- step 3: boundary graph closure (dist3) ------------------------
+    bound_host = np.full((nb_total, nb_total), np.inf, dtype=DIST_DTYPE)
+    np.fill_diagonal(bound_host, 0.0)
+    # virtual edges: same-component boundary-to-boundary dist2
+    for i in range(k):
+        bi = int(bcounts[i])
+        o = int(bnd_offsets[i])
+        bound_host[o : o + bi, o : o + bi] = dist2_blocks[i][:bi, :bi]
+    # cross edges: all cut edges connect boundary vertices of two components
+    src, dst, w = pg.edge_array()
+    comp_of = np.searchsorted(starts, np.arange(n), side="right") - 1
+    cross = comp_of[src] != comp_of[dst]
+    csrc, cdst, cw = src[cross], dst[cross], w[cross]
+    # internal id -> boundary index: offset within component + bnd offset
+    local = np.arange(n) - starts[comp_of]
+    bidx = bnd_offsets[comp_of] + local  # valid only for boundary vertices
+    np.minimum.at(bound_host, (bidx[csrc], bidx[cdst]), cw.astype(DIST_DTYPE))
+
+    bound = device.memory.alloc((nb_total, nb_total), DIST_DTYPE, name="bound")
+    compute.copy_h2d(bound, bound_host, pinned=True)
+    floyd_warshall_inplace(bound.data)
+    compute.launch("fw_bound", fw_tile_cost(spec, nb_total))
+
+    # ---- step 4: dist4 via two successive min-plus products ------------
+    nmax = plan.max_component
+    bmax = int(bcounts.max())
+    c2b = device.memory.alloc((nmax, max(1, bmax)), DIST_DTYPE, name="c2b")
+    b2c = device.memory.alloc((max(1, bmax), nmax), DIST_DTYPE, name="b2c")
+    tmp1 = device.memory.alloc((nmax, max(1, bmax)), DIST_DTYPE, name="tmp1")
+
+    if batch_transfers and plan.n_row < 1:
+        # the planner found no configuration with room for even one output
+        # strip (seen on the smaller-memory K80 at reduced scale): degrade
+        # to the per-block path
+        batch_transfers = False
+    if batch_transfers:
+        out_bufs = [
+            device.memory.alloc((plan.n_row * nmax, n), DIST_DTYPE, name=f"out{p}")
+            for p in range(plan.num_buffers)
+        ]
+    else:
+        out_bufs = [device.memory.alloc((nmax, nmax), DIST_DTYPE, name="out")]
+    drain_events: list[Event | None] = [None] * len(out_bufs)
+
+    buf_rows = 0  # filled rows in the active accumulation buffer
+    buf_meta: list[tuple[int, int, int]] = []  # (host_lo, host_hi, buf_lo)
+    active = 0
+
+    def flush(active_idx: int) -> None:
+        nonlocal buf_rows, buf_meta
+        if buf_rows == 0:
+            return
+        buf = out_bufs[active_idx]
+        total = buf_meta[-1][1] - buf_meta[0][0]
+        view = buf.data[:buf_rows, :]
+        hdst = host.data[buf_meta[0][0] : buf_meta[-1][1], :]
+        if overlap:
+            copier.wait(compute.record(Event("strip-ready")))
+            copier.copy_d2h_async(hdst, view, pinned=True)
+            drain_events[active_idx] = copier.record(Event("strip-down"))
+        else:
+            compute.copy_d2h(hdst, view, pinned=True)
+        assert total == buf_rows
+        buf_rows = 0
+        buf_meta = []
+
+    for i in range(k):
+        lo_i, hi_i = int(starts[i]), int(starts[i + 1])
+        ni = hi_i - lo_i
+        bi = int(bcounts[i])
+        oi = int(bnd_offsets[i])
+        # C2B[i]: extract + upload (paper lines 6-8)
+        c2b_view = c2b.data[:ni, :bi]
+        compute.copy_h2d(c2b_view, dist2_blocks[i][:, :bi], pinned=True)
+        compute.launch("extract_c2b", extract_cost(spec, ni, bi))
+
+        if batch_transfers:
+            row_base = buf_rows
+            buf_meta.append((lo_i, hi_i, row_base))
+        for j in range(k):
+            lo_j, hi_j = int(starts[j]), int(starts[j + 1])
+            nj = hi_j - lo_j
+            bj = int(bcounts[j])
+            oj = int(bnd_offsets[j])
+            b2c_view = b2c.data[:bj, :nj]
+            compute.copy_h2d(b2c_view, dist2_blocks[j][:bj, :], pinned=True)
+            compute.launch("extract_b2c", extract_cost(spec, bj, nj))
+
+            if batch_transfers:
+                dest = out_bufs[active].data[row_base : row_base + ni, lo_j:hi_j]
+            else:
+                dest = out_bufs[0].data[:ni, :nj]
+            dest[...] = np.inf
+            if bi and bj:
+                bview = bound.data[oi : oi + bi, oj : oj + bj]
+                t1 = tmp1.data[:ni, :bj]
+                t1[...] = np.inf
+                minplus_update(t1, c2b_view, bview)
+                compute.launch("mp_c2b_bound", minplus_cost(spec, ni, bi, bj))
+                minplus_update(dest, t1, b2c_view)
+                compute.launch("mp_bound_b2c", minplus_cost(spec, ni, bj, nj))
+            # else: isolated component — no boundary path in or out
+            if i == j:
+                np.minimum(dest, dist2_blocks[i], out=dest)
+
+            if not batch_transfers:
+                # naive path: strided per-block copy into the host matrix
+                compute.copy_d2h_2d(host.data[lo_i:hi_i, lo_j:hi_j], dest, pinned=True)
+        if batch_transfers:
+            buf_rows += ni
+            # Flush when the next block-row would not fit.
+            next_ni = int(starts[min(i + 2, k)] - starts[min(i + 1, k)]) if i + 1 < k else 0
+            if i + 1 >= k or buf_rows + next_ni > plan.n_row * nmax:
+                flush(active)
+                active = (active + 1) % len(out_bufs)
+                if drain_events[active] is not None:
+                    compute.wait(drain_events[active])  # buffer still draining
+
+    elapsed = device.synchronize()
+    host.flush()
+    for arr in [bound, c2b, b2c, tmp1, *out_bufs]:
+        arr.free()
+
+    from repro.core.ooc_fw import transfer_stats
+
+    return APSPResult(
+        algorithm="boundary",
+        store=host,
+        simulated_seconds=elapsed,
+        perm=plan.perm,
+        inv_perm=plan.inv_perm,
+        stats={
+            "num_components": k,
+            "num_boundary": nb_total,
+            "max_component": nmax,
+            "n_row": plan.n_row,
+            "num_buffers": plan.num_buffers if batch_transfers else 1,
+            "batch_transfers": batch_transfers,
+            "overlap": overlap,
+            **transfer_stats(device),
+        },
+    )

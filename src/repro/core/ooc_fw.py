@@ -1,0 +1,199 @@
+"""Out-of-core blocked Floyd–Warshall (paper Algorithm 1).
+
+The distance matrix is partitioned into ``n_d × n_d`` blocks sized so the
+working set fits in device memory. Per outer iteration ``k``:
+
+* **stage 1** — upload the diagonal block, close it with FW on the device,
+  download;
+* **stage 2** — stream row blocks ``A(k,j)`` and column blocks ``A(i,k)``
+  through the device, updating each with one min-plus against the closed
+  diagonal block;
+* **stage 3** — for every remaining block ``A(i,j)``, upload
+  ``A(i,k)``/``A(k,j)``/``A(i,j)``, rank-update, download.
+
+Every block crosses the bus each iteration, giving the paper's
+``O(n_d · n²)`` data-movement complexity (Table I). With ``overlap=True``
+(the paper's "asynchronous data transfers" optimisation) stage 3 runs
+double-buffered: uploads of block ``t+1`` and the download of block ``t−1``
+overlap the min-plus of block ``t`` on a second stream. The host side of
+every transfer is a pinned staging buffer, as in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.blocked_fw import floyd_warshall_inplace
+from repro.core.minplus import DIST_DTYPE, minplus_update
+from repro.core.result import APSPResult
+from repro.core.tiling import BlockLayout, HostStore
+from repro.gpu.device import Device, DeviceSpec
+from repro.gpu.kernels import fw_tile_cost, minplus_cost
+from repro.gpu.stream import Event
+
+__all__ = ["ooc_floyd_warshall", "plan_fw_block_size"]
+
+_ELEM = np.dtype(DIST_DTYPE).itemsize
+
+
+def plan_fw_block_size(n: int, spec: DeviceSpec, *, overlap: bool = True) -> int:
+    """Largest block size whose working set fits on the device.
+
+    Stage 3 keeps one column block plus (with overlap) two double-buffered
+    pairs of row/work blocks resident — five tiles; three without overlap.
+    """
+    tiles = 5 if overlap else 3
+    b = int(np.sqrt(spec.memory_bytes / (tiles * _ELEM)))
+    if b < 1:
+        raise ValueError(
+            f"device memory {spec.memory_bytes}B cannot hold {tiles} tiles of any size"
+        )
+    return max(1, min(b, n))
+
+
+def transfer_stats(device: Device) -> dict:
+    """Summarise bus traffic from the device trace (shared by all drivers)."""
+    tl = device.timeline
+    h2d = tl.engine_ops("h2d")
+    d2h = tl.engine_ops("d2h")
+    return {
+        "bytes_h2d": sum(op.nbytes for op in h2d),
+        "bytes_d2h": sum(op.nbytes for op in d2h),
+        "num_transfers": len(h2d) + len(d2h),
+        "transfer_seconds": tl.busy_time("h2d") + tl.busy_time("d2h"),
+        "compute_seconds": tl.busy_time("compute"),
+    }
+
+
+def ooc_floyd_warshall(
+    graph,
+    device: Device,
+    *,
+    block_size: int | None = None,
+    overlap: bool = True,
+    store_mode: str = "ram",
+    store_dir=None,
+) -> APSPResult:
+    """Solve APSP with the out-of-core blocked FW algorithm.
+
+    ``simulated_seconds`` in the result is the device-model makespan of the
+    full schedule (kernels + transfers, overlapped where requested).
+    """
+    n = graph.num_vertices
+    spec = device.spec
+    if block_size is None:
+        block_size = plan_fw_block_size(n, spec, overlap=overlap)
+    host = HostStore.from_graph(graph, mode=store_mode, directory=store_dir)
+    layout = BlockLayout(n, block_size)
+    nd = layout.num_blocks
+    bmax = layout.size(0)
+
+    device.reset_clock()
+    compute = device.default_stream
+    copier = device.create_stream("fw-copy") if overlap else compute
+
+    with device.memory.cleanup_on_error():
+        _run_fw_schedule(
+            device, compute, copier, host, layout, nd, bmax, spec, overlap
+        )
+
+    elapsed = device.synchronize()
+    host.flush()
+    return APSPResult(
+        algorithm="floyd-warshall",
+        store=host,
+        simulated_seconds=elapsed,
+        stats={
+            "block_size": block_size,
+            "num_blocks": nd,
+            "overlap": overlap,
+            **transfer_stats(device),
+        },
+    )
+
+
+def _run_fw_schedule(device, compute, copier, host, layout, nd, bmax, spec, overlap):
+    """The three-stage tile schedule of Algorithm 1 (see module docstring)."""
+    pinned = True  # staging buffers are pinned, as in the paper
+    for k in range(nd):
+        bk = layout.size(k)
+        # ---- stage 1: diagonal block closure --------------------------
+        diag = device.memory.alloc((bk, bk), DIST_DTYPE, name=f"diag{k}")
+        compute.copy_h2d(diag, host.block(layout, k, k), pinned=pinned)
+        floyd_warshall_inplace(diag.data)
+        compute.launch("fw_diag", fw_tile_cost(spec, bk))
+        compute.copy_d2h(host.block(layout, k, k), diag, pinned=pinned)
+
+        # ---- stage 2: row and column panels ---------------------------
+        with device.memory.alloc((bk, bmax), DIST_DTYPE, name="row-panel") as panel:
+            for j in range(nd):
+                if j == k:
+                    continue
+                bj = layout.size(j)
+                view = panel.data[:bk, :bj]
+                compute.copy_h2d(view, host.block(layout, k, j), pinned=pinned)
+                minplus_update(view, diag.data, view)
+                compute.launch("mp_row", minplus_cost(spec, bk, bk, bj))
+                compute.copy_d2h(host.block(layout, k, j), view, pinned=pinned)
+        with device.memory.alloc((bmax, bk), DIST_DTYPE, name="col-panel") as panel:
+            for i in range(nd):
+                if i == k:
+                    continue
+                bi = layout.size(i)
+                view = panel.data[:bi, :bk]
+                compute.copy_h2d(view, host.block(layout, i, k), pinned=pinned)
+                minplus_update(view, view, diag.data)
+                compute.launch("mp_col", minplus_cost(spec, bi, bk, bk))
+                compute.copy_d2h(host.block(layout, i, k), view, pinned=pinned)
+        diag.free()
+
+        # ---- stage 3: rank-update of remaining blocks -----------------
+        nbuf = 2 if overlap else 1
+        col = device.memory.alloc((bmax, bk), DIST_DTYPE, name="col")
+        rows = [
+            device.memory.alloc((bk, bmax), DIST_DTYPE, name=f"row{p}") for p in range(nbuf)
+        ]
+        works = [
+            device.memory.alloc((bmax, bmax), DIST_DTYPE, name=f"work{p}") for p in range(nbuf)
+        ]
+        down_events: list[Event | None] = [None] * nbuf
+        t = 0
+        for i in range(nd):
+            if i == k:
+                continue
+            bi = layout.size(i)
+            cview = col.data[:bi, :bk]
+            if overlap:
+                copier.copy_h2d_async(cview, host.block(layout, i, k), pinned=pinned)
+                compute.wait(copier.record(Event("col-up")))
+            else:
+                compute.copy_h2d(cview, host.block(layout, i, k), pinned=pinned)
+            for j in range(nd):
+                if j == k:
+                    continue
+                p = t % nbuf
+                t += 1
+                bj = layout.size(j)
+                if down_events[p] is not None:
+                    # buffer p is reused: its previous download must finish
+                    copier.wait(down_events[p])
+                rview = rows[p].data[:bk, :bj]
+                wview = works[p].data[:bi, :bj]
+                hwork = host.block(layout, i, j)
+                if overlap:
+                    copier.copy_h2d_async(rview, host.block(layout, k, j), pinned=pinned)
+                    copier.copy_h2d_async(wview, hwork, pinned=pinned)
+                    compute.wait(copier.record(Event("up")))
+                else:
+                    compute.copy_h2d(rview, host.block(layout, k, j), pinned=pinned)
+                    compute.copy_h2d(wview, hwork, pinned=pinned)
+                minplus_update(wview, cview, rview)
+                compute.launch("mp_rank", minplus_cost(spec, bi, bk, bj))
+                if overlap:
+                    copier.wait(compute.record(Event("comp")))
+                    copier.copy_d2h_async(hwork, wview, pinned=pinned)
+                    down_events[p] = copier.record(Event("down"))
+                else:
+                    compute.copy_d2h(hwork, wview, pinned=pinned)
+        for arr in [col, *rows, *works]:
+            arr.free()

@@ -1,0 +1,229 @@
+"""Out-of-core Johnson's algorithm (paper Algorithm 2).
+
+APSP as ``n`` SSSP instances, processed in batches of ``bat`` concurrent
+Near-Far instances per MSSP kernel — one instance per thread block. The
+batch size comes from the device memory budget (Section III-B):
+
+.. math:: bat = (L - S) / (c · m)
+
+with ``L`` the device memory, ``S`` the CSR graph size, and ``c·m`` the
+per-instance worklist storage; we additionally charge the per-instance
+output row, which must also reside on the device. When ``bat`` falls below
+the device's active-block capacity the kernel under-utilises the GPU; the
+**dynamic parallelism** option offloads the edge lists of high-out-degree
+vertices to child kernels, restoring full throughput for those relaxations
+at a per-launch overhead (modelled in
+:func:`repro.gpu.kernels.mssp_batch_cost` from the statistics the real
+Near-Far execution collects).
+
+Batch results stream back to the host store; with ``overlap=True`` the
+download of batch ``i`` overlaps the MSSP kernel of batch ``i+1`` via
+double-buffered output rows on a second stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.minplus import DIST_DTYPE
+from repro.core.result import APSPResult
+from repro.core.tiling import HostStore
+from repro.gpu.device import Device, DeviceSpec
+from repro.gpu.errors import OutOfMemoryError
+from repro.gpu.kernels import MsspWorkload, mssp_batch_cost
+from repro.gpu.stream import Event, Stream
+from repro.sssp.near_far import DEFAULT_HEAVY_DEGREE, near_far_batch
+
+__all__ = ["ooc_johnson", "plan_batch_size", "run_mssp_batch", "graph_device_bytes"]
+
+_ELEM = np.dtype(DIST_DTYPE).itemsize
+
+#: the paper's worklist constant ``c``: per-instance queue storage is
+#: ``c · m`` distance-sized elements (near + far queues with slack)
+DEFAULT_QUEUE_FACTOR = 4.0
+
+
+def graph_device_bytes(graph, spec: "DeviceSpec | None" = None) -> int:
+    """Device bytes of the CSR graph ``S``: int32 indptr/indices + float32
+    weights (what the CUDA kernels would hold). On a scaled device, O(m)
+    structures are charged at ``spec.sparse_charge_factor`` of their real
+    bytes (see :class:`repro.gpu.device.DeviceSpec`)."""
+    n, m = graph.num_vertices, graph.num_edges
+    raw = 4 * (n + 1) + 4 * m + 4 * m
+    if spec is None:
+        return raw
+    return max(1, int(raw * spec.sparse_charge_factor))
+
+
+def plan_batch_size(
+    graph,
+    spec: DeviceSpec,
+    *,
+    queue_factor: float = DEFAULT_QUEUE_FACTOR,
+    num_row_buffers: int = 2,
+) -> int:
+    """The paper's ``bat = (L − S)/(c·m)``, plus output-row accounting."""
+    n, m = graph.num_vertices, graph.num_edges
+    s = graph_device_bytes(graph, spec)
+    free = spec.memory_bytes - s
+    per_instance = (
+        queue_factor * m * _ELEM + num_row_buffers * n * _ELEM
+    ) * spec.sparse_charge_factor
+    if free < per_instance:
+        raise OutOfMemoryError(int(per_instance + s), max(0, free), spec.memory_bytes)
+    return int(min(n, free // per_instance))
+
+
+def run_mssp_batch(
+    graph,
+    device: Device,
+    stream: Stream,
+    sources: np.ndarray,
+    out_rows: np.ndarray,
+    *,
+    bat: int,
+    delta: float | None,
+    dynamic_parallelism: bool,
+    heavy_degree: int,
+) -> MsspWorkload:
+    """Execute one MSSP kernel: real Near-Far numerics into ``out_rows``
+    plus the modelled kernel time charged to ``stream``.
+
+    ``bat`` is the planned batch size (the kernel's grid size); the last
+    batch may carry fewer sources but still launches the same grid.
+    """
+    dist, stats = near_far_batch(
+        graph, sources, delta=delta, heavy_degree=heavy_degree
+    )
+    out_rows[...] = dist.astype(DIST_DTYPE, copy=False)
+    workload = MsspWorkload(
+        relaxations=stats.relaxations,
+        heavy_relaxations=stats.heavy_relaxations if dynamic_parallelism else 0,
+        iterations=stats.iterations,
+        child_launches=stats.child_launches if dynamic_parallelism else 0,
+    )
+    cost = mssp_batch_cost(
+        device.spec, workload, bat, dynamic_parallelism=dynamic_parallelism
+    )
+    stream.launch("mssp", cost)
+    return workload
+
+
+def ooc_johnson(
+    graph,
+    device: Device,
+    *,
+    batch_size: int | None = None,
+    delta: float | None = None,
+    dynamic_parallelism: bool = True,
+    heavy_degree: int = DEFAULT_HEAVY_DEGREE,
+    queue_factor: float = DEFAULT_QUEUE_FACTOR,
+    overlap: bool = True,
+    store_mode: str = "ram",
+    store_dir=None,
+) -> APSPResult:
+    """Solve APSP with the out-of-core Johnson's algorithm."""
+    n = graph.num_vertices
+    spec = device.spec
+    nbuf = 2 if overlap else 1
+    if batch_size is None:
+        batch_size = plan_batch_size(
+            graph, spec, queue_factor=queue_factor, num_row_buffers=nbuf
+        )
+    bat = max(1, min(batch_size, n))
+    host = HostStore.empty(graph, mode=store_mode, directory=store_dir)
+
+    device.reset_clock()
+    compute = device.default_stream
+    copier = device.create_stream("johnson-copy") if overlap else compute
+
+    with device.memory.cleanup_on_error():
+        return _run_johnson(
+            graph, device, compute, copier, host, bat, delta,
+            dynamic_parallelism, heavy_degree, queue_factor, overlap,
+        )
+
+
+def _run_johnson(
+    graph, device, compute, copier, host, bat, delta,
+    dynamic_parallelism, heavy_degree, queue_factor, overlap,
+):
+    """The batched MSSP pipeline of Algorithm 2 (see module docstring)."""
+    n = graph.num_vertices
+    spec = device.spec
+    nbuf = 2 if overlap else 1
+    # Resident device state: the CSR graph, the per-instance worklists, and
+    # the output-row buffers.
+    charge = spec.sparse_charge_factor
+    csr_indptr = device.memory.alloc(
+        n + 1, np.int32, name="indptr", charged_bytes=int(4 * (n + 1) * charge) + 1
+    )
+    csr_indices = device.memory.alloc(
+        max(1, graph.num_edges), np.int32, name="indices",
+        charged_bytes=int(4 * graph.num_edges * charge) + 1,
+    )
+    csr_weights = device.memory.alloc(
+        max(1, graph.num_edges), DIST_DTYPE, name="weights",
+        charged_bytes=int(4 * graph.num_edges * charge) + 1,
+    )
+    compute.copy_h2d(csr_indptr, graph.indptr.astype(np.int32), pinned=True)
+    if graph.num_edges:
+        compute.copy_h2d(csr_indices, graph.indices.astype(np.int32), pinned=True)
+        compute.copy_h2d(csr_weights, graph.weights.astype(DIST_DTYPE), pinned=True)
+    queues = device.memory.alloc(
+        max(1, int(bat * queue_factor * graph.num_edges * charge)),
+        DIST_DTYPE,
+        name="queues",
+    )
+    row_bufs = [
+        device.memory.alloc(
+            (bat, n), DIST_DTYPE, name=f"rows{p}",
+            charged_bytes=int(bat * n * _ELEM * charge) + 1,
+        )
+        for p in range(nbuf)
+    ]
+    down_events: list[Event | None] = [None] * nbuf
+
+    num_batches = (n + bat - 1) // bat
+    batch_workloads: list[MsspWorkload] = []
+    for b in range(num_batches):
+        lo, hi = b * bat, min((b + 1) * bat, n)
+        sources = np.arange(lo, hi, dtype=np.int64)
+        p = b % nbuf
+        if down_events[p] is not None:
+            compute.wait(down_events[p])  # rows buffer still draining
+        rows_view = row_bufs[p].data[: sources.size, :]
+        workload = run_mssp_batch(
+            graph, device, compute, sources, rows_view,
+            bat=bat, delta=delta,
+            dynamic_parallelism=dynamic_parallelism, heavy_degree=heavy_degree,
+        )
+        batch_workloads.append(workload)
+        if overlap:
+            copier.wait(compute.record(Event("mssp-done")))
+            copier.copy_d2h_async(host.rows(lo, hi), rows_view, pinned=True)
+            down_events[p] = copier.record(Event("rows-down"))
+        else:
+            compute.copy_d2h(host.rows(lo, hi), rows_view, pinned=True)
+
+    elapsed = device.synchronize()
+    host.flush()
+    for arr in [csr_indptr, csr_indices, csr_weights, queues, *row_bufs]:
+        arr.free()
+
+    from repro.core.ooc_fw import transfer_stats
+
+    return APSPResult(
+        algorithm="johnson",
+        store=host,
+        simulated_seconds=elapsed,
+        stats={
+            "batch_size": bat,
+            "num_batches": num_batches,
+            "dynamic_parallelism": dynamic_parallelism,
+            "relaxations": sum(w.relaxations for w in batch_workloads),
+            "heavy_relaxations": sum(w.heavy_relaxations for w in batch_workloads),
+            "overlap": overlap,
+            **transfer_stats(device),
+        },
+    )

@@ -1,0 +1,72 @@
+"""Path reconstruction from a completed distance matrix.
+
+The out-of-core drivers store only distances (an n×n predecessor matrix
+would double the already-dominant output). Individual paths can still be
+reconstructed *exactly* from distances alone: from ``u``, the next hop
+toward ``v`` is any out-neighbour ``x`` with
+``dist(u, v) == w(u, x) + dist(x, v)`` — such a neighbour always exists on
+a shortest path. Reconstruction costs ``O(path length · max degree)``
+lookups, all served from the (possibly disk-backed) host store without
+materialising anything.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.result import APSPResult
+from repro.graphs.csr import CSRGraph
+
+__all__ = ["reconstruct_path", "path_length"]
+
+
+def reconstruct_path(
+    graph: CSRGraph, result: APSPResult, source: int, target: int
+) -> list[int]:
+    """Vertices of one shortest path from ``source`` to ``target``.
+
+    Returns ``[source, ..., target]``; raises ``ValueError`` when no path
+    exists. Ties are broken toward the lowest-id neighbour, so the output
+    is deterministic.
+    """
+    n = graph.num_vertices
+    if not (0 <= source < n and 0 <= target < n):
+        raise ValueError("source/target out of range")
+    total = result.distance(source, target)
+    if not np.isfinite(total):
+        raise ValueError(f"no path from {source} to {target}")
+
+    path = [source]
+    u = source
+    remaining = total
+    # float32 stores introduce tiny rounding; integer weights make exact
+    # equality safe, but keep a small tolerance for general inputs.
+    tol = 1e-4 * max(1.0, abs(total))
+    while u != target:
+        nbrs, weights = graph.neighbors(u)
+        if nbrs.size == 0:
+            raise AssertionError("distance matrix inconsistent with graph")
+        dists = np.array([result.distance(int(x), target) for x in nbrs])
+        slack = weights + dists - remaining
+        candidates = np.nonzero(slack <= tol)[0]
+        if candidates.size == 0:
+            raise AssertionError("distance matrix inconsistent with graph")
+        pick = int(candidates[np.argmin(nbrs[candidates])])
+        u = int(nbrs[pick])
+        remaining = float(dists[pick])
+        path.append(u)
+        if len(path) > n:
+            raise AssertionError("path reconstruction cycled")
+    return path
+
+
+def path_length(graph: CSRGraph, path: list[int]) -> float:
+    """Total weight of a vertex path (inf if an edge is missing)."""
+    total = 0.0
+    for u, v in zip(path, path[1:]):
+        nbrs, w = graph.neighbors(u)
+        hits = np.nonzero(nbrs == v)[0]
+        if hits.size == 0:
+            return np.inf
+        total += float(w[hits].min())
+    return total

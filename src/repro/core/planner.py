@@ -1,0 +1,147 @@
+"""Unified execution-plan explanation ("EXPLAIN" for out-of-core APSP).
+
+:func:`explain_plan` dry-runs the planning stage of every algorithm for a
+graph/device pair and reports the derived parameters — block size and count
+for FW, batch size and count for Johnson, component count / boundary size /
+transfer batching for the boundary algorithm — plus the memory footprints
+and which constraints bind. Nothing executes; this is the tool for
+answering "why did the planner pick these numbers?" before an expensive
+run (exposed as ``python -m repro plan``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.minplus import DIST_DTYPE
+from repro.core.ooc_boundary import BoundaryInfeasibleError, plan_boundary
+from repro.core.ooc_fw import plan_fw_block_size
+from repro.core.ooc_johnson import graph_device_bytes, plan_batch_size
+from repro.gpu.device import DeviceSpec
+from repro.gpu.errors import OutOfMemoryError
+
+__all__ = ["AlgorithmPlan", "PlanReport", "explain_plan"]
+
+_ELEM = np.dtype(DIST_DTYPE).itemsize
+
+
+@dataclass(frozen=True)
+class AlgorithmPlan:
+    """Planning outcome for one algorithm."""
+
+    algorithm: str
+    feasible: bool
+    parameters: dict = field(default_factory=dict)
+    #: device bytes the working set occupies at its peak
+    working_set_bytes: int = 0
+    #: human-readable reason when infeasible
+    reason: str = ""
+
+    def describe(self) -> str:
+        if not self.feasible:
+            return f"{self.algorithm}: infeasible — {self.reason}"
+        params = ", ".join(f"{k}={v}" for k, v in self.parameters.items())
+        return (
+            f"{self.algorithm}: {params} "
+            f"(working set {self.working_set_bytes / 2**20:.2f} MiB)"
+        )
+
+
+@dataclass(frozen=True)
+class PlanReport:
+    """Plans for all three algorithms plus shared sizing facts."""
+
+    n: int
+    m: int
+    output_bytes: int
+    device_bytes: int
+    plans: dict[str, AlgorithmPlan]
+
+    @property
+    def output_fits_device(self) -> bool:
+        return self.output_bytes <= self.device_bytes
+
+    def describe(self) -> str:
+        lines = [
+            f"graph: n={self.n}, m={self.m}; output "
+            f"{self.output_bytes / 2**20:.1f} MiB vs device "
+            f"{self.device_bytes / 2**20:.1f} MiB "
+            f"({'fits in core' if self.output_fits_device else 'out of core'})"
+        ]
+        lines += ["  " + plan.describe() for plan in self.plans.values()]
+        return "\n".join(lines)
+
+
+def explain_plan(graph, spec: DeviceSpec, *, seed: int = 0) -> PlanReport:
+    """Plan all three algorithms without executing anything."""
+    n, m = graph.num_vertices, graph.num_edges
+    plans: dict[str, AlgorithmPlan] = {}
+
+    # --- blocked Floyd–Warshall ----------------------------------------
+    try:
+        b = plan_fw_block_size(n, spec, overlap=True)
+        nd = max(1, (n + b - 1) // b)
+        plans["floyd-warshall"] = AlgorithmPlan(
+            "floyd-warshall",
+            True,
+            {"block_size": b, "num_blocks": nd, "tiles_resident": 5},
+            working_set_bytes=5 * b * b * _ELEM,
+        )
+    except (ValueError, OutOfMemoryError) as exc:  # pragma: no cover - tiny devices
+        plans["floyd-warshall"] = AlgorithmPlan("floyd-warshall", False, reason=str(exc))
+
+    # --- Johnson ---------------------------------------------------------
+    try:
+        bat = plan_batch_size(graph, spec)
+        nb = (n + bat - 1) // bat
+        s = graph_device_bytes(graph, spec)
+        sat = max(1, int(spec.occupancy_saturation * spec.max_active_blocks))
+        plans["johnson"] = AlgorithmPlan(
+            "johnson",
+            True,
+            {
+                "batch_size": bat,
+                "num_batches": nb,
+                "occupancy": f"{min(1.0, bat / sat):.0%}",
+            },
+            working_set_bytes=int(
+                s + bat * 4 * m * _ELEM * spec.sparse_charge_factor + 2 * bat * n * _ELEM * spec.sparse_charge_factor
+            ),
+        )
+    except OutOfMemoryError as exc:
+        plans["johnson"] = AlgorithmPlan("johnson", False, reason=str(exc))
+
+    # --- boundary ---------------------------------------------------------
+    try:
+        bp = plan_boundary(graph, spec, seed=seed)
+        nmax = bp.max_component
+        working = (
+            bp.num_boundary**2 * _ELEM
+            + 3 * nmax * max(1, int(bp.comp_boundary.max())) * _ELEM
+            + bp.num_buffers * max(bp.n_row, 1) * nmax * graph.num_vertices * _ELEM
+        )
+        plans["boundary"] = AlgorithmPlan(
+            "boundary",
+            True,
+            {
+                "num_components": bp.num_components,
+                "num_boundary": bp.num_boundary,
+                "max_component": nmax,
+                "n_row": bp.n_row,
+                "buffers": bp.num_buffers,
+                "batched": bp.n_row >= 1,
+            },
+            working_set_bytes=working,
+        )
+    except BoundaryInfeasibleError as exc:
+        plans["boundary"] = AlgorithmPlan("boundary", False, reason=exc.detail)
+
+    return PlanReport(
+        n=n,
+        m=m,
+        output_bytes=n * n * _ELEM,
+        device_bytes=spec.memory_bytes,
+        plans=plans,
+    )

@@ -1,0 +1,107 @@
+"""Result container for out-of-core APSP runs."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.tiling import HostStore
+
+__all__ = ["APSPResult"]
+
+
+@dataclass
+class APSPResult:
+    """Distances plus execution record of one APSP run.
+
+    ``store`` holds the distance matrix in the *internal* vertex order; the
+    boundary algorithm permutes vertices (components contiguous, boundary
+    first — Figure 1), so lookups go through ``perm``/``inv_perm``.
+    ``simulated_seconds`` is the device-model execution time (compute +
+    transfers, as scheduled on the simulated timeline); ``stats`` carries
+    per-algorithm diagnostics (batch counts, boundary sizes, workloads, …).
+    """
+
+    algorithm: str
+    store: HostStore
+    simulated_seconds: float
+    perm: np.ndarray | None = None  # internal id of external vertex v
+    inv_perm: np.ndarray | None = None  # external id of internal vertex
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def n(self) -> int:
+        return self.store.n
+
+    def distance(self, u: int, v: int) -> float:
+        """Shortest distance from ``u`` to ``v`` (external ids)."""
+        if self.perm is not None:
+            u, v = int(self.perm[u]), int(self.perm[v])
+        return float(self.store.data[u, v])
+
+    def row(self, u: int) -> np.ndarray:
+        """Distances from ``u`` to every vertex, in external order."""
+        if self.perm is None:
+            return np.asarray(self.store.data[u, :])
+        internal = self.store.data[self.perm[u], :]
+        return np.asarray(internal[self.perm])
+
+    def to_array(self) -> np.ndarray:
+        """Full matrix in external order (materialises disk-backed stores)."""
+        data = np.asarray(self.store.data)
+        if self.perm is None:
+            return data
+        return data[np.ix_(self.perm, self.perm)]
+
+    # ------------------------------------------------------------------
+    # Persistence: long out-of-core jobs want their output as an artifact
+    # ------------------------------------------------------------------
+    def save(self, directory: str | Path) -> Path:
+        """Persist distances + metadata under ``directory``.
+
+        Writes ``distances.npy`` (internal order), ``perm.npy`` when the
+        result is permuted, and ``meta.json``. Returns the directory.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        np.save(directory / "distances.npy", np.asarray(self.store.data))
+        if self.perm is not None:
+            np.save(directory / "perm.npy", self.perm)
+        meta = {
+            "algorithm": self.algorithm,
+            "n": self.n,
+            "simulated_seconds": self.simulated_seconds,
+            "permuted": self.perm is not None,
+        }
+        (directory / "meta.json").write_text(json.dumps(meta, indent=2))
+        return directory
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "APSPResult":
+        """Reload a result previously written by :meth:`save`."""
+        directory = Path(directory)
+        meta = json.loads((directory / "meta.json").read_text())
+        data = np.load(directory / "distances.npy")
+        store = HostStore(meta["n"], dtype=data.dtype)
+        store.data[...] = data
+        perm = inv = None
+        if meta["permuted"]:
+            perm = np.load(directory / "perm.npy")
+            inv = np.argsort(perm)
+        return cls(
+            algorithm=meta["algorithm"],
+            store=store,
+            simulated_seconds=meta["simulated_seconds"],
+            perm=perm,
+            inv_perm=inv,
+            stats={"loaded_from": str(directory)},
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"APSPResult(algorithm={self.algorithm!r}, n={self.n}, "
+            f"simulated_seconds={self.simulated_seconds:.6f})"
+        )

@@ -1,0 +1,127 @@
+"""Block layout planning and the host-side distance-matrix store.
+
+Out-of-core APSP produces an ``n × n`` matrix that lives on the *host*
+(or, for the paper's Table IV graphs, not even there — it spills to disk).
+:class:`HostStore` owns that matrix in one of two modes:
+
+* ``"ram"`` — a pinned host allocation (Table III regime, output fits in
+  CPU memory);
+* ``"disk"`` — a ``numpy.memmap`` backing file (Table IV regime, output
+  exceeds CPU memory; the paper streams such outputs to storage).
+
+:class:`BlockLayout` slices ``[0, n)`` into device-sized blocks and is
+shared by all three out-of-core drivers.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.minplus import DIST_DTYPE
+from repro.graphs.csr import CSRGraph
+
+__all__ = ["BlockLayout", "HostStore"]
+
+
+@dataclass(frozen=True)
+class BlockLayout:
+    """Uniform 1-D blocking of ``[0, n)`` into blocks of size ≤ ``block_size``."""
+
+    n: int
+    block_size: int
+
+    def __post_init__(self) -> None:
+        if self.n < 0 or self.block_size < 1:
+            raise ValueError("need n >= 0 and block_size >= 1")
+
+    @property
+    def num_blocks(self) -> int:
+        return max(1, (self.n + self.block_size - 1) // self.block_size)
+
+    def start(self, i: int) -> int:
+        return i * self.block_size
+
+    def stop(self, i: int) -> int:
+        return min((i + 1) * self.block_size, self.n)
+
+    def size(self, i: int) -> int:
+        return self.stop(i) - self.start(i)
+
+    def slice(self, i: int) -> slice:
+        if not 0 <= i < self.num_blocks:
+            raise IndexError(f"block {i} out of range (num_blocks={self.num_blocks})")
+        return slice(self.start(i), self.stop(i))
+
+    def __iter__(self):
+        return iter(range(self.num_blocks))
+
+
+class HostStore:
+    """The host-resident (or disk-backed) ``n × n`` distance matrix."""
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        mode: str = "ram",
+        dtype=DIST_DTYPE,
+        directory: str | Path | None = None,
+        pinned: bool = True,
+    ) -> None:
+        if mode not in ("ram", "disk"):
+            raise ValueError("mode must be 'ram' or 'disk'")
+        self.n = n
+        self.mode = mode
+        self.pinned = pinned if mode == "ram" else False
+        self._tmpdir: tempfile.TemporaryDirectory | None = None
+        if mode == "ram":
+            self.data = np.empty((n, n), dtype=dtype)
+        else:
+            if directory is None:
+                self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-apsp-")
+                directory = self._tmpdir.name
+            path = Path(directory) / f"dist_{n}x{n}.bin"
+            self.data = np.memmap(path, dtype=dtype, mode="w+", shape=(n, n))
+            self.path = path
+
+    @classmethod
+    def from_graph(
+        cls, graph: CSRGraph, *, mode: str = "ram", dtype=DIST_DTYPE, directory=None
+    ) -> "HostStore":
+        """Store initialised with the graph's weight matrix (FW seed)."""
+        store = cls(graph.num_vertices, mode=mode, dtype=dtype, directory=directory)
+        store.data[...] = graph.to_dense(dtype=dtype)
+        return store
+
+    @classmethod
+    def empty(cls, graph_or_n, **kwargs) -> "HostStore":
+        """Uninitialised store (Johnson/boundary fill rows/blocks directly)."""
+        n = graph_or_n.num_vertices if isinstance(graph_or_n, CSRGraph) else int(graph_or_n)
+        return cls(n, **kwargs)
+
+    def block(self, layout: BlockLayout, i: int, j: int) -> np.ndarray:
+        """Writable view of block ``(i, j)``."""
+        return self.data[layout.slice(i), layout.slice(j)]
+
+    def rows(self, start: int, stop: int) -> np.ndarray:
+        return self.data[start:stop, :]
+
+    @property
+    def nbytes(self) -> int:
+        return self.data.nbytes
+
+    def flush(self) -> None:
+        """Persist to the backing file (disk mode only)."""
+        if self.mode == "disk":
+            self.data.flush()
+
+    def close(self) -> None:
+        if self._tmpdir is not None:
+            # Release the memmap before removing its file.
+            del self.data
+            self._tmpdir.cleanup()
+            self._tmpdir = None

@@ -1,0 +1,76 @@
+"""Result self-verification.
+
+``verify_result`` spot-checks an out-of-core APSP result against
+independently computed Dijkstra rows — the cheap integrity check a
+downstream user should run after a long out-of-core job (full verification
+would cost as much as the job itself). Sampled rows give probabilistic
+coverage of every block the drivers streamed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.result import APSPResult
+from repro.graphs.csr import CSRGraph
+from repro.sssp.dijkstra import dijkstra
+
+__all__ = ["VerificationReport", "verify_result"]
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Outcome of a sampled verification pass."""
+
+    checked_rows: int
+    max_abs_error: float
+    mismatched_entries: int
+    ok: bool
+
+    def raise_on_failure(self) -> "VerificationReport":
+        if not self.ok:
+            raise AssertionError(
+                f"APSP verification failed: {self.mismatched_entries} mismatched "
+                f"entries, max |error| {self.max_abs_error:g}"
+            )
+        return self
+
+
+def verify_result(
+    graph: CSRGraph,
+    result: APSPResult,
+    *,
+    num_rows: int = 8,
+    seed: int = 0,
+    atol: float = 1e-3,
+) -> VerificationReport:
+    """Compare ``num_rows`` sampled rows of ``result`` against Dijkstra.
+
+    Tolerance defaults account for float32 storage of integer-weight path
+    sums (exact) plus rounding headroom for real-valued weights.
+    """
+    n = graph.num_vertices
+    rng = np.random.default_rng(seed)
+    rows = rng.choice(n, size=min(num_rows, n), replace=False)
+    max_err = 0.0
+    mismatched = 0
+    for r in rows:
+        expected, _ = dijkstra(graph, int(r))
+        got = result.row(int(r)).astype(np.float64)
+        both_inf = np.isinf(expected) & np.isinf(got)
+        diff = np.zeros_like(expected)
+        mask = ~both_inf
+        diff[mask] = np.abs(got[mask] - expected[mask])
+        bad = ~both_inf & ~(diff <= atol)
+        mismatched += int(bad.sum())
+        finite = np.isfinite(diff)
+        if finite.any():
+            max_err = max(max_err, float(diff[finite].max()))
+    return VerificationReport(
+        checked_rows=len(rows),
+        max_abs_error=max_err,
+        mismatched_entries=mismatched,
+        ok=mismatched == 0,
+    )

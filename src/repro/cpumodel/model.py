@@ -1,0 +1,120 @@
+"""CPU machine specifications and time model.
+
+Rates are *effective* per-thread throughputs, back-calculated so the model
+lands in the paper's measured bands (each constant's provenance is on its
+preset):
+
+* Dijkstra-based APSP (BGL-plus) costs one base per-thread rate, derated
+  ~1.4× when the CSR working set exceeds the last-level cache (DRAM
+  streaming). The derating separates the heavyweight FEM matrices
+  (pkustk14, SiO2, …) from everything else; it is deliberately modest —
+  the class split between Fig 2's 8–12× and Fig 3's 2.2–2.8× comes from
+  the GPU side (boundary vs Johnson), not from the CPU.
+* ``scaled(s)`` matches :meth:`repro.gpu.device.DeviceSpec.scaled`: rates
+  and LLC size scale with ``s``, keeping CPU/GPU ratios at scaled problem
+  sizes equal to the paper's at full size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["CpuSpec", "XEON_E5_2680", "HASWELL_32"]
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Constants describing one (simulated) multicore CPU."""
+
+    name: str
+    cores: int
+    threads: int
+    #: combined Dijkstra rate: (heap ops + edge relaxations)/s per thread,
+    #: cache-resident CSR
+    dijkstra_rate: float
+    #: same, DRAM-resident CSR (working set beyond the LLC)
+    dijkstra_rate_dram: float
+    #: delta-stepping relaxations/s per thread (Galois-style runtime)
+    delta_rate: float
+    #: blocked-FW min-plus scalar ops/s per core (vectorised)
+    fw_rate: float
+    #: last-level cache size, bytes
+    llc_bytes: int
+    #: parallel efficiency of embarrassingly parallel source-loops
+    parallel_efficiency: float = 0.85
+
+    def scaled(self, s: float) -> "CpuSpec":
+        """Scale rates and cache with ``s`` to match the scaled GPU model.
+
+        Traversal rates (Dijkstra, delta-stepping) scale with ``s`` like the
+        GPU's — their work terms are ``n·m ∝ s²``, so CPU/GPU ratios are
+        preserved. ``fw_rate`` scales with ``s²`` because SuperFW's work is
+        ``n³ ∝ s³`` while the Johnson runs it is compared against (Fig 4)
+        scale as ``s²``; matching exponents keeps the reported speedup band.
+        The LLC scales with ``s`` (CSR bytes ∝ m ∝ s) so the cache-residency
+        split between road and FEM graphs lands where the paper's does.
+        """
+        if not 0 < s <= 1:
+            raise ValueError("scale must be in (0, 1]")
+        return replace(
+            self,
+            name=f"{self.name}@{s:g}",
+            dijkstra_rate=self.dijkstra_rate * s,
+            dijkstra_rate_dram=self.dijkstra_rate_dram * s,
+            delta_rate=self.delta_rate * s,
+            fw_rate=self.fw_rate * s * s,
+            llc_bytes=max(1, int(self.llc_bytes * s)),
+        )
+
+    # ------------------------------------------------------------------
+    def csr_bytes(self, n: int, m: int) -> int:
+        """Working-set bytes of one CSR traversal (indptr+indices+weights)."""
+        return 8 * (n + 1) + 12 * m
+
+    def dijkstra_ops_rate(self, n: int, m: int) -> float:
+        """Per-thread Dijkstra rate for a graph of this size."""
+        if self.csr_bytes(n, m) <= self.llc_bytes:
+            return self.dijkstra_rate
+        return self.dijkstra_rate_dram
+
+    def source_parallel_time(self, per_source_seconds: float, num_sources: int) -> float:
+        """Time of an OpenMP-style loop over independent sources."""
+        return per_source_seconds * num_sources / (self.threads * self.parallel_efficiency)
+
+
+#: The paper's own baseline host (Section V-A): Intel Xeon E5-2680 v2,
+#: 14 cores / 28 hyperthreads, 2.4 GHz, ~35 MB LLC.
+#:
+#: ``dijkstra_rate`` ≈ 4e7 combined ops/s/thread is back-calculated jointly
+#: from Fig 2 (BGL-plus 8.22–12.40× slower than the boundary algorithm on
+#: road/redistricting graphs) and Fig 3 (2.23–2.79× slower than the
+#: out-of-core Johnson runs on FEM graphs).
+XEON_E5_2680 = CpuSpec(
+    name="Xeon-E5-2680",
+    cores=14,
+    threads=28,
+    dijkstra_rate=4.0e7,
+    dijkstra_rate_dram=2.9e7,
+    delta_rate=2.5e5,
+    fw_rate=2.0e9,
+    llc_bytes=35 * 1024 * 1024,
+)
+
+#: The machine behind the SuperFW and Galois numbers (Section V-C): dual
+#: 16-core Haswell E5-2698 v3, 64 threads.
+#:
+#: ``fw_rate`` ≈ 3.6e9 ops/s/core makes SuperFW's n³ run land in Fig 4's
+#: 4.70–69.2× band relative to our Johnson runs; ``delta_rate`` ≈ 2.5e5
+#: relaxations/s/thread reproduces the reported Galois times (the paper
+#: itself measures Galois 79.9–152.6× slower than the GPU — the reported
+#: numbers imply a low effective per-thread rate for its APSP loop).
+HASWELL_32 = CpuSpec(
+    name="Haswell-2x16",
+    cores=32,
+    threads=64,
+    dijkstra_rate=5.0e7,
+    dijkstra_rate_dram=3.6e7,
+    delta_rate=2.5e5,
+    fw_rate=3.6e9,
+    llc_bytes=80 * 1024 * 1024,
+)

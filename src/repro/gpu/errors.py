@@ -1,0 +1,27 @@
+"""Exceptions raised by the simulated GPU substrate."""
+
+from __future__ import annotations
+
+__all__ = ["DeviceError", "OutOfMemoryError"]
+
+
+class DeviceError(RuntimeError):
+    """Base class for simulated-device failures."""
+
+
+class OutOfMemoryError(DeviceError):
+    """Raised when an allocation exceeds the device memory capacity.
+
+    Mirrors ``cudaErrorMemoryAllocation``: the out-of-core planners size
+    their blocks/batches to avoid this, and the tests assert it fires when
+    they don't.
+    """
+
+    def __init__(self, requested: int, free: int, capacity: int) -> None:
+        super().__init__(
+            f"device OOM: requested {requested} bytes with {free} free "
+            f"of {capacity} total"
+        )
+        self.requested = requested
+        self.free = free
+        self.capacity = capacity

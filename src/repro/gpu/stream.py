@@ -1,0 +1,206 @@
+"""CUDA-like streams and events for the simulated device.
+
+A :class:`Stream` is an ordered queue of operations. Operations on the same
+stream serialise; operations on different streams may overlap subject to
+engine availability (one compute engine, one copy engine per direction — see
+:mod:`repro.gpu.timeline`). :class:`Event` gives cross-stream ordering, which
+the double-buffered boundary algorithm uses to hand buffers between its
+compute and copy streams.
+
+Copies come in synchronous (`copy_*`, blocks the simulated host thread, like
+``cudaMemcpy``) and asynchronous (`copy_*_async`, like ``cudaMemcpyAsync``)
+flavours; kernels are always asynchronous, charging only their launch
+overhead to the host clock.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.gpu.memory import DeviceArray, HostBuffer
+from repro.gpu.transfer import copy_duration, copy_duration_2d
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpu.device import Device
+
+__all__ = ["Event", "Stream"]
+
+
+class Event:
+    """Marks a point in a stream's execution (``cudaEvent`` analogue)."""
+
+    __slots__ = ("name", "time")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.time = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Event({self.name!r}, t={self.time:.6f})"
+
+
+def _as_host_array(host: "HostBuffer | np.ndarray", pinned: bool | None) -> tuple[np.ndarray, bool]:
+    if isinstance(host, HostBuffer):
+        return host.data, host.pinned if pinned is None else pinned
+    # bare numpy arrays default to pageable host memory
+    return host, False if pinned is None else pinned
+
+
+def _as_device_array(dev: "DeviceArray | np.ndarray") -> np.ndarray:
+    return dev.data if isinstance(dev, DeviceArray) else dev
+
+
+class Stream:
+    """One in-order operation queue on a :class:`~repro.gpu.device.Device`."""
+
+    def __init__(self, device: "Device", name: str) -> None:
+        self.device = device
+        self.name = name
+        self.ready_at = 0.0
+
+    # ------------------------------------------------------------------
+    # Kernels
+    # ------------------------------------------------------------------
+    def launch(self, name: str, duration: float, *, flops: int = 0, nbytes: int = 0) -> None:
+        """Enqueue a kernel with a pre-computed duration (asynchronous).
+
+        The host pays only the launch overhead; the kernel runs on the
+        compute engine when the stream and engine are free.
+        """
+        spec = self.device.spec
+        self.device.host_ready += spec.kernel_launch_overhead
+        start_ready = max(self.ready_at, self.device.host_ready)
+        op = self.device.timeline.schedule(
+            "compute", start_ready, duration,
+            stream=self.name, name=name, flops=flops, nbytes=nbytes,
+        )
+        self.ready_at = op.end
+
+    # ------------------------------------------------------------------
+    # Copies
+    # ------------------------------------------------------------------
+    def _copy(self, engine: str, name: str, nbytes: int, pinned: bool, *, sync: bool) -> None:
+        spec = self.device.spec
+        duration = copy_duration(spec, nbytes, pinned=pinned)
+        start_ready = max(self.ready_at, self.device.host_ready)
+        op = self.device.timeline.schedule(
+            engine, start_ready, duration, stream=self.name, name=name, nbytes=nbytes,
+        )
+        self.ready_at = op.end
+        if sync:
+            self.device.host_ready = max(self.device.host_ready, op.end)
+        else:
+            self.device.host_ready += spec.kernel_launch_overhead
+
+    def copy_h2d(
+        self,
+        dst: DeviceArray | np.ndarray,
+        src: HostBuffer | np.ndarray,
+        *,
+        name: str = "h2d",
+        pinned: bool | None = None,
+    ) -> None:
+        """Synchronous host→device copy (``cudaMemcpy`` semantics).
+
+        ``dst`` may be a :class:`DeviceArray` or a numpy view into one;
+        ``pinned`` overrides the host-side pinned-ness (bare arrays default
+        to pageable, :class:`HostBuffer` carries its own flag).
+        """
+        data, pin = _as_host_array(src, pinned)
+        _as_device_array(dst)[...] = data
+        self._copy("h2d", name, data.nbytes, pin, sync=True)
+
+    def copy_h2d_async(
+        self,
+        dst: DeviceArray | np.ndarray,
+        src: HostBuffer | np.ndarray,
+        *,
+        name: str = "h2d",
+        pinned: bool | None = None,
+    ) -> None:
+        """Asynchronous host→device copy; pinned sources get full speed."""
+        data, pin = _as_host_array(src, pinned)
+        _as_device_array(dst)[...] = data
+        self._copy("h2d", name, data.nbytes, pin, sync=False)
+
+    def copy_d2h(
+        self,
+        dst: HostBuffer | np.ndarray,
+        src: DeviceArray | np.ndarray,
+        *,
+        name: str = "d2h",
+        pinned: bool | None = None,
+    ) -> None:
+        """Synchronous device→host copy."""
+        data, pin = _as_host_array(dst, pinned)
+        data[...] = _as_device_array(src)
+        self._copy("d2h", name, data.nbytes, pin, sync=True)
+
+    def copy_d2h_async(
+        self,
+        dst: HostBuffer | np.ndarray,
+        src: DeviceArray | np.ndarray,
+        *,
+        name: str = "d2h",
+        pinned: bool | None = None,
+    ) -> None:
+        """Asynchronous device→host copy."""
+        data, pin = _as_host_array(dst, pinned)
+        data[...] = _as_device_array(src)
+        self._copy("d2h", name, data.nbytes, pin, sync=False)
+
+    def copy_d2h_2d(
+        self,
+        dst: HostBuffer | np.ndarray,
+        src: DeviceArray | np.ndarray,
+        *,
+        name: str = "d2h2d",
+        pinned: bool | None = None,
+        sync: bool = True,
+    ) -> None:
+        """Strided device→host copy (``cudaMemcpy2D`` semantics).
+
+        The destination is a 2-D view whose rows are non-contiguous in host
+        memory (e.g. a block of the n×n distance matrix); each row is a DMA
+        segment paying ``row_transfer_overhead``. This is the slow path the
+        boundary algorithm's transfer batching replaces with contiguous
+        strip copies.
+        """
+        data, pin = _as_host_array(dst, pinned)
+        if data.ndim != 2:
+            raise ValueError("copy_d2h_2d needs a 2-D destination")
+        data[...] = _as_device_array(src)
+        duration = copy_duration_2d(
+            self.device.spec, data.shape[0], data.shape[1] * data.itemsize, pinned=pin
+        )
+        start_ready = max(self.ready_at, self.device.host_ready)
+        op = self.device.timeline.schedule(
+            "d2h", start_ready, duration, stream=self.name, name=name, nbytes=data.nbytes,
+        )
+        self.ready_at = op.end
+        if sync:
+            self.device.host_ready = max(self.device.host_ready, op.end)
+        else:
+            self.device.host_ready += self.device.spec.kernel_launch_overhead
+
+    # ------------------------------------------------------------------
+    # Ordering
+    # ------------------------------------------------------------------
+    def record(self, event: Event) -> Event:
+        """Record ``event`` at the stream's current completion point."""
+        event.time = self.ready_at
+        return event
+
+    def wait(self, event: Event) -> None:
+        """Make subsequent work on this stream wait for ``event``."""
+        self.ready_at = max(self.ready_at, event.time)
+
+    def synchronize(self) -> float:
+        """Block the host until this stream's queued work completes."""
+        self.device.host_ready = max(self.device.host_ready, self.ready_at)
+        return self.device.host_ready
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Stream({self.name!r}, ready_at={self.ready_at:.6f})"

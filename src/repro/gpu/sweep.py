@@ -1,0 +1,89 @@
+"""Model-constant sensitivity analysis.
+
+The performance study rests on calibrated device constants (DESIGN.md §2),
+so a reviewer's first question is *"how much do the conclusions move if a
+constant is off by 2×?"*. :func:`sweep_constant` answers it mechanically:
+re-evaluate any metric under multiplicative perturbations of one
+:class:`~repro.gpu.device.DeviceSpec` field and report the elasticity
+(d log metric / d log constant). Elasticities near 0 mean the conclusion is
+robust to that constant; near ±1 mean the metric simply rescales with it.
+
+Used by ``benchmarks/test_model_sensitivity.py`` to show the Fig 2 speedup
+is calibration-robust.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+import numpy as np
+
+from repro.gpu.device import DeviceSpec
+
+__all__ = ["SensitivityPoint", "SensitivityResult", "sweep_constant"]
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    factor: float
+    value: float
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """Metric values across perturbations of one spec field."""
+
+    field: str
+    baseline: float
+    points: tuple[SensitivityPoint, ...]
+
+    @property
+    def elasticity(self) -> float:
+        """Log–log slope of metric vs factor (0 = insensitive)."""
+        xs = np.log([p.factor for p in self.points])
+        ys = np.log([max(p.value, 1e-300) for p in self.points])
+        if np.allclose(xs, xs[0]):
+            return 0.0
+        return float(np.polyfit(xs, ys, 1)[0])
+
+    @property
+    def spread(self) -> float:
+        """max/min metric over the sweep."""
+        vals = [p.value for p in self.points]
+        return max(vals) / min(vals) if min(vals) > 0 else np.inf
+
+    def describe(self) -> str:
+        pts = ", ".join(f"x{p.factor:g}→{p.value:.4g}" for p in self.points)
+        return (
+            f"{self.field}: elasticity {self.elasticity:+.2f}, "
+            f"spread {self.spread:.2f}x ({pts})"
+        )
+
+
+def sweep_constant(
+    spec: DeviceSpec,
+    field: str,
+    metric: Callable[[DeviceSpec], float],
+    *,
+    factors: tuple[float, ...] = (0.5, 1.0, 2.0),
+) -> SensitivityResult:
+    """Evaluate ``metric`` under multiplicative perturbations of ``field``.
+
+    ``metric`` receives the perturbed spec and returns a positive number
+    (a simulated time, a speedup, a crossover point, …).
+    """
+    base_value = getattr(spec, field)
+    if not isinstance(base_value, (int, float)):
+        raise TypeError(f"{field!r} is not a numeric spec field")
+    points = []
+    baseline = None
+    for factor in factors:
+        perturbed = replace(spec, **{field: type(base_value)(base_value * factor)})
+        value = float(metric(perturbed))
+        points.append(SensitivityPoint(factor=factor, value=value))
+        if factor == 1.0:
+            baseline = value
+    if baseline is None:
+        baseline = float(metric(spec))
+    return SensitivityResult(field=field, baseline=baseline, points=tuple(points))

@@ -1,0 +1,65 @@
+"""Graph substrate: CSR representation, generators, I/O, and properties.
+
+This subpackage provides everything the APSP algorithms consume:
+
+* :class:`~repro.graphs.csr.CSRGraph` — the weighted directed graph type used
+  throughout the library (compressed sparse row, numpy-backed).
+* :mod:`~repro.graphs.generators` — R-MAT, planar-like lattice (road-network
+  stand-in), random geometric, and Erdős–Rényi generators.
+* :mod:`~repro.graphs.io` — Matrix Market and edge-list readers/writers
+  (SuiteSparse matrices ship as Matrix Market files).
+* :mod:`~repro.graphs.properties` — density, degree statistics, connectivity.
+* :mod:`~repro.graphs.suite` — the registry of synthetic stand-ins for the
+  paper's SuiteSparse evaluation graphs (Tables III and IV).
+"""
+
+from repro.graphs.composite import (
+    complete_graph,
+    cycle_graph,
+    disjoint_union,
+    grid_2d,
+    grid_3d,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.csr import CSRGraph
+from repro.graphs.generators import (
+    erdos_renyi,
+    planar_like,
+    random_geometric,
+    rmat,
+)
+from repro.graphs.io import (
+    read_edge_list,
+    read_matrix_market,
+    write_edge_list,
+    write_matrix_market,
+)
+from repro.graphs.properties import GraphProperties, analyze, largest_component
+from repro.graphs.suite import SuiteEntry, get_suite_graph, list_suite, suite_entry
+
+__all__ = [
+    "CSRGraph",
+    "GraphProperties",
+    "SuiteEntry",
+    "analyze",
+    "complete_graph",
+    "cycle_graph",
+    "disjoint_union",
+    "grid_2d",
+    "grid_3d",
+    "largest_component",
+    "path_graph",
+    "star_graph",
+    "erdos_renyi",
+    "get_suite_graph",
+    "list_suite",
+    "planar_like",
+    "random_geometric",
+    "read_edge_list",
+    "read_matrix_market",
+    "rmat",
+    "suite_entry",
+    "write_edge_list",
+    "write_matrix_market",
+]

@@ -1,0 +1,123 @@
+"""Composite and structured graph constructors.
+
+Deterministic building blocks for tests, calibration, and didactic
+examples — shapes whose separator/diameter/degree properties are known in
+closed form:
+
+* :func:`disjoint_union` — components side by side (exercises the
+  disconnected-input paths of every algorithm);
+* :func:`grid_2d` / :func:`grid_3d` — exact lattices (the planar and
+  volume separator archetypes: O(√n) and O(n^{2/3}));
+* :func:`path_graph` / :func:`cycle_graph` — extreme-diameter worklists;
+* :func:`star_graph` — the 1-vertex separator / maximum-degree hub;
+* :func:`complete_graph` — the dense extreme of the density filter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+
+__all__ = [
+    "complete_graph",
+    "cycle_graph",
+    "disjoint_union",
+    "grid_2d",
+    "grid_3d",
+    "path_graph",
+    "star_graph",
+]
+
+
+def disjoint_union(graphs: list[CSRGraph], *, name: str = "") -> CSRGraph:
+    """Place the graphs side by side (vertex ids offset in input order)."""
+    if not graphs:
+        return CSRGraph.from_edges(0, np.array([]), np.array([]), np.array([]), name=name)
+    srcs, dsts, ws = [], [], []
+    offset = 0
+    for g in graphs:
+        s, d, w = g.edge_array()
+        srcs.append(s + offset)
+        dsts.append(d + offset)
+        ws.append(w)
+        offset += g.num_vertices
+    return CSRGraph.from_edges(
+        offset,
+        np.concatenate(srcs),
+        np.concatenate(dsts),
+        np.concatenate(ws),
+        name=name or "+".join(g.name or "g" for g in graphs),
+    )
+
+
+def _sym(n, src, dst, w, name):
+    return CSRGraph.from_edges(
+        n,
+        np.concatenate([src, dst]),
+        np.concatenate([dst, src]),
+        np.concatenate([w, w]),
+        name=name,
+    )
+
+
+def grid_2d(rows: int, cols: int, *, weight: float = 1.0, name: str = "") -> CSRGraph:
+    """Exact ``rows × cols`` 4-neighbour lattice (symmetric)."""
+    ids = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    src = np.concatenate([ids[:, :-1].ravel(), ids[:-1, :].ravel()])
+    dst = np.concatenate([ids[:, 1:].ravel(), ids[1:, :].ravel()])
+    w = np.full(src.size, weight)
+    return _sym(rows * cols, src, dst, w, name or f"grid{rows}x{cols}")
+
+
+def grid_3d(nx: int, ny: int, nz: int, *, weight: float = 1.0, name: str = "") -> CSRGraph:
+    """Exact 3-D 6-neighbour lattice (symmetric) — the volume-mesh archetype."""
+    ids = np.arange(nx * ny * nz, dtype=np.int64).reshape(nx, ny, nz)
+    src = np.concatenate([
+        ids[:-1, :, :].ravel(), ids[:, :-1, :].ravel(), ids[:, :, :-1].ravel()
+    ])
+    dst = np.concatenate([
+        ids[1:, :, :].ravel(), ids[:, 1:, :].ravel(), ids[:, :, 1:].ravel()
+    ])
+    w = np.full(src.size, weight)
+    return _sym(nx * ny * nz, src, dst, w, name or f"grid{nx}x{ny}x{nz}")
+
+
+def path_graph(n: int, *, weight: float = 1.0, directed: bool = False, name: str = "") -> CSRGraph:
+    """Path 0–1–…–(n−1): the maximum-diameter worklist stressor."""
+    src = np.arange(n - 1, dtype=np.int64)
+    dst = src + 1
+    w = np.full(src.size, weight)
+    if directed:
+        return CSRGraph.from_edges(n, src, dst, w, name=name or f"path{n}")
+    return _sym(n, src, dst, w, name or f"path{n}")
+
+
+def cycle_graph(n: int, *, weight: float = 1.0, directed: bool = False, name: str = "") -> CSRGraph:
+    """Cycle 0–1–…–(n−1)–0."""
+    src = np.arange(n, dtype=np.int64)
+    dst = (src + 1) % n
+    w = np.full(n, weight)
+    if directed:
+        return CSRGraph.from_edges(n, src, dst, w, name=name or f"cycle{n}")
+    return _sym(n, src, dst, w, name or f"cycle{n}")
+
+
+def star_graph(n: int, *, weight: float = 1.0, name: str = "") -> CSRGraph:
+    """Hub 0 connected to every other vertex (symmetric): the 1-vertex
+    separator and the dynamic-parallelism heavy-vertex extreme."""
+    leaves = np.arange(1, n, dtype=np.int64)
+    hub = np.zeros(n - 1, dtype=np.int64)
+    w = np.full(n - 1, weight)
+    return _sym(n, hub, leaves, w, name or f"star{n}")
+
+
+def complete_graph(n: int, *, weight: float = 1.0, name: str = "") -> CSRGraph:
+    """Every ordered pair connected — density 1 − 1/n."""
+    src = np.repeat(np.arange(n, dtype=np.int64), n)
+    dst = np.tile(np.arange(n, dtype=np.int64), n)
+    keep = src != dst
+    return CSRGraph.from_edges(
+        n, src[keep], dst[keep], np.full(int(keep.sum()), weight),
+        name=name or f"K{n}",
+    )

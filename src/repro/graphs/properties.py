@@ -1,0 +1,113 @@
+"""Graph feature extraction used by the selector and the dataset tables.
+
+:func:`analyze` produces the columns of the paper's Tables III/IV: vertex and
+edge counts, density (``m/n²``), degree statistics, the :math:`\\sqrt{kn}`
+ideal-separator reference, and connectivity. Boundary-node counts (which need
+a partition) live in :mod:`repro.partition.separator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+
+__all__ = ["GraphProperties", "analyze", "connected_components", "is_connected", "largest_component"]
+
+
+@dataclass(frozen=True)
+class GraphProperties:
+    """Summary features of a graph (one row of Table III/IV)."""
+
+    name: str
+    num_vertices: int
+    num_edges: int
+    density: float
+    max_out_degree: int
+    mean_out_degree: float
+    degree_p99: float
+    ideal_separator: float
+    num_components: int
+
+    @property
+    def density_percent(self) -> float:
+        """Density as a percentage, the unit used in the paper's tables."""
+        return 100.0 * self.density
+
+
+def connected_components(graph: CSRGraph) -> np.ndarray:
+    """Weakly connected component label per vertex (iterative BFS).
+
+    Direction is ignored: the paper's separator analysis and partitioner
+    treat graphs as undirected.
+    """
+    n = graph.num_vertices
+    sym = graph.symmetrize()
+    labels = np.full(n, -1, dtype=np.int64)
+    current = 0
+    for start in range(n):
+        if labels[start] >= 0:
+            continue
+        frontier = np.array([start], dtype=np.int64)
+        labels[start] = current
+        while frontier.size:
+            nxt: list[np.ndarray] = []
+            for u in frontier:
+                nbrs, _ = sym.neighbors(int(u))
+                fresh = nbrs[labels[nbrs] < 0]
+                if fresh.size:
+                    labels[fresh] = current
+                    nxt.append(fresh)
+            frontier = np.concatenate(nxt) if nxt else np.empty(0, dtype=np.int64)
+        current += 1
+    return labels
+
+
+def is_connected(graph: CSRGraph) -> bool:
+    """True when the graph is weakly connected (single component)."""
+    if graph.num_vertices == 0:
+        return True
+    return int(connected_components(graph).max()) == 0
+
+
+def largest_component(graph: CSRGraph) -> tuple[CSRGraph, np.ndarray]:
+    """Induced subgraph on the largest weakly connected component.
+
+    Returns ``(subgraph, vertices)`` where ``vertices[i]`` is the original
+    id of the subgraph's vertex ``i``. Road datasets often carry stray
+    islands; extracting the main component keeps APSP outputs meaningful.
+    """
+    labels = connected_components(graph)
+    if graph.num_vertices == 0:
+        return graph, np.empty(0, dtype=np.int64)
+    sizes = np.bincount(labels)
+    keep = np.nonzero(labels == int(np.argmax(sizes)))[0]
+    return graph.subgraph(keep), keep
+
+
+def analyze(graph: CSRGraph, *, k: int | None = None) -> GraphProperties:
+    """Compute summary features.
+
+    ``k`` is the partition component count used in the paper's
+    :math:`\\sqrt{kn}` ideal-separator column; it defaults to the paper's
+    choice :math:`k = \\sqrt{n}` (Section IV-B), giving
+    :math:`\\sqrt{kn} = n^{3/4}`.
+    """
+    n = graph.num_vertices
+    deg = np.asarray(graph.out_degree())
+    if k is None:
+        k = max(1, int(round(np.sqrt(n))))
+    labels = connected_components(graph)
+    return GraphProperties(
+        name=graph.name,
+        num_vertices=n,
+        num_edges=graph.num_edges,
+        density=graph.density,
+        max_out_degree=int(deg.max(initial=0)),
+        mean_out_degree=float(deg.mean()) if n else 0.0,
+        degree_p99=float(np.percentile(deg, 99)) if n else 0.0,
+        ideal_separator=float(np.sqrt(k * n)),
+        num_components=int(labels.max(initial=-1)) + 1,
+    )

@@ -1,0 +1,42 @@
+"""Multilevel k-way graph partitioning (METIS substitute).
+
+The paper's boundary algorithm uses METIS's k-way partitioner (Section
+III-C) to split the graph into ``k`` balanced components with few boundary
+vertices. METIS is unavailable here, so this subpackage implements the same
+multilevel scheme from scratch:
+
+1. **coarsening** by heavy-edge matching until the graph is small
+   (:mod:`~repro.partition.coarsen`),
+2. an **initial partition** of the coarsest graph by greedy region growing
+   (:mod:`~repro.partition.kway`),
+3. **uncoarsening with boundary refinement** — greedy Kernighan–Lin-style
+   moves that reduce the edge cut under a balance constraint
+   (:mod:`~repro.partition.refine`).
+
+:mod:`~repro.partition.separator` derives what the paper's selector needs
+from a partition: the boundary-vertex set, its size ``NB``, and the
+small-separator classification against the :math:`\\sqrt{kn}` ideal.
+"""
+
+from repro.partition.coarsen import CoarseLevel, coarsen_graph, heavy_edge_matching
+from repro.partition.kway import PartitionResult, partition_kway
+from repro.partition.refine import refine_partition
+from repro.partition.separator import (
+    SeparatorInfo,
+    boundary_nodes,
+    classify_separator,
+    separator_info,
+)
+
+__all__ = [
+    "CoarseLevel",
+    "PartitionResult",
+    "SeparatorInfo",
+    "boundary_nodes",
+    "classify_separator",
+    "coarsen_graph",
+    "heavy_edge_matching",
+    "partition_kway",
+    "refine_partition",
+    "separator_info",
+]

@@ -1,0 +1,86 @@
+"""Boundary refinement: greedy Kernighan–Lin-style vertex moves.
+
+Given a k-way labelling, repeatedly move boundary vertices to the
+neighbouring part with the largest cut-reduction *gain*, subject to a
+balance constraint on weighted part sizes. This is the uncoarsening-phase
+refinement of the multilevel scheme (METIS calls it greedy k-way
+refinement); a few passes per level recover most of the cut quality of a
+full FM implementation at a fraction of the complexity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+
+__all__ = ["refine_partition", "edge_cut"]
+
+
+def edge_cut(graph: CSRGraph, labels: np.ndarray) -> float:
+    """Total strength of edges crossing parts (each direction counted once)."""
+    src, dst, w = graph.edge_array()
+    return float(w[labels[src] != labels[dst]].sum())
+
+
+def refine_partition(
+    graph: CSRGraph,
+    labels: np.ndarray,
+    num_parts: int,
+    *,
+    vertex_weight: np.ndarray | None = None,
+    balance_tol: float = 1.10,
+    max_passes: int = 4,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Refine ``labels`` in place-ish (returns a new array).
+
+    A move of vertex ``v`` from part ``a`` to ``b`` has gain
+    ``conn(v, b) − conn(v, a)`` where ``conn`` sums strengths of ``v``'s
+    edges into a part. Moves must keep every part's weight at most
+    ``balance_tol · (total/num_parts)`` and no part may be emptied.
+    """
+    labels = np.asarray(labels, dtype=np.int64).copy()
+    n = graph.num_vertices
+    if vertex_weight is None:
+        vertex_weight = np.ones(n)
+    if rng is None:
+        rng = np.random.default_rng(0)
+    part_weight = np.bincount(labels, weights=vertex_weight, minlength=num_parts)
+    max_weight = balance_tol * vertex_weight.sum() / num_parts
+    part_count = np.bincount(labels, minlength=num_parts)
+
+    indptr, indices, weights = graph.indptr, graph.indices, graph.weights
+
+    for _pass in range(max_passes):
+        moved = 0
+        src, dst, _ = graph.edge_array()
+        boundary = np.unique(src[labels[src] != labels[dst]])
+        if boundary.size == 0:
+            break
+        for v in rng.permutation(boundary):
+            a = labels[v]
+            if part_count[a] <= 1:
+                continue
+            lo, hi = indptr[v], indptr[v + 1]
+            nbr_parts = labels[indices[lo:hi]]
+            conn = np.bincount(nbr_parts, weights=weights[lo:hi], minlength=num_parts)
+            conn_a = conn[a]
+            conn[a] = -np.inf
+            # Only parts with room.
+            room = part_weight + vertex_weight[v] <= max_weight
+            conn[~room] = -np.inf
+            b = int(np.argmax(conn))
+            if conn[b] == -np.inf:
+                continue
+            gain = conn[b] - conn_a
+            if gain > 0:
+                labels[v] = b
+                part_weight[a] -= vertex_weight[v]
+                part_weight[b] += vertex_weight[v]
+                part_count[a] -= 1
+                part_count[b] += 1
+                moved += 1
+        if moved == 0:
+            break
+    return labels

@@ -1,0 +1,90 @@
+"""Boundary-vertex extraction and small-separator classification.
+
+The paper (Section IV-B): for an edge ``(u, v)`` whose endpoints lie in
+different components, *both* ``u`` and ``v`` are boundary nodes. A graph
+"has a small separator" when, after partitioning into ``k = √n`` parts, the
+number of boundary nodes ``NB`` is close to the planar-ideal
+:math:`\\sqrt{kn}`; Tables III classifies graphs this way and the boundary
+cost model bins ``c_unit`` by ``NB`` ranges ``[n^{3/4}, 2·n^{3/4}]``, … .
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+from repro.partition.kway import partition_kway
+
+__all__ = ["SeparatorInfo", "boundary_nodes", "classify_separator", "separator_info"]
+
+#: NB within this factor of √(kn) counts as "small separator". The paper's
+#: Table III split corresponds to this threshold: its small-separator graphs
+#: have NB/√(kn) between 0.4 (luxembourg_osm) and ~2.5 (wi2010, nm2010),
+#: while its "other sparse" graphs start at ~6 (onera_dual) and reach ~20
+#: (SiO2); 4.0 separates the classes with margin on both sides.
+SMALL_SEPARATOR_FACTOR = 4.0
+
+
+def boundary_nodes(graph: CSRGraph, labels: np.ndarray) -> np.ndarray:
+    """Vertices incident to a cut edge (both endpoints, per the paper)."""
+    src, dst, _ = graph.edge_array()
+    cut = labels[src] != labels[dst]
+    return np.unique(np.concatenate([src[cut], dst[cut]]))
+
+
+@dataclass(frozen=True)
+class SeparatorInfo:
+    """Separator features of one partitioned graph."""
+
+    num_parts: int
+    num_boundary: int
+    ideal_boundary: float  # √(kn)
+    boundary_per_part: np.ndarray
+    small_separator: bool
+
+    @property
+    def ratio(self) -> float:
+        """NB / √(kn); ≈1 for planar-like graphs."""
+        return self.num_boundary / self.ideal_boundary if self.ideal_boundary else np.inf
+
+    @property
+    def range_index(self) -> int:
+        """Index of the paper's NB range: 0 → [ideal, 2·ideal), 1 → [2, 4·ideal), …"""
+        r = max(self.ratio, 1.0)
+        return int(np.floor(np.log2(r)))
+
+
+def separator_info(
+    graph: CSRGraph,
+    labels: np.ndarray,
+    *,
+    small_factor: float = SMALL_SEPARATOR_FACTOR,
+) -> SeparatorInfo:
+    """Compute separator features for an existing partition."""
+    k = int(labels.max()) + 1 if labels.size else 1
+    bnd = boundary_nodes(graph, labels)
+    per_part = np.bincount(labels[bnd], minlength=k) if bnd.size else np.zeros(k, dtype=np.int64)
+    ideal = float(np.sqrt(k * graph.num_vertices))
+    return SeparatorInfo(
+        num_parts=k,
+        num_boundary=int(bnd.size),
+        ideal_boundary=ideal,
+        boundary_per_part=per_part,
+        small_separator=bnd.size <= small_factor * ideal,
+    )
+
+
+def classify_separator(
+    graph: CSRGraph,
+    *,
+    num_parts: int | None = None,
+    seed: int = 0,
+    small_factor: float = SMALL_SEPARATOR_FACTOR,
+) -> SeparatorInfo:
+    """Partition with the paper's ``k = √n`` and classify the separator."""
+    n = graph.num_vertices
+    k = num_parts if num_parts is not None else max(2, int(round(np.sqrt(n))))
+    result = partition_kway(graph, k, seed=seed)
+    return separator_info(graph, result.labels, small_factor=small_factor)

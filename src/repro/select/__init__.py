@@ -1,0 +1,48 @@
+"""Algorithm selection methodology (paper Section IV).
+
+Given a graph, pick the best out-of-core implementation:
+
+1. the **density filter** (:mod:`~repro.select.density_filter`, §IV-C)
+   prunes candidates from the graph's ``m/n²`` density alone —
+   density > 1% rules out the boundary algorithm, density < 0.01% rules out
+   Floyd–Warshall, anything in between selects Johnson's directly;
+2. the **cost models** (:mod:`~repro.select.cost_models`, §IV-B) estimate
+   each surviving candidate's execution time:
+   FW extrapolates a calibration run cubically; Johnson runs a few sampled
+   batches and scales by the batch count; the boundary algorithm
+   extrapolates ``n^{3/2}`` for small-separator graphs and otherwise prices
+   the operation count ``N_op = n³/k² + (kB)³ + nkB² + n²B`` with a
+   per-``NB``-range unit cost learned from training graphs;
+3. :class:`~repro.select.selector.Selector` wires both together and returns
+   a :class:`~repro.select.selector.SelectionReport`.
+
+Calibration state (reference timings, ``c_unit`` table) is produced once
+per device by :class:`~repro.select.calibrate.Calibration`.
+"""
+
+from repro.select.calibrate import Calibration
+from repro.select.cost_models import (
+    CostEstimate,
+    estimate_boundary,
+    estimate_fw,
+    estimate_johnson,
+)
+from repro.select.density_filter import CANDIDATES_BY_BAND, density_band, filter_candidates
+from repro.select.selector import SelectionReport, Selector
+from repro.select.tuning import TuningResult, tune_components, tune_delta
+
+__all__ = [
+    "CANDIDATES_BY_BAND",
+    "Calibration",
+    "CostEstimate",
+    "SelectionReport",
+    "Selector",
+    "density_band",
+    "estimate_boundary",
+    "estimate_fw",
+    "estimate_johnson",
+    "filter_candidates",
+    "TuningResult",
+    "tune_components",
+    "tune_delta",
+]

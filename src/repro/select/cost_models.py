@@ -1,0 +1,238 @@
+"""Per-algorithm execution-time estimators (paper Section IV-B).
+
+Each estimator returns a :class:`CostEstimate` splitting the prediction
+into computation and data-transfer terms, mirroring the paper's structure:
+transfer terms follow §IV-B.1 (volumes over the measured PCIe throughput,
+plus per-call latencies our transfer model charges), computation terms
+follow §IV-B.2.
+
+The **computation** models:
+
+* Floyd–Warshall — cost is ``O(n³)`` with graph-independent constants, so a
+  single calibration run at ``n₀`` extrapolates:
+  ``T = T₀ · (n/n₀)³``.
+* Johnson — per-batch times are near-uniform (the paper measures batch
+  std-dev at 1.67–13.4% of the mean), so run ``k`` randomly chosen batches
+  for real and scale: ``T = (n_b / k) · T_sampled``.
+* boundary, small separator — operation count is ``O(n^{3/2})`` at
+  ``k = √n`` [Djidjev], with graph-independent unit costs:
+  ``T = T₀ · (n/n₀)^{3/2}``.
+* boundary, large separator — ``N_op = n³/k² + (kB)³ + nkB² + n²B`` (steps
+  2, 3, 4 with ``B`` boundary vertices per component), priced by a unit
+  cost ``c_unit`` that *grows with the total boundary count* ``NB``; the
+  paper bins ``NB`` into ranges ``[n^{3/4}, 2n^{3/4})``, ``[2n^{3/4},
+  4n^{3/4})``, … and learns one ``c_unit`` per bin from training graphs
+  (:class:`repro.select.calibrate.Calibration`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.minplus import DIST_DTYPE
+from repro.core.ooc_boundary import BoundaryPlan, plan_boundary
+from repro.core.ooc_fw import plan_fw_block_size
+from repro.core.ooc_johnson import plan_batch_size, run_mssp_batch
+from repro.gpu.device import Device, DeviceSpec
+from repro.gpu.transfer import copy_duration
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.select.calibrate import Calibration
+
+__all__ = [
+    "CostEstimate",
+    "boundary_n_op",
+    "estimate_boundary",
+    "estimate_fw",
+    "estimate_johnson",
+]
+
+_ELEM = np.dtype(DIST_DTYPE).itemsize
+
+#: batches sampled by the Johnson estimator ("In our experiments we set k to
+#: be 5 as that achieved sufficient accuracy", §IV-B.2 footnote)
+JOHNSON_SAMPLE_BATCHES = 5
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Predicted execution time, split the way the paper's models are."""
+
+    algorithm: str
+    compute_seconds: float
+    transfer_seconds: float
+    detail: dict
+
+    @property
+    def total_seconds(self) -> float:
+        return self.compute_seconds + self.transfer_seconds
+
+
+# ----------------------------------------------------------------------
+# Floyd–Warshall
+# ----------------------------------------------------------------------
+def fw_transfer_seconds(n: int, spec: DeviceSpec, *, overlap: bool = True) -> float:
+    """Transfer term of Algorithm 1, mirroring the driver's copy schedule.
+
+    Walks the exact block layout (ragged last blocks included): per outer
+    iteration the diagonal block moves up+down, ``2(n_d−1)`` panels move
+    up+down, and stage 3 uploads one column block per ``i`` plus a row and
+    a work block per ``(i, j)`` with the work block coming back — the
+    paper's ``n_d·W·(3b² + n²)/TH`` with both directions counted.
+    """
+    from repro.core.tiling import BlockLayout
+
+    b = plan_fw_block_size(n, spec, overlap=overlap)
+    layout = BlockLayout(n, b)
+    nd = layout.num_blocks
+    sizes = [layout.size(i) for i in range(nd)]
+    total_bytes = 0
+    total_copies = 0
+    for k in range(nd):
+        bk = sizes[k]
+        total_bytes += 2 * bk * bk  # stage 1 up + down
+        total_copies += 2
+        for j in range(nd):  # stage 2 row+col panels, up + down each
+            if j != k:
+                total_bytes += 4 * bk * sizes[j]
+                total_copies += 4
+        for i in range(nd):  # stage 3
+            if i == k:
+                continue
+            total_bytes += sizes[i] * bk  # column upload
+            total_copies += 1
+            for j in range(nd):
+                if j == k:
+                    continue
+                total_bytes += bk * sizes[j] + 2 * sizes[i] * sizes[j]
+                total_copies += 3
+    return (
+        total_bytes * _ELEM / spec.transfer_throughput
+        + total_copies * spec.transfer_latency
+    )
+
+
+def estimate_fw(graph, spec: DeviceSpec, calibration: "Calibration") -> CostEstimate:
+    """``T₀·(n/n₀)³`` compute + modelled transfers."""
+    n = graph.num_vertices
+    t0, n0 = calibration.fw_reference
+    compute = t0 * (n / n0) ** 3
+    transfer = fw_transfer_seconds(n, spec)
+    return CostEstimate(
+        "floyd-warshall", compute, transfer, {"n0": n0, "t0": t0}
+    )
+
+
+# ----------------------------------------------------------------------
+# Johnson
+# ----------------------------------------------------------------------
+def estimate_johnson(
+    graph,
+    device: Device,
+    *,
+    num_sample_batches: int = JOHNSON_SAMPLE_BATCHES,
+    dynamic_parallelism: bool = True,
+    seed: int = 0,
+) -> CostEstimate:
+    """Run ``k`` random batches for real, scale by the batch count (§IV-B.2).
+
+    The sampled kernels execute on ``device`` (that *is* the selection
+    overhead the paper pays); the device clock is reset afterwards.
+    """
+    n = graph.num_vertices
+    spec = device.spec
+    bat = plan_batch_size(graph, spec)
+    n_b = (n + bat - 1) // bat
+    k = min(num_sample_batches, n_b)
+    rng = np.random.default_rng(seed)
+    chosen = rng.choice(n_b, size=k, replace=False)
+
+    device.reset_clock()
+    stream = device.default_stream
+    out = np.empty((bat, n), dtype=DIST_DTYPE)
+    for b in chosen:
+        lo, hi = int(b) * bat, min((int(b) + 1) * bat, n)
+        sources = np.arange(lo, hi, dtype=np.int64)
+        run_mssp_batch(
+            graph, device, stream, sources, out[: sources.size],
+            bat=bat, delta=None,
+            dynamic_parallelism=dynamic_parallelism, heavy_degree=64,
+        )
+    sampled = device.timeline.busy_time("compute")
+    device.reset_clock()
+
+    compute = (n_b / k) * sampled
+    transfer = (
+        _ELEM * n * n / spec.transfer_throughput  # the paper's W·n²/TH
+        + n_b * spec.transfer_latency
+        + copy_duration(spec, 8 * graph.num_edges)  # one-time CSR upload
+    )
+    return CostEstimate(
+        "johnson", compute, transfer,
+        {"bat": bat, "n_b": n_b, "sampled_batches": k, "sampled_seconds": sampled},
+    )
+
+
+# ----------------------------------------------------------------------
+# boundary
+# ----------------------------------------------------------------------
+def boundary_n_op(n: int, k: int, b_avg: float) -> float:
+    """The paper's operation count for a large-separator graph:
+
+    ``N_op = n³/k² + (kB)³ + nkB² + n²B`` (steps 2, 3, 4).
+    """
+    return n**3 / k**2 + (k * b_avg) ** 3 + n * k * b_avg**2 + n**2 * b_avg
+
+
+def boundary_transfer_seconds(n: int, plan: BoundaryPlan, spec: DeviceSpec) -> float:
+    """Transfer term of Algorithm 3 with batching: per-component blocks
+    up+down (steps 2), the boundary matrix up, C2B/B2C uploads, and the
+    batched output strips (``k/N_row`` large copies moving ``n²`` bytes)."""
+    k = plan.num_components
+    nb = plan.num_boundary
+    sizes = np.diff(plan.comp_start)
+    step2_bytes = 2 * int((sizes.astype(np.int64) ** 2).sum()) * _ELEM
+    bound_bytes = nb * nb * _ELEM
+    c2b_bytes = int((sizes * plan.comp_boundary).sum()) * _ELEM
+    b2c_bytes = k * c2b_bytes  # B2C[j] re-uploaded for every i
+    out_bytes = n * n * _ELEM
+    n_flushes = max(1, int(np.ceil(k / max(1, plan.n_row))))
+    volume = step2_bytes + bound_bytes + c2b_bytes + b2c_bytes + out_bytes
+    calls = 2 * k + 1 + k + k * k + n_flushes
+    return volume / spec.transfer_throughput + calls * spec.transfer_latency
+
+
+def estimate_boundary(
+    graph,
+    spec: DeviceSpec,
+    calibration: "Calibration",
+    *,
+    plan: BoundaryPlan | None = None,
+    seed: int = 0,
+) -> CostEstimate:
+    """Small-separator graphs extrapolate ``n^{3/2}``; large-separator
+    graphs price ``N_op`` with the binned ``c_unit`` (§IV-B.2)."""
+    n = graph.num_vertices
+    if plan is None:
+        plan = plan_boundary(graph, spec, seed=seed)
+    k = plan.num_components
+    nb = plan.num_boundary
+    ideal = float(np.sqrt(k * n))
+    small = nb <= calibration.small_separator_factor * ideal
+
+    if small:
+        t0, n0 = calibration.boundary_reference
+        compute = t0 * (n / n0) ** 1.5
+        detail = {"model": "small-separator", "n0": n0, "t0": t0}
+    else:
+        b_avg = nb / k
+        n_op = boundary_n_op(n, k, b_avg)
+        c_unit = calibration.c_unit_for(n, nb)
+        compute = n_op * c_unit
+        detail = {"model": "large-separator", "n_op": n_op, "c_unit": c_unit}
+    transfer = boundary_transfer_seconds(n, plan, spec)
+    detail.update({"k": k, "num_boundary": nb})
+    return CostEstimate("boundary", compute, transfer, detail)

@@ -1,0 +1,45 @@
+"""Density-based candidate filtering (paper Section IV-C).
+
+``density = m/n²``. The paper's rules:
+
+* density > 1% — choose between **Johnson** and **Floyd–Warshall** (a graph
+  this dense will have a huge boundary set, disqualifying the boundary
+  algorithm);
+* density < 0.01% — choose between **Johnson** and the **boundary**
+  algorithm (FW's n³ cannot compete at this sparsity);
+* otherwise — select **Johnson** outright.
+
+Scaled stand-ins are ``1/scale`` denser than their full-size originals
+(both ``n`` and ``m`` scale linearly while density divides by ``n²``), so
+the filter accepts a ``density_scale`` multiplier that converts a scaled
+graph's density back to paper-equivalent units; see
+:mod:`repro.graphs.suite`.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CANDIDATES_BY_BAND", "DENSE_THRESHOLD", "SPARSE_THRESHOLD", "density_band", "filter_candidates"]
+
+#: paper thresholds, as fractions (1% and 0.01%)
+DENSE_THRESHOLD = 0.01
+SPARSE_THRESHOLD = 0.0001
+
+CANDIDATES_BY_BAND: dict[str, tuple[str, ...]] = {
+    "dense": ("johnson", "floyd-warshall"),
+    "sparse": ("johnson", "boundary"),
+    "middle": ("johnson",),
+}
+
+
+def density_band(density: float) -> str:
+    """Classify a (paper-equivalent) density into the filter's three bands."""
+    if density > DENSE_THRESHOLD:
+        return "dense"
+    if density < SPARSE_THRESHOLD:
+        return "sparse"
+    return "middle"
+
+
+def filter_candidates(graph, *, density_scale: float = 1.0) -> tuple[str, ...]:
+    """Candidate algorithms for ``graph`` after the density filter."""
+    return CANDIDATES_BY_BAND[density_band(graph.density * density_scale)]

@@ -1,0 +1,120 @@
+"""Empirical parameter tuning (extension).
+
+The paper fixes two knobs by observation — Δ for Near-Far (implicit) and
+``k = √n/4`` for the boundary algorithm (§V-F). This module turns both
+observations into *procedures*, using the same sampled-measurement idea as
+the paper's Johnson cost model:
+
+* :func:`tune_delta` — time a few sampled MSSP batches per candidate Δ and
+  keep the fastest;
+* :func:`tune_components` — run the boundary algorithm per candidate ``k``
+  (these runs are cheap at component granularity) and keep the fastest.
+
+Both return the winning parameter plus the full sweep for inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.minplus import DIST_DTYPE
+from repro.core.ooc_boundary import BoundaryInfeasibleError, ooc_boundary
+from repro.core.ooc_johnson import plan_batch_size, run_mssp_batch
+from repro.gpu.device import Device, DeviceSpec
+from repro.sssp.frontier import suggest_delta
+
+__all__ = ["SweepPoint", "TuningResult", "tune_components", "tune_delta"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    value: float
+    seconds: float
+    feasible: bool = True
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    parameter: str
+    best: float
+    sweep: tuple[SweepPoint, ...]
+
+    def describe(self) -> str:
+        rows = ", ".join(
+            f"{p.value:g}→{p.seconds:.4g}s" if p.feasible else f"{p.value:g}→infeasible"
+            for p in self.sweep
+        )
+        return f"{self.parameter}: best={self.best:g} ({rows})"
+
+
+def tune_delta(
+    graph,
+    spec: DeviceSpec,
+    *,
+    factors: tuple[float, ...] = (0.25, 0.5, 1.0, 2.0, 4.0),
+    num_sample_batches: int = 3,
+    seed: int = 0,
+) -> TuningResult:
+    """Pick Δ by timing sampled MSSP batches per candidate.
+
+    Candidates are multiples of the :func:`suggest_delta` heuristic; the
+    winner minimises summed simulated kernel time over the same sampled
+    source batches (correctness is Δ-independent, so only time matters).
+    """
+    base = suggest_delta(graph)
+    n = graph.num_vertices
+    device = Device(spec)
+    bat = plan_batch_size(graph, spec)
+    n_b = (n + bat - 1) // bat
+    rng = np.random.default_rng(seed)
+    chosen = rng.choice(n_b, size=min(num_sample_batches, n_b), replace=False)
+    out = np.empty((bat, n), dtype=DIST_DTYPE)
+
+    sweep = []
+    for factor in factors:
+        delta = base * factor
+        device.reset_clock()
+        stream = device.default_stream
+        for b in chosen:
+            lo, hi = int(b) * bat, min((int(b) + 1) * bat, n)
+            sources = np.arange(lo, hi, dtype=np.int64)
+            run_mssp_batch(
+                graph, device, stream, sources, out[: sources.size],
+                bat=bat, delta=delta, dynamic_parallelism=True, heavy_degree=32,
+            )
+        sweep.append(SweepPoint(value=delta, seconds=device.timeline.busy_time("compute")))
+        device.reset_clock()
+    best = min(sweep, key=lambda p: p.seconds)
+    return TuningResult("delta", best.value, tuple(sweep))
+
+
+def tune_components(
+    graph,
+    spec: DeviceSpec,
+    *,
+    factors: tuple[float, ...] = (1 / 8, 1 / 4, 1 / 2, 1.0),
+    seed: int = 0,
+) -> TuningResult:
+    """Pick the boundary algorithm's ``k`` by measuring candidate runs.
+
+    Candidates are multiples of √n (the paper's √n/4 is ``factor=0.25``).
+    Infeasible candidates (working set exceeds device memory) are recorded
+    and skipped.
+    """
+    root_n = np.sqrt(max(1, graph.num_vertices))
+    sweep = []
+    for factor in factors:
+        k = max(2, int(round(root_n * factor)))
+        try:
+            res = ooc_boundary(graph, Device(spec), num_components=k, seed=seed)
+        except BoundaryInfeasibleError:
+            sweep.append(SweepPoint(value=float(k), seconds=np.inf, feasible=False))
+            continue
+        sweep.append(SweepPoint(value=float(k), seconds=res.simulated_seconds))
+    feasible = [p for p in sweep if p.feasible]
+    if not feasible:
+        raise BoundaryInfeasibleError(0, 0, spec.memory_bytes, "no feasible k in sweep")
+    best = min(feasible, key=lambda p: p.seconds)
+    return TuningResult("num_components", best.value, tuple(sweep))

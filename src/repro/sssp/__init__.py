@@ -1,0 +1,38 @@
+"""Single-source shortest path algorithms.
+
+The paper's GPU SSSP is the **Near-Far** worklist method [Davidson et al.,
+PPoPP'14], a two-bucket simplification of delta-stepping; it powers the
+out-of-core Johnson implementation. Dijkstra (binary heap) backs the
+BGL-plus CPU baseline, delta-stepping backs the Galois baseline, and
+Bellman-Ford is kept as the fully parallel extreme of the design space the
+paper discusses in Section II-B.
+
+Every implementation returns exact shortest distances (verified against the
+scipy oracle in the tests) and an operation-count record that the machine
+models consume.
+"""
+
+from repro.sssp.bellman_ford import BellmanFordStats, bellman_ford
+from repro.sssp.bfs import bfs_hops, bfs_levels, hop_diameter
+from repro.sssp.delta_stepping import DeltaSteppingStats, delta_stepping
+from repro.sssp.dijkstra import DijkstraStats, dijkstra
+from repro.sssp.frontier import expand_frontier, scatter_min, suggest_delta
+from repro.sssp.near_far import NearFarStats, near_far, near_far_batch
+
+__all__ = [
+    "BellmanFordStats",
+    "DeltaSteppingStats",
+    "DijkstraStats",
+    "NearFarStats",
+    "bellman_ford",
+    "bfs_hops",
+    "bfs_levels",
+    "delta_stepping",
+    "hop_diameter",
+    "dijkstra",
+    "expand_frontier",
+    "near_far",
+    "near_far_batch",
+    "scatter_min",
+    "suggest_delta",
+]

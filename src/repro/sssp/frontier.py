@@ -1,0 +1,85 @@
+"""Vectorised worklist primitives shared by the SSSP implementations.
+
+These are the numpy equivalents of the GPU kernels' data-parallel steps:
+:func:`expand_frontier` gathers the out-edges of every frontier vertex
+(the coalesced edge-list walk) and :func:`scatter_min` performs the
+``atomicMin`` reduction into the distance array. ``scatter_min`` sorts and
+uses ``np.minimum.reduceat`` instead of ``np.minimum.at`` — same semantics,
+an order of magnitude faster at the batch sizes Johnson's algorithm
+produces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+
+__all__ = ["expand_frontier", "scatter_min", "segmented_arange", "suggest_delta"]
+
+
+def segmented_arange(counts: np.ndarray) -> np.ndarray:
+    """``[0..counts[0]-1, 0..counts[1]-1, ...]`` without a Python loop."""
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    ends = np.cumsum(counts)
+    return np.arange(total, dtype=np.int64) - np.repeat(ends - counts, counts)
+
+
+def expand_frontier(
+    graph: CSRGraph, vertices: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gather all out-edges of ``vertices``.
+
+    Returns ``(tails, heads, weights)`` — ``tails[i]`` is the *position in
+    the input array* (not the vertex id) owning edge ``i``, so callers can
+    map edges back to per-frontier-entry state (e.g. the source row in a
+    batched MSSP).
+    """
+    vertices = np.asarray(vertices, dtype=np.int64)
+    deg = graph.indptr[vertices + 1] - graph.indptr[vertices]
+    pos = np.repeat(graph.indptr[vertices], deg) + segmented_arange(deg)
+    tails = np.repeat(np.arange(vertices.size, dtype=np.int64), deg)
+    return tails, graph.indices[pos], graph.weights[pos]
+
+
+def scatter_min(
+    target: np.ndarray, idx: np.ndarray, vals: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """``target[idx] = min(target[idx], vals)`` with duplicate indices.
+
+    Returns ``(improved_idx, improved_vals)`` — the positions whose value
+    actually decreased, already deduplicated. This is the vectorised
+    ``atomicMin`` + "did I win" check of the GPU relax kernel.
+    """
+    if idx.size == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=target.dtype)
+    order = np.argsort(idx, kind="stable")
+    idx_s = idx[order]
+    vals_s = vals[order]
+    first = np.ones(idx_s.size, dtype=bool)
+    first[1:] = idx_s[1:] != idx_s[:-1]
+    starts = np.nonzero(first)[0]
+    reduced = np.minimum.reduceat(vals_s, starts)
+    uniq = idx_s[starts]
+    better = reduced < target[uniq]
+    winners = uniq[better]
+    target[winners] = reduced[better]
+    return winners, reduced[better]
+
+
+def suggest_delta(graph: CSRGraph) -> float:
+    """Heuristic Δ for Near-Far / delta-stepping: mean edge weight.
+
+    Davidson et al. recommend Δ near the average weight divided by the
+    average degree for dense frontiers; the paper does not report its Δ, and
+    the mean weight is a robust default across our graph families (tests
+    sweep Δ to confirm correctness is Δ-independent).
+    """
+    if graph.num_edges == 0:
+        return 1.0
+    mean_w = float(graph.weights.mean())
+    avg_deg = graph.num_edges / max(1, graph.num_vertices)
+    return max(mean_w / max(1.0, np.sqrt(avg_deg)), 1e-6)

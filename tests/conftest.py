@@ -1,0 +1,76 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.sparse.csgraph import shortest_path
+
+from repro.gpu.device import TEST_DEVICE, Device
+from repro.graphs.csr import CSRGraph
+from repro.graphs.generators import erdos_renyi, planar_like, random_geometric, rmat, road_like
+
+
+def oracle_apsp(graph: CSRGraph) -> np.ndarray:
+    """Reference APSP distances via scipy (Dijkstra per source)."""
+    return shortest_path(graph.to_scipy(), method="D")
+
+
+def oracle_sssp(graph: CSRGraph, sources) -> np.ndarray:
+    return shortest_path(graph.to_scipy(), method="D", indices=sources)
+
+
+@pytest.fixture
+def device() -> Device:
+    """A tiny device that forces out-of-core behaviour at n≈100."""
+    return Device(TEST_DEVICE)
+
+
+@pytest.fixture
+def small_rmat() -> CSRGraph:
+    return rmat(120, 900, seed=7)
+
+
+@pytest.fixture
+def small_planar() -> CSRGraph:
+    return planar_like(150, seed=8)
+
+
+@pytest.fixture
+def small_road() -> CSRGraph:
+    return road_like(200, 2.6, seed=9)
+
+
+@pytest.fixture
+def small_geometric() -> CSRGraph:
+    return random_geometric(140, 0.14, seed=10)
+
+
+@pytest.fixture(
+    params=["rmat", "planar", "road", "geometric", "erdos", "two-components"]
+)
+def any_graph(request) -> CSRGraph:
+    """One representative graph per family, including a disconnected one."""
+    name = request.param
+    if name == "rmat":
+        return rmat(110, 800, seed=3)
+    if name == "planar":
+        return planar_like(120, seed=4)
+    if name == "road":
+        return road_like(150, 2.8, seed=5)
+    if name == "geometric":
+        return random_geometric(100, 0.15, seed=6)
+    if name == "erdos":
+        return erdos_renyi(100, 500, seed=7)
+    # two disconnected Erdős blobs
+    a = erdos_renyi(50, 300, seed=8)
+    src_a, dst_a, w_a = a.edge_array()
+    b = erdos_renyi(50, 300, seed=9)
+    src_b, dst_b, w_b = b.edge_array()
+    return CSRGraph.from_edges(
+        100,
+        np.concatenate([src_a, src_b + 50]),
+        np.concatenate([dst_a, dst_b + 50]),
+        np.concatenate([w_a, w_b]),
+        name="two-components",
+    )

@@ -1,0 +1,192 @@
+"""Tests for the analysis layer (metrics + centrality), including
+equivalence with networkx on small graphs and disk-backed streaming."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    average_path_length,
+    center_vertices,
+    closeness_centrality,
+    diameter,
+    distance_statistics,
+    eccentricity,
+    harmonic_centrality,
+    one_center,
+    one_median,
+    periphery_vertices,
+    radius,
+    reachability_matrix_density,
+)
+from repro.core import ooc_boundary, ooc_johnson
+from repro.gpu.device import TEST_DEVICE, Device, V100
+from repro.graphs.csr import CSRGraph
+from repro.graphs.generators import erdos_renyi, planar_like
+from tests.conftest import oracle_apsp
+
+
+def to_networkx(graph: CSRGraph) -> nx.DiGraph:
+    g = nx.DiGraph()
+    g.add_nodes_from(range(graph.num_vertices))
+    src, dst, w = graph.edge_array()
+    g.add_weighted_edges_from(zip(src.tolist(), dst.tolist(), w.tolist()))
+    return g
+
+
+@pytest.fixture(scope="module")
+def connected_case():
+    graph = planar_like(90, seed=3)
+    return graph, oracle_apsp(graph)
+
+
+@pytest.fixture(scope="module")
+def disconnected_case():
+    a = erdos_renyi(40, 220, seed=4)
+    sa, da, wa = a.edge_array()
+    graph = CSRGraph.from_edges(
+        60, sa, da, wa
+    )  # vertices 40..59 isolated
+    return graph, oracle_apsp(graph)
+
+
+class TestMetricsVsNetworkx:
+    def test_eccentricity(self, connected_case):
+        graph, dist = connected_case
+        ours = eccentricity(dist)
+        theirs = nx.eccentricity(to_networkx(graph), weight="weight")
+        for v, e in theirs.items():
+            assert ours[v] == pytest.approx(e)
+
+    def test_diameter_radius(self, connected_case):
+        graph, dist = connected_case
+        g = to_networkx(graph)
+        assert diameter(dist) == pytest.approx(nx.diameter(g, weight="weight"))
+        assert radius(dist) == pytest.approx(nx.radius(g, weight="weight"))
+
+    def test_center_periphery(self, connected_case):
+        graph, dist = connected_case
+        g = to_networkx(graph)
+        assert set(center_vertices(dist).tolist()) == set(nx.center(g, weight="weight"))
+        assert set(periphery_vertices(dist).tolist()) == set(
+            nx.periphery(g, weight="weight")
+        )
+
+    def test_average_path_length(self, connected_case):
+        graph, dist = connected_case
+        expected = nx.average_shortest_path_length(to_networkx(graph), weight="weight")
+        assert average_path_length(dist) == pytest.approx(expected)
+
+    def test_closeness(self, connected_case):
+        graph, dist = connected_case
+        # networkx closeness is over *incoming* distances; compare on the
+        # reverse graph's APSP
+        rev = oracle_apsp(graph.reverse())
+        ours = closeness_centrality(rev)
+        theirs = nx.closeness_centrality(to_networkx(graph), distance="weight")
+        for v, c in theirs.items():
+            assert ours[v] == pytest.approx(c, rel=1e-6)
+
+    def test_harmonic(self, connected_case):
+        graph, dist = connected_case
+        rev = oracle_apsp(graph.reverse())
+        ours = harmonic_centrality(rev) * (graph.num_vertices - 1)
+        theirs = nx.harmonic_centrality(to_networkx(graph), distance="weight")
+        for v, c in theirs.items():
+            assert ours[v] == pytest.approx(c, rel=1e-6)
+
+
+class TestDisconnected:
+    def test_isolated_vertices_zero(self, disconnected_case):
+        _, dist = disconnected_case
+        ecc = eccentricity(dist)
+        assert np.all(ecc[40:] == 0.0)
+        clo = closeness_centrality(dist)
+        assert np.all(clo[40:] == 0.0)
+        har = harmonic_centrality(dist)
+        assert np.all(har[40:] == 0.0)
+
+    def test_reachability_density(self, disconnected_case):
+        _, dist = disconnected_case
+        density = reachability_matrix_density(dist)
+        finite = np.isfinite(dist).sum() / dist.size
+        assert density == pytest.approx(finite)
+
+    def test_average_excludes_unreachable(self, disconnected_case):
+        _, dist = disconnected_case
+        apl = average_path_length(dist)
+        off = dist.copy()
+        np.fill_diagonal(off, np.inf)
+        assert apl == pytest.approx(off[np.isfinite(off)].mean())
+
+    def test_statistics(self, disconnected_case):
+        _, dist = disconnected_case
+        stats = distance_statistics(dist)
+        off = dist.copy()
+        np.fill_diagonal(off, np.inf)
+        vals = off[np.isfinite(off)]
+        assert stats.reachable_pairs == vals.size
+        assert stats.mean == pytest.approx(vals.mean())
+        assert stats.max == pytest.approx(vals.max())
+        assert 0 < stats.reachable_fraction < 1
+
+
+class TestFacilityLocation:
+    def test_one_median_minimises_mean(self, connected_case):
+        _, dist = connected_case
+        v, mean = one_median(dist)
+        off = dist.copy()
+        np.fill_diagonal(off, np.inf)
+        means = np.array([off[u][np.isfinite(off[u])].mean() for u in range(dist.shape[0])])
+        assert mean == pytest.approx(means.min())
+        assert means[v] == pytest.approx(means.min())
+
+    def test_one_center_is_center_vertex(self, connected_case):
+        _, dist = connected_case
+        v, ecc = one_center(dist)
+        assert ecc == pytest.approx(radius(dist))
+        assert v in center_vertices(dist)
+
+    def test_candidate_restriction(self, connected_case):
+        _, dist = connected_case
+        cands = np.array([3, 17, 42])
+        v, _ = one_median(dist, candidates=cands)
+        assert v in cands
+
+    def test_no_reachable_candidate(self):
+        dist = np.full((3, 3), np.inf)
+        np.fill_diagonal(dist, 0.0)
+        with pytest.raises(ValueError):
+            one_median(dist)
+
+
+class TestStreamingAndResults:
+    def test_accepts_apsp_result(self, small_rmat):
+        res = ooc_johnson(small_rmat, Device(TEST_DEVICE))
+        direct = eccentricity(oracle_apsp(small_rmat))
+        streamed = eccentricity(res)
+        assert np.allclose(direct, streamed, atol=1e-3)
+
+    def test_permuted_result_external_order(self, small_road):
+        res = ooc_boundary(small_road, Device(V100.scaled(1 / 64)), seed=0)
+        direct = closeness_centrality(oracle_apsp(small_road))
+        streamed = closeness_centrality(res)
+        assert np.allclose(direct, streamed, rtol=1e-4)
+
+    def test_disk_backed_result(self, small_rmat, tmp_path):
+        res = ooc_johnson(
+            small_rmat, Device(TEST_DEVICE), store_mode="disk", store_dir=tmp_path
+        )
+        assert diameter(res) == pytest.approx(
+            diameter(oracle_apsp(small_rmat)), rel=1e-5
+        )
+
+    def test_block_size_invariance(self, connected_case):
+        _, dist = connected_case
+        a = average_path_length(dist, block_rows=7)
+        b = average_path_length(dist, block_rows=1000)
+        assert a == pytest.approx(b)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            eccentricity(np.zeros((3, 4)))

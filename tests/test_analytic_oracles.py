@@ -1,0 +1,99 @@
+"""Closed-form distance oracles on structured graphs.
+
+The scipy oracle validates against an independent implementation; these
+tests validate against *mathematics* — Manhattan distances on grids,
+min-arc distances on cycles, 2-hop stars — catching any error the two
+implementations could share.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ooc_boundary, ooc_floyd_warshall, ooc_johnson
+from repro.gpu.device import TEST_DEVICE, Device, V100
+from repro.graphs.composite import cycle_graph, grid_2d, grid_3d, star_graph
+
+
+def manhattan_matrix(rows, cols):
+    r = np.arange(rows * cols) // cols
+    c = np.arange(rows * cols) % cols
+    return np.abs(r[:, None] - r[None, :]) + np.abs(c[:, None] - c[None, :])
+
+
+class TestGrid2d:
+    @pytest.fixture(scope="class")
+    def case(self):
+        return grid_2d(8, 9), manhattan_matrix(8, 9)
+
+    def test_fw(self, case):
+        g, expected = case
+        assert np.array_equal(
+            ooc_floyd_warshall(g, Device(TEST_DEVICE)).to_array(), expected
+        )
+
+    def test_johnson(self, case):
+        g, expected = case
+        assert np.array_equal(
+            ooc_johnson(g, Device(TEST_DEVICE)).to_array(), expected
+        )
+
+    def test_boundary(self, case):
+        g, expected = case
+        res = ooc_boundary(g, Device(V100.scaled(1 / 64)), seed=0)
+        assert np.array_equal(res.to_array(), expected)
+
+
+class TestGrid3d:
+    def test_johnson_manhattan_3d(self):
+        nx, ny, nz = 4, 4, 4
+        g = grid_3d(nx, ny, nz)
+        ids = np.arange(nx * ny * nz)
+        x, rem = divmod(ids, ny * nz)
+        y, z = divmod(rem, nz)
+        expected = (
+            np.abs(x[:, None] - x[None, :])
+            + np.abs(y[:, None] - y[None, :])
+            + np.abs(z[:, None] - z[None, :])
+        )
+        got = ooc_johnson(g, Device(TEST_DEVICE)).to_array()
+        assert np.array_equal(got, expected)
+
+
+class TestCycle:
+    def test_min_arc_distance(self):
+        n = 17
+        g = cycle_graph(n)
+        got = ooc_floyd_warshall(g, Device(TEST_DEVICE)).to_array()
+        idx = np.arange(n)
+        gap = np.abs(idx[:, None] - idx[None, :])
+        expected = np.minimum(gap, n - gap)
+        assert np.array_equal(got, expected)
+
+    def test_directed_cycle_one_way(self):
+        n = 9
+        g = cycle_graph(n, directed=True)
+        got = ooc_johnson(g, Device(TEST_DEVICE)).to_array()
+        idx = np.arange(n)
+        expected = (idx[None, :] - idx[:, None]) % n
+        assert np.array_equal(got, expected)
+
+
+class TestStar:
+    def test_two_hop_world(self):
+        n = 25
+        g = star_graph(n, weight=3.0)
+        got = ooc_johnson(g, Device(TEST_DEVICE)).to_array()
+        expected = np.full((n, n), 6.0)
+        expected[0, :] = 3.0
+        expected[:, 0] = 3.0
+        np.fill_diagonal(expected, 0.0)
+        assert np.array_equal(got, expected)
+
+
+class TestWeightedGrid:
+    def test_uniform_weight_scales_distances(self):
+        g1 = grid_2d(5, 6, weight=1.0)
+        g7 = grid_2d(5, 6, weight=7.0)
+        d1 = ooc_floyd_warshall(g1, Device(TEST_DEVICE)).to_array()
+        d7 = ooc_floyd_warshall(g7, Device(TEST_DEVICE)).to_array()
+        assert np.array_equal(d7, 7 * d1)

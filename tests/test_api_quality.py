@@ -1,0 +1,70 @@
+"""API-quality gates: docstring coverage and export consistency.
+
+These meta-tests keep the library release-worthy: every public module,
+class, and function must carry a docstring, and every name in a package's
+``__all__`` must actually resolve.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.analysis",
+    "repro.baselines",
+    "repro.bench",
+    "repro.core",
+    "repro.cpumodel",
+    "repro.gpu",
+    "repro.graphs",
+    "repro.partition",
+    "repro.select",
+    "repro.sssp",
+]
+
+
+def iter_modules():
+    for pkg_name in PACKAGES:
+        pkg = importlib.import_module(pkg_name)
+        yield pkg
+        if hasattr(pkg, "__path__"):
+            for info in pkgutil.iter_modules(pkg.__path__):
+                if info.name.startswith("_"):  # incl. __main__, which exits
+                    continue
+                yield importlib.import_module(f"{pkg_name}.{info.name}")
+
+
+ALL_MODULES = sorted({m.__name__: m for m in iter_modules()}.items())
+
+
+@pytest.mark.parametrize("name,module", ALL_MODULES, ids=[n for n, _ in ALL_MODULES])
+def test_module_docstring(name, module):
+    assert module.__doc__ and module.__doc__.strip(), f"{name} lacks a docstring"
+
+
+@pytest.mark.parametrize("name,module", ALL_MODULES, ids=[n for n, _ in ALL_MODULES])
+def test_public_items_documented(name, module):
+    undocumented = []
+    for attr_name in getattr(module, "__all__", []):
+        obj = getattr(module, attr_name, None)
+        if obj is None:
+            continue
+        if inspect.isfunction(obj) or inspect.isclass(obj):
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                undocumented.append(attr_name)
+    assert not undocumented, f"{name}: undocumented public items {undocumented}"
+
+
+@pytest.mark.parametrize("name,module", ALL_MODULES, ids=[n for n, _ in ALL_MODULES])
+def test_all_names_resolve(name, module):
+    missing = [a for a in getattr(module, "__all__", []) if not hasattr(module, a)]
+    assert not missing, f"{name}: __all__ names missing {missing}"
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2

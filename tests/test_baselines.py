@@ -1,0 +1,112 @@
+"""Unit tests for the CPU baselines and the CPU machine model."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import bgl_plus_apsp, galois_apsp, super_fw_apsp
+from repro.baselines.common import sample_sources
+from repro.cpumodel import HASWELL_32, XEON_E5_2680
+from repro.graphs.generators import erdos_renyi, planar_like, road_like
+from tests.conftest import oracle_apsp
+
+
+class TestCpuSpec:
+    def test_scaled_rates(self):
+        s = XEON_E5_2680.scaled(0.5)
+        assert s.dijkstra_rate == pytest.approx(XEON_E5_2680.dijkstra_rate * 0.5)
+        assert s.fw_rate == pytest.approx(XEON_E5_2680.fw_rate * 0.25)
+        assert s.llc_bytes == XEON_E5_2680.llc_bytes // 2
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            XEON_E5_2680.scaled(0)
+
+    def test_source_parallel_time(self):
+        t = XEON_E5_2680.source_parallel_time(1.0, 28)
+        assert t == pytest.approx(28 / (28 * 0.85))
+
+    def test_paper_core_counts(self):
+        assert XEON_E5_2680.cores == 14 and XEON_E5_2680.threads == 28
+        assert HASWELL_32.cores == 32 and HASWELL_32.threads == 64
+
+
+class TestSampling:
+    def test_distinct_and_sorted(self):
+        s = sample_sources(100, 10, seed=1)
+        assert len(set(s.tolist())) == 10
+        assert np.all(np.diff(s) > 0)
+
+    def test_clamped_to_n(self):
+        assert sample_sources(5, 10, seed=1).size == 5
+
+
+class TestBglPlus:
+    def test_exact_matches_oracle(self, small_rmat):
+        res = bgl_plus_apsp(small_rmat, exact=True)
+        assert np.allclose(res.distances, oracle_apsp(small_rmat))
+
+    def test_sampled_time_close_to_exact_time(self):
+        g = planar_like(300, seed=2)
+        exact = bgl_plus_apsp(g, exact=True)
+        sampled = bgl_plus_apsp(g, num_samples=8, seed=3)
+        assert sampled.simulated_seconds == pytest.approx(
+            exact.simulated_seconds, rel=0.25
+        )
+
+    def test_sampled_returns_no_distances(self, small_rmat):
+        res = bgl_plus_apsp(small_rmat, num_samples=4)
+        assert res.distances is None
+        assert res.sampled_sources == 4
+
+    def test_time_scales_with_edges(self):
+        small = erdos_renyi(200, 600, seed=4)
+        big = erdos_renyi(200, 6000, seed=4)
+        assert (
+            bgl_plus_apsp(big, seed=5).simulated_seconds
+            > bgl_plus_apsp(small, seed=5).simulated_seconds
+        )
+
+    def test_more_threads_faster(self):
+        g = erdos_renyi(200, 2000, seed=6)
+        fast = bgl_plus_apsp(g, XEON_E5_2680, seed=7)
+        from dataclasses import replace
+
+        slow_cpu = replace(XEON_E5_2680, threads=1)
+        slow = bgl_plus_apsp(g, slow_cpu, seed=7)
+        assert slow.simulated_seconds > fast.simulated_seconds
+
+
+class TestSuperFW:
+    def test_exact_matches_oracle(self, small_rmat):
+        res = super_fw_apsp(small_rmat, exact=True)
+        assert np.allclose(res.distances, oracle_apsp(small_rmat))
+
+    def test_time_is_cubic_in_n(self):
+        a = super_fw_apsp(erdos_renyi(100, 500, seed=8))
+        b = super_fw_apsp(erdos_renyi(200, 1000, seed=8))
+        assert b.simulated_seconds / a.simulated_seconds == pytest.approx(8.0)
+
+    def test_time_independent_of_m(self):
+        sparse = super_fw_apsp(erdos_renyi(150, 300, seed=9))
+        dense = super_fw_apsp(erdos_renyi(150, 9000, seed=9))
+        assert sparse.simulated_seconds == dense.simulated_seconds
+
+
+class TestGalois:
+    def test_exact_matches_oracle(self, small_planar):
+        res = galois_apsp(small_planar, exact=True)
+        assert np.allclose(res.distances, oracle_apsp(small_planar))
+
+    def test_sampled_mode(self, small_rmat):
+        res = galois_apsp(small_rmat, num_samples=5, seed=10)
+        assert res.distances is None
+        assert res.simulated_seconds > 0
+        assert res.stats["relaxations_per_source"] > 0
+
+    def test_galois_slower_than_bgl(self):
+        """The paper's Fig 4: Galois's reported numbers are far slower than
+        BGL-plus on the same graphs."""
+        g = road_like(500, 2.6, seed=11)
+        galois = galois_apsp(g, seed=12)
+        bgl = bgl_plus_apsp(g, seed=12)
+        assert galois.simulated_seconds > bgl.simulated_seconds

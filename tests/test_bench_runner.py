@@ -1,0 +1,83 @@
+"""Tests for the benchmark harness utilities."""
+
+import json
+
+import pytest
+
+from repro.bench import ExperimentRecord, cpu_profile, device_profile, format_table
+from repro.gpu.device import K80, V100
+
+
+class TestDeviceProfiles:
+    def test_ratio_scales_throughput(self):
+        spec = device_profile("ratio", scale=0.5)
+        assert spec.transfer_throughput == pytest.approx(V100.transfer_throughput * 0.5)
+        assert spec.minplus_rate == pytest.approx(V100.minplus_rate * 0.5)
+
+    def test_transfer_keeps_physical_pcie(self):
+        spec = device_profile("transfer", scale=0.25)
+        assert spec.transfer_throughput == pytest.approx(V100.transfer_throughput)
+        assert spec.minplus_rate == pytest.approx(V100.minplus_rate * 0.25)
+
+    def test_crossover_softens_relax_scaling(self):
+        spec = device_profile("crossover", scale=0.25)
+        assert spec.relax_rate == pytest.approx(V100.relax_rate * 0.5)
+
+    def test_base_override(self):
+        spec = device_profile("ratio", base=K80, scale=0.5)
+        assert "K80" in spec.name
+
+    def test_unknown_profile(self):
+        with pytest.raises(ValueError):
+            device_profile("warp-speed")
+
+    def test_cpu_profile_scales(self):
+        cpu = cpu_profile(scale=0.5)
+        assert cpu.threads == 28  # structure preserved, rates scaled
+
+
+class TestExperimentRecord:
+    def test_save_and_shape(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        rec = ExperimentRecord("figX", "demo", "expected band")
+        rec.add(graph="a", value=1.5)
+        rec.add(graph="b", value=2.5)
+        rec.note("a note")
+        path = rec.save()
+        data = json.loads(path.read_text())
+        assert data["experiment"] == "figX"
+        assert len(data["rows"]) == 2
+        assert data["notes"] == ["a note"]
+
+    def test_print_does_not_crash(self, capsys):
+        rec = ExperimentRecord("figY", "demo", "expected")
+        rec.add(x=1)
+        rec.print()
+        out = capsys.readouterr().out
+        assert "figY" in out and "expected" in out
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table([{"name": "a", "v": 1.0}, {"name": "bbbb", "v": 22.5}])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+
+    def test_union_of_keys(self):
+        out = format_table([{"a": 1}, {"b": 2}])
+        assert "a" in out.splitlines()[0]
+        assert "b" in out.splitlines()[0]
+
+    def test_float_formats(self):
+        out = format_table([{"x": 1e-9, "y": 12345.6, "z": 0.5, "w": 0}])
+        assert "1e-09" in out
+        assert "1.23e+04" in out
+        assert "0.500" in out
+
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_explicit_columns(self):
+        out = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in out.splitlines()[0]

@@ -1,0 +1,110 @@
+"""Tests for Brandes betweenness and min-plus repeated-squaring APSP."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.analysis.betweenness import betweenness_centrality
+from repro.core.minplus_power import minplus_power_apsp, squarings_needed
+from repro.gpu.device import TEST_DEVICE, Device
+from repro.graphs.csr import CSRGraph
+from repro.graphs.generators import erdos_renyi, planar_like, rmat
+from tests.conftest import oracle_apsp
+from tests.test_analysis import to_networkx
+
+
+class TestBetweenness:
+    @pytest.mark.parametrize("maker", [
+        lambda: planar_like(60, seed=1),
+        lambda: rmat(70, 600, seed=2),
+        lambda: erdos_renyi(50, 400, seed=3),
+    ])
+    def test_matches_networkx(self, maker):
+        g = maker()
+        ours = betweenness_centrality(g, normalized=True)
+        theirs = nx.betweenness_centrality(
+            to_networkx(g), weight="weight", normalized=True
+        )
+        for v, b in theirs.items():
+            assert ours[v] == pytest.approx(b, abs=1e-9), v
+
+    def test_path_graph_analytic(self):
+        # directed path 0->1->2->3: betweenness counts interior pairs
+        g = CSRGraph.from_edges(
+            4, np.array([0, 1, 2]), np.array([1, 2, 3]), np.ones(3)
+        )
+        b = betweenness_centrality(g, normalized=False)
+        # vertex 1 lies on paths 0->2, 0->3; vertex 2 on 0->3, 1->3
+        assert b[0] == 0 and b[3] == 0
+        assert b[1] == pytest.approx(2.0)
+        assert b[2] == pytest.approx(2.0)
+
+    def test_equal_path_splitting(self):
+        # diamond: 0->1->3 and 0->2->3 with equal weight: sigma splits
+        g = CSRGraph.from_edges(
+            4,
+            np.array([0, 0, 1, 2]),
+            np.array([1, 2, 3, 3]),
+            np.ones(4),
+        )
+        b = betweenness_centrality(g, normalized=False)
+        assert b[1] == pytest.approx(0.5)
+        assert b[2] == pytest.approx(0.5)
+
+    def test_sampled_estimate_close(self):
+        g = planar_like(150, seed=4)
+        exact = betweenness_centrality(g)
+        approx = betweenness_centrality(g, num_pivots=60, seed=5)
+        # unbiased estimator: top-decile overlap and bounded error
+        top_exact = set(np.argsort(-exact)[:15].tolist())
+        top_approx = set(np.argsort(-approx)[:15].tolist())
+        assert len(top_exact & top_approx) >= 8
+        assert np.abs(approx - exact).max() < 0.15
+
+    def test_tiny_graphs(self):
+        g = CSRGraph.from_edges(2, np.array([0]), np.array([1]), np.ones(1))
+        assert np.all(betweenness_centrality(g) == 0)
+
+    def test_pivots_ge_n_equals_exact(self):
+        g = rmat(40, 250, seed=6)
+        assert np.allclose(
+            betweenness_centrality(g, num_pivots=1000),
+            betweenness_centrality(g),
+        )
+
+
+class TestMinplusPower:
+    def test_squarings_needed(self):
+        assert squarings_needed(2) == 1
+        assert squarings_needed(5) == 2
+        assert squarings_needed(1025) == 10
+
+    @pytest.mark.parametrize("maker", [
+        lambda: planar_like(80, seed=7),
+        lambda: rmat(90, 700, seed=8),
+    ])
+    def test_matches_oracle_host_only(self, maker):
+        g = maker()
+        res = minplus_power_apsp(g)
+        assert np.allclose(res.to_array(), oracle_apsp(g))
+
+    def test_matches_oracle_on_device(self, small_rmat):
+        res = minplus_power_apsp(small_rmat, Device(TEST_DEVICE))
+        assert np.allclose(res.to_array(), oracle_apsp(small_rmat))
+        assert 1 <= res.stats["squarings"] <= res.stats["max_squarings"]
+
+    def test_early_convergence(self):
+        # unit weights: shortest paths = hop paths, so a dense graph with
+        # hop-diameter 2 settles after the second squaring detects no change
+        g = erdos_renyi(50, 2200, seed=9, weight_range=(1.0, 1.0))
+        res = minplus_power_apsp(g, Device(TEST_DEVICE))
+        assert res.stats["squarings"] <= 2
+
+    def test_costlier_than_fw_in_model(self, small_rmat):
+        """The log-n work factor shows up in simulated time (Table I's
+        regular-but-more-work tradeoff)."""
+        from repro.core import incore_apsp
+
+        power = minplus_power_apsp(small_rmat, Device(TEST_DEVICE))
+        fw = incore_apsp(small_rmat, Device(TEST_DEVICE))
+        assert power.simulated_seconds > fw.simulated_seconds

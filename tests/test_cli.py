@@ -1,0 +1,123 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.io import write_edge_list, write_matrix_market
+
+
+class TestSolve:
+    def test_generator_spec(self, capsys):
+        rc = main(["solve", "rmat:n=150,m=1000,seed=2", "--device", "test",
+                   "--scale", "1", "--algorithm", "johnson"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "algorithm: johnson" in out
+        assert "simulated time:" in out
+
+    def test_verify_and_query(self, capsys):
+        rc = main(["solve", "er:n=100,m=600,seed=3", "--device", "test",
+                   "--scale", "1", "--algorithm", "floyd-warshall",
+                   "--verify", "3", "--query", "0,5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "verification (3 rows): ok" in out
+        assert "dist(0, 5)" in out
+
+    def test_auto_selection(self, capsys):
+        rc = main(["solve", "road:n=600,deg=2.6,seed=4", "--scale", "0.015625"])
+        assert rc == 0
+        assert "algorithm: boundary" in capsys.readouterr().out
+
+    def test_mtx_file(self, tmp_path, capsys):
+        g = erdos_renyi(80, 500, seed=5)
+        path = tmp_path / "g.mtx"
+        write_matrix_market(g, path)
+        rc = main(["solve", str(path), "--device", "test", "--scale", "1",
+                   "--algorithm", "johnson", "--verify", "2"])
+        assert rc == 0
+        assert "verification (2 rows): ok" in capsys.readouterr().out
+
+    def test_edge_list_file(self, tmp_path, capsys):
+        g = erdos_renyi(60, 300, seed=6)
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        rc = main(["info", str(path)])
+        assert rc == 0
+        assert "vertices:        60" in capsys.readouterr().out
+
+    def test_trace_output(self, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        rc = main(["solve", "er:n=80,m=400,seed=7", "--device", "test",
+                   "--scale", "1", "--algorithm", "johnson",
+                   "--trace", str(trace)])
+        assert rc == 0
+        assert trace.exists()
+        assert "busy" in capsys.readouterr().out
+
+    def test_bad_spec_exits(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "nonsense:abc"])
+
+
+class TestInfo:
+    def test_separator_classification(self, capsys):
+        rc = main(["info", "road:n=500,deg=2.6,seed=8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "-> small" in out
+
+    def test_suite_spec(self, capsys):
+        rc = main(["info", "suite:luxembourg_osm", "--scale", "0.0078125"])
+        assert rc == 0
+        assert "density" in capsys.readouterr().out
+
+
+class TestOthers:
+    def test_suite_listing(self, capsys):
+        assert main(["suite"]) == 0
+        out = capsys.readouterr().out
+        assert "usroads" in out and "af_shell1" in out
+        assert out.count("\n") >= 30  # header + 29 graphs
+
+    def test_devices_listing(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "V100" in out and "K80" in out
+        assert "11.75 GB/s" in out
+
+    def test_select_command(self, capsys):
+        rc = main(["select", "road:n=500,deg=2.6,seed=9", "--scale", "0.015625"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "selected:   boundary" in out
+
+
+class TestSelectJson:
+    def test_json_output_parses(self, capsys):
+        import json
+
+        from repro.cli import main
+
+        rc = main(["select", "road:n=400,deg=2.6,seed=1",
+                   "--scale", "0.015625", "--json"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["algorithm"] in ("johnson", "boundary", "floyd-warshall")
+        assert "band" in data and "candidates" in data
+
+    def test_json_sparse_band_has_estimates(self, capsys):
+        import json
+
+        from repro.cli import main
+
+        rc = main(["select", "road:n=900,deg=2.6,seed=2",
+                   "--scale", "0.015625", "--json"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["band"] == "sparse"
+        assert set(data["estimates"]) == {"johnson", "boundary"}
+        for est in data["estimates"].values():
+            assert est["total_seconds"] > 0

@@ -1,0 +1,146 @@
+"""Tests for composite graph constructors, BFS hops, and model sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.composite import (
+    complete_graph,
+    cycle_graph,
+    disjoint_union,
+    grid_2d,
+    grid_3d,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.generators import erdos_renyi
+from repro.gpu.device import TEST_DEVICE
+from repro.gpu.sweep import sweep_constant
+from repro.sssp import near_far
+from repro.sssp.bfs import bfs_hops, bfs_levels, hop_diameter
+from tests.conftest import oracle_sssp
+
+
+class TestComposite:
+    def test_grid_2d_shape(self):
+        g = grid_2d(4, 5)
+        assert g.num_vertices == 20
+        # undirected edge count: 4*(5-1) + 5*(4-1) = 31 -> 62 directed
+        assert g.num_edges == 62
+
+    def test_grid_3d_shape(self):
+        g = grid_3d(3, 3, 3)
+        assert g.num_vertices == 27
+        # 3 directions * 2*3*3 faces... 2*(3*3*2)*3 = 108 directed
+        assert g.num_edges == 108
+
+    def test_path_distances_linear(self):
+        g = path_graph(10, weight=2.0)
+        d = bfs_hops(g, 0)
+        assert d[9] == 9
+        dist, _ = near_far(g, 0)
+        assert dist[9] == 18.0
+
+    def test_path_directed_one_way(self):
+        g = path_graph(5, directed=True)
+        dist, _ = near_far(g, 4)
+        assert np.isinf(dist[0])
+
+    def test_cycle_wraps(self):
+        g = cycle_graph(8)
+        dist, _ = near_far(g, 0)
+        assert dist[4] == 4.0  # either way round
+        assert dist[7] == 1.0
+
+    def test_star_center_and_leaves(self):
+        g = star_graph(12)
+        dist, _ = near_far(g, 0)
+        assert np.all(dist[1:] == 1.0)
+        dist, _ = near_far(g, 3)
+        assert dist[0] == 1.0 and dist[7] == 2.0
+
+    def test_complete_density(self):
+        g = complete_graph(10)
+        assert g.num_edges == 90
+        dist, _ = near_far(g, 2)
+        assert np.all(np.delete(dist, 2) == 1.0)
+
+    def test_disjoint_union_offsets(self):
+        a = path_graph(3)
+        b = cycle_graph(4)
+        u = disjoint_union([a, b])
+        assert u.num_vertices == 7
+        d = bfs_hops(u, 0)
+        assert np.isinf(d[4])  # no crossing
+        d2 = bfs_hops(u, 3)
+        assert d2[6] == 1
+
+    def test_disjoint_union_empty(self):
+        assert disjoint_union([]).num_vertices == 0
+
+
+class TestBfs:
+    def test_matches_oracle_unit_weights(self):
+        g = erdos_renyi(80, 500, seed=1, weight_range=(1.0, 1.0))
+        expected = oracle_sssp(g, [0])[0]
+        assert np.allclose(bfs_hops(g, 0), expected)
+
+    def test_levels_partition_reachable(self):
+        g = grid_2d(5, 5)
+        levels = bfs_levels(g, 0)
+        assert levels[0].tolist() == [0]
+        all_vertices = np.concatenate(levels)
+        assert sorted(all_vertices.tolist()) == list(range(25))
+        # grid hop distance from the corner is manhattan distance
+        assert len(levels) == 9  # (4 + 4) + 1
+
+    def test_hop_diameter_exact(self):
+        assert hop_diameter(path_graph(10)) == 9
+        assert hop_diameter(cycle_graph(8)) == 4
+        assert hop_diameter(grid_2d(3, 4)) == 5
+
+    def test_hop_diameter_sampled_is_lower_bound(self):
+        g = grid_2d(6, 6)
+        exact = hop_diameter(g)
+        sampled = hop_diameter(g, sample=5, seed=2)
+        assert sampled <= exact
+
+    def test_source_out_of_range(self):
+        with pytest.raises(ValueError):
+            bfs_hops(path_graph(3), 5)
+
+    def test_disconnected_inf(self):
+        u = disjoint_union([path_graph(3), path_graph(3)])
+        hops = bfs_hops(u, 0)
+        assert np.isinf(hops[3:]).all()
+
+
+class TestSweep:
+    def test_elasticity_of_pure_scaling(self):
+        # metric exactly proportional to the constant -> elasticity +1
+        res = sweep_constant(
+            TEST_DEVICE, "transfer_throughput", lambda s: s.transfer_throughput
+        )
+        assert res.elasticity == pytest.approx(1.0, abs=0.01)
+
+    def test_elasticity_of_invariant_metric(self):
+        res = sweep_constant(TEST_DEVICE, "minplus_rate", lambda s: 42.0)
+        assert res.elasticity == pytest.approx(0.0, abs=1e-9)
+        assert res.spread == pytest.approx(1.0)
+
+    def test_inverse_metric(self):
+        res = sweep_constant(
+            TEST_DEVICE, "minplus_rate", lambda s: 1e9 / s.minplus_rate
+        )
+        assert res.elasticity == pytest.approx(-1.0, abs=0.01)
+
+    def test_baseline_recorded(self):
+        res = sweep_constant(TEST_DEVICE, "relax_rate", lambda s: s.relax_rate * 2)
+        assert res.baseline == pytest.approx(TEST_DEVICE.relax_rate * 2)
+
+    def test_non_numeric_field_rejected(self):
+        with pytest.raises(TypeError):
+            sweep_constant(TEST_DEVICE, "name", lambda s: 1.0)
+
+    def test_describe(self):
+        res = sweep_constant(TEST_DEVICE, "relax_rate", lambda s: s.relax_rate)
+        assert "elasticity" in res.describe()

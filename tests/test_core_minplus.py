@@ -1,0 +1,136 @@
+"""Unit tests for min-plus multiplication and blocked Floyd–Warshall."""
+
+import numpy as np
+import pytest
+
+from repro.core.blocked_fw import (
+    blocked_floyd_warshall,
+    floyd_warshall,
+    floyd_warshall_inplace,
+    fw_ops,
+)
+from repro.core.minplus import DIST_DTYPE, minplus, minplus_ops, minplus_update
+from repro.graphs.generators import erdos_renyi, rmat
+from tests.conftest import oracle_apsp
+
+
+def reference_minplus(a, b):
+    return (a[:, :, None] + b[None, :, :]).min(axis=1)
+
+
+class TestMinplus:
+    def test_matches_reference(self):
+        rng = np.random.default_rng(1)
+        a = rng.random((17, 23))
+        b = rng.random((23, 11))
+        assert np.allclose(minplus(a, b), reference_minplus(a, b))
+
+    def test_update_accumulates(self):
+        rng = np.random.default_rng(2)
+        a = rng.random((9, 9))
+        b = rng.random((9, 9))
+        c = rng.random((9, 9))
+        expected = np.minimum(c, reference_minplus(a, b))
+        got = minplus_update(c.copy(), a, b)
+        assert np.allclose(got, expected)
+
+    def test_inf_propagation(self):
+        a = np.array([[np.inf, 1.0]])
+        b = np.array([[np.inf], [np.inf]])
+        out = minplus(a, b)
+        assert np.isinf(out[0, 0])
+
+    def test_identity_element(self):
+        """I ⊗ A = A where I has 0 diagonal, inf elsewhere."""
+        rng = np.random.default_rng(3)
+        a = rng.random((12, 12))
+        ident = np.full((12, 12), np.inf)
+        np.fill_diagonal(ident, 0.0)
+        assert np.allclose(minplus(ident, a), a)
+        assert np.allclose(minplus(a, ident), a)
+
+    def test_rectangular_shapes(self):
+        rng = np.random.default_rng(4)
+        a = rng.random((3, 40))
+        b = rng.random((40, 7))
+        assert minplus(a, b).shape == (3, 7)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            minplus(np.zeros((2, 3)), np.zeros((4, 2)))
+        with pytest.raises(ValueError):
+            minplus_update(np.zeros((2, 2)), np.zeros((2, 3)), np.zeros((3, 3)))
+
+    def test_empty_inner_dim(self):
+        c = np.full((3, 3), 5.0)
+        out = minplus_update(c, np.zeros((3, 0)), np.zeros((0, 3)))
+        assert np.all(out == 5.0)
+
+    def test_associativity(self):
+        rng = np.random.default_rng(5)
+        a, b, c = (rng.random((8, 8)) for _ in range(3))
+        left = minplus(minplus(a, b), c)
+        right = minplus(a, minplus(b, c))
+        assert np.allclose(left, right)
+
+    def test_ops_count(self):
+        assert minplus_ops(2, 3, 4) == 48
+
+    def test_float32_exact_for_integer_weights(self):
+        rng = np.random.default_rng(6)
+        a = rng.integers(1, 100, (20, 20)).astype(np.float32)
+        b = rng.integers(1, 100, (20, 20)).astype(np.float32)
+        got = minplus(a, b)
+        expected = reference_minplus(a.astype(np.float64), b.astype(np.float64))
+        assert np.array_equal(got, expected.astype(np.float32))
+
+
+class TestFloydWarshall:
+    def test_plain_matches_oracle(self, small_rmat):
+        got = floyd_warshall(small_rmat.to_dense())
+        assert np.allclose(got, oracle_apsp(small_rmat))
+
+    @pytest.mark.parametrize("block_size", [1, 3, 16, 50, 120, 200])
+    def test_blocked_equals_plain(self, block_size):
+        g = rmat(90, 700, seed=7)
+        dist = g.to_dense(dtype=DIST_DTYPE)
+        blocked_floyd_warshall(dist, block_size)
+        assert np.allclose(dist, oracle_apsp(g))
+
+    def test_idempotent_at_fixpoint(self, small_rmat):
+        dist = floyd_warshall(small_rmat.to_dense())
+        again = floyd_warshall(dist)
+        assert np.allclose(dist, again)
+
+    def test_inplace_returns_same_array(self):
+        d = erdos_renyi(30, 100, seed=8).to_dense()
+        np.fill_diagonal(d, 0.0)
+        out = floyd_warshall_inplace(d)
+        assert out is d
+
+    def test_disconnected_stays_inf(self):
+        g = erdos_renyi(40, 60, seed=9)
+        dist = floyd_warshall(g.to_dense())
+        oracle = oracle_apsp(g)
+        assert np.array_equal(np.isinf(dist), np.isinf(oracle))
+
+    def test_triangle_inequality(self, small_planar):
+        dist = floyd_warshall(small_planar.to_dense())
+        n = dist.shape[0]
+        rng = np.random.default_rng(10)
+        for _ in range(200):
+            i, j, k = rng.integers(0, n, 3)
+            assert dist[i, j] <= dist[i, k] + dist[k, j] + 1e-9
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            floyd_warshall_inplace(np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            blocked_floyd_warshall(np.zeros((2, 3)), 1)
+
+    def test_bad_block_size(self):
+        with pytest.raises(ValueError):
+            blocked_floyd_warshall(np.zeros((4, 4)), 0)
+
+    def test_fw_ops(self):
+        assert fw_ops(10) == 2000

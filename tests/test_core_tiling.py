@@ -1,0 +1,184 @@
+"""Unit tests for block layouts, the host store, and the result container."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import APSPResult
+from repro.core.tiling import BlockLayout, HostStore
+from repro.graphs.generators import erdos_renyi
+
+
+class TestBlockLayout:
+    def test_even_split(self):
+        lay = BlockLayout(100, 25)
+        assert lay.num_blocks == 4
+        assert [lay.size(i) for i in lay] == [25, 25, 25, 25]
+
+    def test_ragged_last_block(self):
+        lay = BlockLayout(10, 4)
+        assert lay.num_blocks == 3
+        assert [lay.size(i) for i in lay] == [4, 4, 2]
+        assert lay.slice(2) == slice(8, 10)
+
+    def test_block_larger_than_n(self):
+        lay = BlockLayout(5, 100)
+        assert lay.num_blocks == 1
+        assert lay.size(0) == 5
+
+    def test_sizes_cover_n(self):
+        for n, b in [(97, 13), (64, 8), (1, 1), (33, 32)]:
+            lay = BlockLayout(n, b)
+            assert sum(lay.size(i) for i in lay) == n
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            BlockLayout(10, 4).slice(3)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            BlockLayout(-1, 4)
+        with pytest.raises(ValueError):
+            BlockLayout(10, 0)
+
+
+class TestHostStore:
+    def test_ram_mode(self):
+        store = HostStore(8)
+        store.data[...] = 3.0
+        assert store.nbytes == 8 * 8 * 4  # float32 default
+
+    def test_from_graph_seeds_weights(self):
+        g = erdos_renyi(20, 80, seed=1)
+        store = HostStore.from_graph(g)
+        assert np.allclose(store.data, g.to_dense(dtype=store.data.dtype))
+
+    def test_disk_mode_round_trip(self, tmp_path):
+        store = HostStore(16, mode="disk", directory=tmp_path)
+        store.data[...] = 7.0
+        store.flush()
+        assert store.path.exists()
+        assert store.path.stat().st_size == 16 * 16 * 4
+        back = np.memmap(store.path, dtype=store.data.dtype, shape=(16, 16))
+        assert np.all(back == 7.0)
+
+    def test_disk_mode_tempdir_cleanup(self):
+        store = HostStore(8, mode="disk")
+        path = store.path
+        assert path.exists()
+        store.close()
+        assert not path.exists()
+
+    def test_block_view_is_writable(self):
+        store = HostStore(10)
+        store.data[...] = 0.0
+        lay = BlockLayout(10, 4)
+        store.block(lay, 1, 2)[...] = 5.0
+        assert np.all(store.data[4:8, 8:10] == 5.0)
+
+    def test_rows_view(self):
+        store = HostStore(6)
+        store.data[...] = 0.0
+        store.rows(2, 4)[...] = 9.0
+        assert np.all(store.data[2:4] == 9.0)
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            HostStore(4, mode="tape")
+
+    def test_empty_helper_accepts_graph(self):
+        g = erdos_renyi(12, 40, seed=2)
+        assert HostStore.empty(g).n == 12
+        assert HostStore.empty(7).n == 7
+
+
+class TestAPSPResult:
+    def _result(self, n=6, perm=None):
+        store = HostStore(n)
+        store.data[...] = np.arange(n * n, dtype=np.float32).reshape(n, n)
+        inv = np.argsort(perm) if perm is not None else None
+        return APSPResult(
+            algorithm="test", store=store, simulated_seconds=1.0,
+            perm=perm, inv_perm=inv,
+        )
+
+    def test_distance_no_perm(self):
+        r = self._result()
+        assert r.distance(1, 2) == 8.0
+
+    def test_row_no_perm(self):
+        r = self._result()
+        assert np.allclose(r.row(2), np.arange(12, 18))
+
+    def test_permuted_lookups(self):
+        n = 4
+        perm = np.array([2, 0, 3, 1])  # external v -> internal perm[v]
+        r = self._result(n, perm=perm)
+        internal = np.asarray(r.store.data)
+        for u in range(n):
+            for v in range(n):
+                assert r.distance(u, v) == internal[perm[u], perm[v]]
+
+    def test_to_array_matches_distance(self):
+        perm = np.array([1, 2, 0])
+        r = self._result(3, perm=perm)
+        full = r.to_array()
+        for u in range(3):
+            for v in range(3):
+                assert full[u, v] == r.distance(u, v)
+
+    def test_row_matches_distance_with_perm(self):
+        perm = np.array([3, 1, 0, 2])
+        r = self._result(4, perm=perm)
+        row = r.row(2)
+        for v in range(4):
+            assert row[v] == r.distance(2, v)
+
+    def test_n_property(self):
+        assert self._result(5).n == 5
+
+
+class TestResultPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        import numpy as np
+
+        from repro.core import ooc_johnson
+        from repro.core.result import APSPResult
+        from repro.gpu.device import TEST_DEVICE, Device
+        from repro.graphs.generators import erdos_renyi
+
+        g = erdos_renyi(50, 300, seed=21)
+        res = ooc_johnson(g, Device(TEST_DEVICE))
+        res.save(tmp_path / "run")
+        back = APSPResult.load(tmp_path / "run")
+        assert back.algorithm == "johnson"
+        assert np.allclose(back.to_array(), res.to_array())
+        assert back.simulated_seconds == res.simulated_seconds
+
+    def test_save_load_permuted(self, tmp_path):
+        import numpy as np
+
+        from repro.core import ooc_boundary
+        from repro.core.result import APSPResult
+        from repro.gpu.device import Device, V100
+        from repro.graphs.generators import planar_like
+
+        g = planar_like(80, seed=22)
+        res = ooc_boundary(g, Device(V100.scaled(1 / 64)), seed=0)
+        res.save(tmp_path / "run")
+        back = APSPResult.load(tmp_path / "run")
+        for u, v in [(0, 5), (7, 79), (40, 3)]:
+            assert back.distance(u, v) == res.distance(u, v)
+
+    def test_metadata_written(self, tmp_path):
+        import json
+
+        from repro.core import ooc_johnson
+        from repro.gpu.device import TEST_DEVICE, Device
+        from repro.graphs.generators import erdos_renyi
+
+        g = erdos_renyi(30, 150, seed=23)
+        res = ooc_johnson(g, Device(TEST_DEVICE))
+        out = res.save(tmp_path / "run")
+        meta = json.loads((out / "meta.json").read_text())
+        assert meta["n"] == 30
+        assert not meta["permuted"]

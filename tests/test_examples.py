@@ -1,0 +1,58 @@
+"""Smoke tests for the example scripts.
+
+Each example is a real scenario taking tens of seconds to minutes, so by
+default only the fastest (currency_arbitrage) runs; set
+``REPRO_RUN_ALL_EXAMPLES=1`` to execute the full set (used before releases,
+and by the benchmark CI lane).
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+FAST = ["currency_arbitrage.py"]
+SLOW = [
+    "quickstart.py",
+    "road_network_analysis.py",
+    "algorithm_selection.py",
+    "streaming_large_output.py",
+    "device_comparison.py",
+    "network_centrality.py",
+]
+
+
+def run_example(name: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=900,
+    )
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_fast_examples(name):
+    proc = run_example(name)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip()
+
+
+@pytest.mark.parametrize("name", SLOW)
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_RUN_ALL_EXAMPLES"),
+    reason="set REPRO_RUN_ALL_EXAMPLES=1 to run the long examples",
+)
+def test_slow_examples(name):
+    proc = run_example(name)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip()
+
+
+def test_every_example_has_a_smoke_entry():
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == set(FAST) | set(SLOW)

@@ -1,0 +1,93 @@
+"""Unit tests for the discrete-event timeline."""
+
+import pytest
+
+from repro.gpu.timeline import Timeline
+
+
+class TestScheduling:
+    def test_single_op(self):
+        tl = Timeline()
+        op = tl.schedule("compute", 0.0, 1.5, name="k")
+        assert op.start == 0.0
+        assert op.end == 1.5
+        assert tl.makespan == 1.5
+
+    def test_engine_serialises(self):
+        tl = Timeline()
+        tl.schedule("compute", 0.0, 1.0)
+        op2 = tl.schedule("compute", 0.0, 1.0)
+        assert op2.start == 1.0  # waits for the engine even if stream ready
+
+    def test_engines_independent(self):
+        tl = Timeline()
+        tl.schedule("compute", 0.0, 1.0)
+        op = tl.schedule("h2d", 0.0, 1.0)
+        assert op.start == 0.0  # different engine: overlaps
+
+    def test_stream_ready_respected(self):
+        tl = Timeline()
+        op = tl.schedule("compute", 5.0, 1.0)
+        assert op.start == 5.0
+
+    def test_start_is_max_of_constraints(self):
+        tl = Timeline()
+        tl.schedule("compute", 0.0, 3.0)
+        op = tl.schedule("compute", 1.0, 1.0)
+        assert op.start == 3.0
+
+    def test_unknown_engine_raises(self):
+        with pytest.raises(KeyError):
+            Timeline().schedule("nope", 0.0, 1.0)
+
+    def test_negative_duration_raises(self):
+        with pytest.raises(ValueError):
+            Timeline().schedule("compute", 0.0, -1.0)
+
+    def test_zero_duration_ok(self):
+        op = Timeline().schedule("compute", 2.0, 0.0)
+        assert op.start == op.end == 2.0
+
+
+class TestAccounting:
+    def test_busy_time(self):
+        tl = Timeline()
+        tl.schedule("compute", 0.0, 1.0)
+        tl.schedule("compute", 5.0, 2.0)
+        assert tl.busy_time("compute") == pytest.approx(3.0)
+
+    def test_engine_ops_filter(self):
+        tl = Timeline()
+        tl.schedule("compute", 0.0, 1.0, name="a")
+        tl.schedule("h2d", 0.0, 1.0, name="b")
+        assert [op.name for op in tl.engine_ops("h2d")] == ["b"]
+
+    def test_num_ops_counts_without_trace(self):
+        tl = Timeline(record_trace=False)
+        tl.schedule("compute", 0.0, 1.0)
+        tl.schedule("compute", 0.0, 1.0)
+        assert tl.num_ops == 2
+        assert tl.ops == []
+        assert tl.makespan == 2.0
+
+    def test_reset(self):
+        tl = Timeline()
+        tl.schedule("compute", 0.0, 1.0)
+        tl.reset()
+        assert tl.makespan == 0.0
+        assert tl.num_ops == 0
+        assert tl.ops == []
+
+    def test_validate_passes_on_good_schedule(self):
+        tl = Timeline()
+        for i in range(10):
+            tl.schedule("compute", i * 0.1, 0.5)
+        tl.validate()
+
+    def test_op_metadata(self):
+        tl = Timeline()
+        op = tl.schedule("h2d", 0.0, 1.0, stream="s1", name="copy", nbytes=42, flops=7)
+        assert op.stream == "s1"
+        assert op.nbytes == 42
+        assert op.flops == 7
+        assert op.duration == 1.0

@@ -1,0 +1,144 @@
+"""Unit tests for the graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import (
+    erdos_renyi,
+    planar_like,
+    random_geometric,
+    rmat,
+    road_like,
+    subdivide,
+)
+from repro.graphs.properties import is_connected
+
+
+class TestRmat:
+    def test_size_and_determinism(self):
+        g1 = rmat(256, 2000, seed=1)
+        g2 = rmat(256, 2000, seed=1)
+        assert g1.num_vertices == 256
+        assert 0 < g1.num_edges <= 2000
+        assert np.array_equal(g1.indices, g2.indices)
+        assert np.array_equal(g1.weights, g2.weights)
+
+    def test_seed_changes_graph(self):
+        g1 = rmat(256, 2000, seed=1)
+        g2 = rmat(256, 2000, seed=2)
+        assert not (
+            g1.num_edges == g2.num_edges and np.array_equal(g1.indices, g2.indices)
+        )
+
+    def test_degree_skew(self):
+        """R-MAT should produce a heavier-tailed degree distribution than
+        a uniform random graph of the same size."""
+        g = rmat(512, 8000, seed=3)
+        e = erdos_renyi(512, 8000, seed=3)
+        assert g.out_degree().max() > e.out_degree().max()
+
+    def test_symmetric_option(self):
+        g = rmat(128, 600, seed=4, symmetric=True)
+        d = g.to_dense()
+        finite = np.isfinite(d) & (d > 0)
+        assert np.array_equal(finite, finite.T)
+
+    def test_weight_range(self):
+        g = rmat(64, 400, seed=5, weight_range=(2.0, 9.0))
+        assert g.weights.min() >= 2.0
+        assert g.weights.max() <= 9.0
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            rmat(64, 100, a=0.5, b=0.4, c=0.3)
+
+
+class TestPlanar:
+    def test_connected_by_default(self):
+        assert is_connected(planar_like(400, seed=1))
+
+    def test_symmetric(self):
+        g = planar_like(300, seed=2)
+        d = g.to_dense()
+        finite = np.isfinite(d)
+        assert np.array_equal(finite, finite.T)
+
+    def test_exact_vertex_count(self):
+        for n in (97, 100, 256):
+            assert planar_like(n, seed=3).num_vertices == n
+
+    def test_diagonals_raise_degree(self):
+        base = planar_like(400, seed=4, extra_edge_fraction=0.0)
+        tri = planar_like(400, seed=4, extra_edge_fraction=0.0, diagonal_fraction=0.9)
+        assert tri.num_edges > base.num_edges
+
+    def test_drop_fraction_reduces_edges(self):
+        dense = planar_like(400, seed=5, drop_fraction=0.0, extra_edge_fraction=0.0)
+        sparse = planar_like(400, seed=5, drop_fraction=0.4, extra_edge_fraction=0.0)
+        assert sparse.num_edges < dense.num_edges
+
+
+class TestRoad:
+    def test_target_degree(self):
+        for d in (2.2, 2.6, 3.5):
+            g = road_like(600, d, seed=6)
+            assert g.num_edges / g.num_vertices == pytest.approx(d, rel=0.25)
+
+    def test_connected(self):
+        assert is_connected(road_like(500, 2.6, seed=7))
+
+    def test_chain_vertices_present(self):
+        """Road networks are dominated by degree-2 chain vertices."""
+        g = road_like(800, 2.3, seed=8)
+        deg = g.out_degree()
+        assert (deg == 2).mean() > 0.5
+
+    def test_degree_out_of_range(self):
+        with pytest.raises(ValueError):
+            road_like(100, 5.0)
+        with pytest.raises(ValueError):
+            road_like(100, 1.5)
+
+
+class TestSubdivide:
+    def test_factor_one_is_identity(self):
+        g = planar_like(100, seed=9)
+        assert subdivide(g, 1.0).num_vertices == g.num_vertices
+
+    def test_vertex_growth(self):
+        g = planar_like(100, seed=9, extra_edge_fraction=0.0, drop_fraction=0.0)
+        s = subdivide(g, 3.0, seed=1)
+        und = g.num_edges // 2
+        assert s.num_vertices == g.num_vertices + und * 2  # (c-1) per edge
+
+    def test_preserves_connectivity(self):
+        g = planar_like(150, seed=10)
+        assert is_connected(subdivide(g, 2.5, seed=2))
+
+
+class TestGeometric:
+    def test_radius_controls_degree(self):
+        lo = random_geometric(300, 0.05, seed=11)
+        hi = random_geometric(300, 0.12, seed=11)
+        assert hi.num_edges > lo.num_edges
+
+    def test_symmetric(self):
+        g = random_geometric(200, 0.1, seed=12)
+        d = g.to_dense()
+        finite = np.isfinite(d)
+        assert np.array_equal(finite, finite.T)
+
+    def test_max_degree_cap(self):
+        g = random_geometric(200, 0.2, seed=13, max_degree=10)
+        assert g.out_degree().max() <= 12  # cap applies to undirected halves
+
+
+class TestErdos:
+    def test_determinism(self):
+        a = erdos_renyi(100, 700, seed=14)
+        b = erdos_renyi(100, 700, seed=14)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_edge_count_close(self):
+        g = erdos_renyi(500, 5000, seed=15)
+        assert g.num_edges == pytest.approx(5000, rel=0.05)

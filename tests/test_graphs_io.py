@@ -1,0 +1,136 @@
+"""Unit tests for Matrix Market and edge-list I/O."""
+
+import gzip
+
+import numpy as np
+import pytest
+
+from repro.graphs.csr import CSRGraph
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.io import (
+    read_edge_list,
+    read_matrix_market,
+    write_edge_list,
+    write_matrix_market,
+)
+
+
+class TestMatrixMarket:
+    def test_round_trip(self, tmp_path):
+        g = erdos_renyi(60, 300, seed=1)
+        path = tmp_path / "g.mtx"
+        write_matrix_market(g, path)
+        g2 = read_matrix_market(path)
+        assert np.allclose(g.to_dense(), g2.to_dense())
+
+    def test_round_trip_gzip(self, tmp_path):
+        g = erdos_renyi(40, 150, seed=2)
+        path = tmp_path / "g.mtx.gz"
+        write_matrix_market(g, path)
+        assert gzip.open(path, "rt").readline().startswith("%%MatrixMarket")
+        g2 = read_matrix_market(path)
+        assert np.allclose(g.to_dense(), g2.to_dense())
+
+    def test_symmetric_storage_expands(self, tmp_path):
+        path = tmp_path / "sym.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 2\n"
+            "2 1 5.0\n"
+            "3 2 7.0\n"
+        )
+        g = read_matrix_market(path)
+        d = g.to_dense()
+        assert d[1, 0] == 5.0 and d[0, 1] == 5.0
+        assert d[2, 1] == 7.0 and d[1, 2] == 7.0
+
+    def test_pattern_field_weight_one(self, tmp_path):
+        path = tmp_path / "pat.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 2 1\n"
+            "1 2\n"
+        )
+        g = read_matrix_market(path)
+        assert g.to_dense()[0, 1] == 1.0
+
+    def test_negative_values_become_positive_weights(self, tmp_path):
+        path = tmp_path / "neg.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 1\n"
+            "1 2 -3.5\n"
+        )
+        g = read_matrix_market(path)
+        assert g.to_dense()[0, 1] == 3.5
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "c.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n"
+            "% another\n"
+            "2 2 1\n"
+            "1 2 4.0\n"
+        )
+        assert read_matrix_market(path).num_edges == 1
+
+    def test_rejects_non_square(self, tmp_path):
+        path = tmp_path / "ns.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n3 2 1\n1 2 4.0\n"
+        )
+        with pytest.raises(ValueError, match="square"):
+            read_matrix_market(path)
+
+    def test_rejects_wrong_header(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("%%NotMatrixMarket\n1 1 0\n")
+        with pytest.raises(ValueError):
+            read_matrix_market(path)
+
+    def test_rejects_truncated(self, tmp_path):
+        path = tmp_path / "tr.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n3 3 2\n1 2 4.0\n"
+        )
+        with pytest.raises(ValueError, match="expected 2 entries"):
+            read_matrix_market(path)
+
+    def test_rejects_array_format(self, tmp_path):
+        path = tmp_path / "arr.mtx"
+        path.write_text("%%MatrixMarket matrix array real general\n2 2\n1.0\n")
+        with pytest.raises(ValueError, match="coordinate"):
+            read_matrix_market(path)
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        g = erdos_renyi(10, 30, seed=3)
+        path = tmp_path / "mygraph.mtx"
+        write_matrix_market(g, path)
+        assert read_matrix_market(path).name == "mygraph"
+
+
+class TestEdgeList:
+    def test_round_trip(self, tmp_path):
+        g = erdos_renyi(50, 200, seed=4)
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        g2 = read_edge_list(path)
+        assert np.allclose(g.to_dense(), g2.to_dense())
+
+    def test_default_weight(self, tmp_path):
+        path = tmp_path / "e.txt"
+        path.write_text("0 1\n1 2\n")
+        g = read_edge_list(path, default_weight=7.0)
+        assert g.to_dense()[0, 1] == 7.0
+
+    def test_explicit_num_vertices(self, tmp_path):
+        path = tmp_path / "e.txt"
+        path.write_text("0 1 2.0\n")
+        g = read_edge_list(path, num_vertices=10)
+        assert g.num_vertices == 10
+
+    def test_hash_comments_skipped(self, tmp_path):
+        path = tmp_path / "e.txt"
+        path.write_text("# header\n0 1 2.0\n")
+        assert read_edge_list(path).num_edges == 1

@@ -1,0 +1,65 @@
+"""Unit tests for graph property extraction."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.csr import CSRGraph
+from repro.graphs.generators import erdos_renyi, planar_like
+from repro.graphs.properties import analyze, connected_components, is_connected
+
+
+class TestComponents:
+    def test_single_component(self):
+        g = planar_like(100, seed=1)
+        labels = connected_components(g)
+        assert labels.max() == 0
+        assert is_connected(g)
+
+    def test_two_components(self):
+        g = CSRGraph.from_edges(
+            4, np.array([0, 2]), np.array([1, 3]), np.array([1.0, 1.0])
+        )
+        labels = connected_components(g)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_isolated_vertices(self):
+        g = CSRGraph.from_edges(3, np.array([0]), np.array([1]), np.array([1.0]))
+        labels = connected_components(g)
+        assert labels.max() == 1  # {0,1} and {2}
+
+    def test_direction_ignored(self):
+        # one-way chain is still weakly connected
+        g = CSRGraph.from_edges(
+            3, np.array([0, 1]), np.array([1, 2]), np.array([1.0, 1.0])
+        )
+        assert is_connected(g)
+
+
+class TestAnalyze:
+    def test_basic_fields(self):
+        g = erdos_renyi(200, 1500, seed=2)
+        p = analyze(g)
+        assert p.num_vertices == 200
+        assert p.num_edges == g.num_edges
+        assert p.density == pytest.approx(g.num_edges / 200**2)
+        assert p.density_percent == pytest.approx(100 * p.density)
+        assert p.max_out_degree >= p.mean_out_degree
+
+    def test_ideal_separator_default_k(self):
+        g = erdos_renyi(100, 400, seed=3)
+        p = analyze(g)
+        # k defaults to sqrt(n) = 10 -> sqrt(k*n) = sqrt(1000)
+        assert p.ideal_separator == pytest.approx(np.sqrt(10 * 100))
+
+    def test_ideal_separator_explicit_k(self):
+        g = erdos_renyi(100, 400, seed=3)
+        p = analyze(g, k=4)
+        assert p.ideal_separator == pytest.approx(20.0)
+
+    def test_component_count(self):
+        g = CSRGraph.from_edges(
+            6, np.array([0, 2, 4]), np.array([1, 3, 5]), np.ones(3)
+        )
+        assert analyze(g).num_components == 3

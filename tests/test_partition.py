@@ -1,0 +1,189 @@
+"""Unit tests for the multilevel k-way partitioner and separator analysis."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.csr import CSRGraph
+from repro.graphs.generators import erdos_renyi, planar_like, rmat, road_like
+from repro.partition import (
+    boundary_nodes,
+    classify_separator,
+    coarsen_graph,
+    heavy_edge_matching,
+    partition_kway,
+    refine_partition,
+    separator_info,
+)
+from repro.partition.refine import edge_cut
+
+
+class TestMatching:
+    def test_matching_is_symmetric(self):
+        g = planar_like(200, seed=1).symmetrize()
+        rng = np.random.default_rng(0)
+        match = heavy_edge_matching(g, rng=rng)
+        for v in range(g.num_vertices):
+            assert match[match[v]] == v
+
+    def test_matched_pairs_are_neighbors(self):
+        g = planar_like(200, seed=2).symmetrize()
+        match = heavy_edge_matching(g, rng=np.random.default_rng(1))
+        for v in range(g.num_vertices):
+            u = match[v]
+            if u != v:
+                nbrs, _ = g.neighbors(v)
+                assert u in nbrs
+
+
+class TestCoarsen:
+    def test_vertex_weight_conserved(self):
+        g = planar_like(300, seed=3).symmetrize()
+        w = np.ones(g.num_vertices)
+        level = coarsen_graph(g, w, rng=np.random.default_rng(2))
+        assert level.vertex_weight.sum() == pytest.approx(g.num_vertices)
+
+    def test_graph_shrinks(self):
+        g = planar_like(300, seed=4).symmetrize()
+        level = coarsen_graph(
+            g, np.ones(g.num_vertices), rng=np.random.default_rng(3)
+        )
+        assert level.graph.num_vertices < g.num_vertices
+
+    def test_fine_to_coarse_is_total(self):
+        g = planar_like(200, seed=5).symmetrize()
+        level = coarsen_graph(
+            g, np.ones(g.num_vertices), rng=np.random.default_rng(4)
+        )
+        assert level.fine_to_coarse.shape == (g.num_vertices,)
+        assert level.fine_to_coarse.max() == level.graph.num_vertices - 1
+        assert level.fine_to_coarse.min() == 0
+
+
+class TestPartition:
+    @pytest.mark.parametrize("k", [2, 5, 16])
+    def test_labels_cover_all_parts(self, k):
+        g = planar_like(400, seed=6)
+        res = partition_kway(g, k, seed=0)
+        assert res.labels.shape == (400,)
+        assert set(np.unique(res.labels)) == set(range(k))
+
+    def test_balance(self):
+        g = planar_like(600, seed=7)
+        res = partition_kway(g, 8, seed=0, balance_tol=1.10)
+        # greedy fallback for stragglers can nudge past the growth budget
+        assert res.imbalance <= 1.25
+
+    def test_part_sizes_sum(self):
+        g = planar_like(300, seed=8)
+        res = partition_kway(g, 6, seed=0)
+        assert res.part_sizes.sum() == 300
+
+    def test_k1_trivial(self):
+        g = planar_like(100, seed=9)
+        res = partition_kway(g, 1)
+        assert np.all(res.labels == 0)
+        assert res.edge_cut == 0
+
+    def test_k_ge_n(self):
+        g = erdos_renyi(10, 40, seed=10)
+        res = partition_kway(g, 10, seed=0)
+        assert res.num_parts == 10
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            partition_kway(planar_like(50, seed=11), 0)
+
+    def test_deterministic(self):
+        g = planar_like(300, seed=12)
+        a = partition_kway(g, 8, seed=5)
+        b = partition_kway(g, 8, seed=5)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_cut_quality_on_grid(self):
+        """A k-way cut of a planar lattice should be within a small factor
+        of the O(√(n/k)·k) optimum."""
+        g = planar_like(900, seed=13, extra_edge_fraction=0.0, drop_fraction=0.0)
+        k = 9
+        res = partition_kway(g, k, seed=0)
+        ideal = k * np.sqrt(900 / k)  # ~perimeter edges of square parts
+        assert res.edge_cut <= 4 * ideal
+
+    def test_handles_disconnected(self):
+        a = planar_like(100, seed=14)
+        sa, da, wa = a.edge_array()
+        g = CSRGraph.from_edges(
+            200,
+            np.concatenate([sa, sa + 100]),
+            np.concatenate([da, da + 100]),
+            np.concatenate([wa, wa]),
+        )
+        res = partition_kway(g, 4, seed=0)
+        assert set(np.unique(res.labels)) == {0, 1, 2, 3}
+
+
+class TestRefine:
+    def test_refinement_never_worsens_cut(self):
+        g = planar_like(400, seed=15).symmetrize()
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 4, size=400)
+        before = edge_cut(g, labels)
+        refined = refine_partition(g, labels, 4, rng=np.random.default_rng(1))
+        assert edge_cut(g, refined) <= before
+
+    def test_refinement_improves_random_labels(self):
+        g = planar_like(400, seed=16).symmetrize()
+        rng = np.random.default_rng(2)
+        labels = rng.integers(0, 4, size=400)
+        refined = refine_partition(g, labels, 4, rng=np.random.default_rng(3))
+        assert edge_cut(g, refined) < edge_cut(g, labels) * 0.8
+
+    def test_no_part_emptied(self):
+        g = erdos_renyi(60, 600, seed=17)
+        labels = np.arange(60) % 3
+        refined = refine_partition(
+            g.symmetrize(), labels, 3, rng=np.random.default_rng(4)
+        )
+        assert np.bincount(refined, minlength=3).min() >= 1
+
+
+class TestSeparator:
+    def test_boundary_definition(self):
+        # path 0-1-2-3 cut between 1 and 2: both endpoints are boundary
+        g = CSRGraph.from_edges(
+            4,
+            np.array([0, 1, 2, 1, 2, 3]),
+            np.array([1, 2, 3, 0, 1, 2]),
+            np.ones(6),
+        )
+        labels = np.array([0, 0, 1, 1])
+        assert boundary_nodes(g, labels).tolist() == [1, 2]
+
+    def test_no_cut_no_boundary(self):
+        g = CSRGraph.from_edges(4, np.array([0, 2]), np.array([1, 3]), np.ones(2))
+        labels = np.array([0, 0, 1, 1])
+        assert boundary_nodes(g, labels).size == 0
+
+    def test_info_fields(self):
+        g = planar_like(400, seed=18)
+        res = partition_kway(g, 10, seed=0)
+        info = separator_info(g, res.labels)
+        assert info.num_parts == 10
+        assert info.num_boundary == boundary_nodes(g, res.labels).size
+        assert info.ideal_boundary == pytest.approx(np.sqrt(10 * 400))
+        assert info.boundary_per_part.sum() == info.num_boundary
+
+    def test_range_index_bins(self):
+        g = planar_like(400, seed=19)
+        res = partition_kway(g, 10, seed=0)
+        info = separator_info(g, res.labels)
+        assert info.range_index == int(np.floor(np.log2(max(info.ratio, 1.0))))
+
+    def test_classify_planar_small(self):
+        assert classify_separator(planar_like(900, seed=20), seed=0).small_separator
+
+    def test_classify_rmat_large(self):
+        g = rmat(800, 8000, seed=21)
+        assert not classify_separator(g, seed=0).small_separator
+
+    def test_classify_road_small(self):
+        assert classify_separator(road_like(800, 2.6, seed=22), seed=0).small_separator

@@ -1,0 +1,65 @@
+"""Tests for the execution-plan explainer."""
+
+import numpy as np
+import pytest
+
+from repro.core.planner import explain_plan
+from repro.gpu.device import TEST_DEVICE, V100
+from repro.graphs.generators import erdos_renyi, rmat, road_like
+
+
+SPEC = V100.scaled(1 / 64)
+
+
+class TestExplainPlan:
+    def test_all_algorithms_reported(self):
+        g = road_like(900, 2.6, seed=1)
+        report = explain_plan(g, SPEC)
+        assert set(report.plans) == {"floyd-warshall", "johnson", "boundary"}
+
+    def test_feasible_plans_match_drivers(self):
+        g = road_like(900, 2.6, seed=1)
+        report = explain_plan(g, SPEC, seed=0)
+        from repro.core import ooc_boundary, ooc_johnson
+        from repro.gpu.device import Device
+
+        res_j = ooc_johnson(g, Device(SPEC))
+        assert report.plans["johnson"].parameters["batch_size"] == res_j.stats["batch_size"]
+        res_b = ooc_boundary(g, Device(SPEC), seed=0)
+        assert (
+            report.plans["boundary"].parameters["num_components"]
+            == res_b.stats["num_components"]
+        )
+
+    def test_working_sets_fit_device(self):
+        g = road_like(900, 2.6, seed=1)
+        report = explain_plan(g, SPEC)
+        for plan in report.plans.values():
+            if plan.feasible:
+                assert plan.working_set_bytes <= SPEC.memory_bytes * 1.01
+
+    def test_boundary_infeasible_reported_not_raised(self):
+        g = rmat(1200, 40_000, seed=2)  # expander: huge boundary
+        report = explain_plan(g, SPEC)
+        plan = report.plans["boundary"]
+        assert not plan.feasible
+        assert "boundary matrix" in plan.reason
+        assert "infeasible" in plan.describe()
+
+    def test_output_fits_flag(self):
+        small = erdos_renyi(100, 500, seed=3)
+        big = erdos_renyi(2000, 8000, seed=3)
+        assert explain_plan(small, SPEC).output_fits_device
+        assert not explain_plan(big, SPEC).output_fits_device
+
+    def test_describe_is_readable(self):
+        g = road_like(500, 2.6, seed=4)
+        text = explain_plan(g, SPEC).describe()
+        assert "out of core" in text or "fits in core" in text
+        assert "block_size=" in text
+        assert "batch_size=" in text
+
+    def test_johnson_infeasible_on_tiny_device(self):
+        g = erdos_renyi(600, 50_000, seed=5)
+        report = explain_plan(g, TEST_DEVICE)
+        assert not report.plans["johnson"].feasible

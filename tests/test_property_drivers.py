@@ -1,0 +1,79 @@
+"""Property tests over *driver parameters*: every legal block size, batch
+size, and component count must leave results exact (the planner's defaults
+are an optimisation, never a correctness requirement)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ooc_boundary, ooc_floyd_warshall, ooc_johnson
+from repro.gpu.device import Device, DeviceSpec, TEST_DEVICE, V100
+from repro.graphs.generators import erdos_renyi, planar_like
+from tests.conftest import oracle_apsp
+from tests.test_property_based import SETTINGS
+
+# a reusable mid-size graph per family (generation inside @given would slow
+# shrinking down massively)
+_ER = erdos_renyi(70, 500, seed=41)
+_ER_ORACLE = oracle_apsp(_ER)
+_PL = planar_like(90, seed=42)
+_PL_ORACLE = oracle_apsp(_PL)
+
+#: a roomier test device so arbitrary parameters rarely hit OOM
+_BIG_TEST = DeviceSpec(
+    name="prop-gpu",
+    memory_bytes=8 * 1024 * 1024,
+    minplus_rate=1e9,
+    relax_rate=1e6,
+    mem_bandwidth=1e9,
+    transfer_throughput=1e8,
+    transfer_latency=1e-5,
+)
+
+
+class TestParameterIndependence:
+    @settings(max_examples=25, deadline=None, derandomize=True)
+    @given(st.integers(4, 80), st.booleans())
+    def test_fw_any_block_size(self, block_size, overlap):
+        # block_size >= 4: tiny tiles are legal but the n_d³ Python-loop
+        # cost makes them pathological to sweep under hypothesis
+        res = ooc_floyd_warshall(
+            _ER, Device(_BIG_TEST), block_size=block_size, overlap=overlap
+        )
+        assert np.allclose(res.to_array(), _ER_ORACLE)
+
+    @settings(max_examples=25, deadline=None, derandomize=True)
+    @given(st.integers(2, 75), st.booleans(), st.booleans())
+    def test_johnson_any_batch_size(self, batch_size, dp, overlap):
+        res = ooc_johnson(
+            _ER, Device(_BIG_TEST), batch_size=batch_size,
+            dynamic_parallelism=dp, overlap=overlap,
+        )
+        assert np.allclose(res.to_array(), _ER_ORACLE)
+
+    @settings(max_examples=25, deadline=None, derandomize=True)
+    @given(st.floats(5.0, 400.0), st.integers(1, 200))
+    def test_johnson_any_delta_and_heavy_threshold(self, delta, heavy):
+        # delta floor of 5.0 (a tenth of the mean weight): smaller values
+        # stay correct but multiply split advances into pathological wall
+        # time under a 25-example sweep
+        res = ooc_johnson(
+            _ER, Device(_BIG_TEST), delta=delta, heavy_degree=heavy
+        )
+        assert np.allclose(res.to_array(), _ER_ORACLE)
+
+    @settings(max_examples=20, deadline=None, derandomize=True)
+    @given(st.integers(2, 20), st.booleans(), st.booleans())
+    def test_boundary_any_component_count(self, k, batching, overlap):
+        res = ooc_boundary(
+            _PL, Device(V100.scaled(1 / 64)), num_components=k,
+            batch_transfers=batching, overlap=overlap, seed=0,
+        )
+        assert np.allclose(res.to_array(), _PL_ORACLE)
+        assert res.stats["num_components"] == k
+
+    @settings(max_examples=15, deadline=None, derandomize=True)
+    @given(st.integers(0, 2**31 - 1))
+    def test_boundary_any_partition_seed(self, seed):
+        res = ooc_boundary(_PL, Device(V100.scaled(1 / 64)), seed=seed)
+        assert np.allclose(res.to_array(), _PL_ORACLE)

@@ -1,0 +1,143 @@
+"""Property-based tests for graph transforms, reweighting, and analysis
+invariants (second hypothesis file — the first covers APSP/min-plus)."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    closeness_centrality,
+    diameter,
+    eccentricity,
+    harmonic_centrality,
+    radius,
+)
+from repro.core.blocked_fw import floyd_warshall
+from repro.graphs.csr import CSRGraph
+from repro.sssp.reweight import NegativeCycleError, johnson_potentials
+from tests.test_property_based import SETTINGS, graphs
+
+
+@st.composite
+def permutations(draw, n):
+    perm = list(range(n))
+    # Fisher-Yates with drawn swaps keeps shrinking friendly
+    for i in range(n - 1, 0, -1):
+        j = draw(st.integers(0, i))
+        perm[i], perm[j] = perm[j], perm[i]
+    return np.array(perm, dtype=np.int64)
+
+
+class TestTransformProperties:
+    @SETTINGS
+    @given(st.data())
+    def test_permute_preserves_distances(self, data):
+        g = data.draw(graphs(max_n=16))
+        perm = data.draw(permutations(g.num_vertices))
+        base = floyd_warshall(g.to_dense())
+        permuted = floyd_warshall(g.permute(perm).to_dense())
+        # dist_perm[perm[u], perm[v]] == dist[u, v]
+        assert np.allclose(permuted[np.ix_(perm, perm)], base)
+
+    @SETTINGS
+    @given(graphs(max_n=20))
+    def test_symmetrize_idempotent(self, g):
+        s1 = g.symmetrize()
+        s2 = s1.symmetrize()
+        assert np.allclose(s1.to_dense(), s2.to_dense())
+
+    @SETTINGS
+    @given(graphs(max_n=20))
+    def test_subgraph_distances_never_shorter(self, g):
+        """Removing vertices can only lengthen (or disconnect) paths."""
+        n = g.num_vertices
+        if n < 2:
+            return
+        keep = np.arange(0, n, 2)
+        sub = g.subgraph(keep)
+        full = floyd_warshall(g.to_dense())
+        small = floyd_warshall(sub.to_dense())
+        for i, u in enumerate(keep):
+            for j, v in enumerate(keep):
+                assert small[i, j] >= full[u, v] - 1e-9
+
+    @SETTINGS
+    @given(graphs(max_n=20))
+    def test_reverse_transposes_distances(self, g):
+        fwd = floyd_warshall(g.to_dense())
+        bwd = floyd_warshall(g.reverse().to_dense())
+        assert np.allclose(fwd, bwd.T)
+
+
+class TestReweightProperties:
+    @SETTINGS
+    @given(st.data())
+    def test_potentials_certify_nonnegativity(self, data):
+        """Whenever potentials exist, every reweighted edge is ≥ 0."""
+        n = data.draw(st.integers(2, 15))
+        m = data.draw(st.integers(1, 40))
+        src = np.array(data.draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m)))
+        dst = np.array(data.draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m)))
+        w = np.array(
+            data.draw(st.lists(st.integers(-5, 30), min_size=m, max_size=m)),
+            dtype=float,
+        )
+        try:
+            h = johnson_potentials(n, src, dst, w)
+        except NegativeCycleError:
+            return
+        assert np.all(w + h[src] - h[dst] >= -1e-9)
+
+    @SETTINGS
+    @given(graphs(max_n=15))
+    def test_nonnegative_graphs_zero_potentials(self, g):
+        src, dst, w = g.edge_array()
+        h = johnson_potentials(g.num_vertices, src, dst, w)
+        assert np.all(h == 0)
+
+
+class TestAnalysisProperties:
+    @SETTINGS
+    @given(graphs(max_n=18))
+    def test_centralities_bounded(self, g):
+        dist = floyd_warshall(g.to_dense())
+        clo = closeness_centrality(dist)
+        har = harmonic_centrality(dist)
+        assert np.all(clo >= 0) and np.all(har >= 0)
+        # with integer weights ≥ 1, both are ≤ 1
+        assert np.all(clo <= 1.0 + 1e-9)
+        assert np.all(har <= 1.0 + 1e-9)
+
+    @SETTINGS
+    @given(graphs(max_n=18))
+    def test_radius_le_diameter_le_2radius(self, g):
+        dist = floyd_warshall(g.to_dense())
+        assert radius(dist) <= diameter(dist) + 1e-9
+        # the classic d ≤ 2r bound needs symmetric distances: check it on
+        # the symmetrised graph when connected
+        sdist = floyd_warshall(g.symmetrize().to_dense())
+        if np.isfinite(sdist).all():
+            assert diameter(sdist) <= 2 * radius(sdist) + 1e-9
+
+    @SETTINGS
+    @given(graphs(max_n=18))
+    def test_eccentricity_block_invariance(self, g):
+        dist = floyd_warshall(g.to_dense())
+        assert np.allclose(
+            eccentricity(dist, block_rows=3), eccentricity(dist, block_rows=512)
+        )
+
+
+class TestDedupeProperty:
+    @SETTINGS
+    @given(st.data())
+    def test_min_dedupe_is_order_independent(self, data):
+        n = data.draw(st.integers(1, 10))
+        m = data.draw(st.integers(0, 30))
+        src = np.array(data.draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m)), dtype=np.int64)
+        dst = np.array(data.draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m)), dtype=np.int64)
+        w = np.array(data.draw(st.lists(st.integers(1, 50), min_size=m, max_size=m)), dtype=float)
+        g1 = CSRGraph.from_edges(n, src, dst, w)
+        order = np.array(data.draw(permutations(m)), dtype=np.int64) if m else np.arange(0)
+        g2 = CSRGraph.from_edges(n, src[order], dst[order], w[order])
+        assert np.allclose(g1.to_dense(), g2.to_dense())

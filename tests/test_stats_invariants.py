@@ -1,0 +1,89 @@
+"""Invariants of the workload-statistics records across the suite graphs.
+
+The machine models consume these statistics, so their internal consistency
+is load-bearing: relaxation counts must bound heavy subsets, iteration
+counts must be positive exactly when work happened, and Dijkstra's heap
+accounting must balance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs.suite import get_suite_graph
+from repro.sssp import (
+    bellman_ford,
+    delta_stepping,
+    dijkstra,
+    near_far,
+    near_far_batch,
+)
+
+GRAPHS = ["usroads", "wi2010", "onera_dual", "stanford"]
+SCALE = 1 / 256
+
+
+@pytest.fixture(scope="module", params=GRAPHS)
+def graph(request):
+    return get_suite_graph(request.param, SCALE)
+
+
+class TestNearFarStats:
+    def test_heavy_subset_of_total(self, graph):
+        _, stats = near_far(graph, 0, heavy_degree=8)
+        assert 0 <= stats.heavy_relaxations <= stats.relaxations
+
+    def test_child_launches_iff_heavy(self, graph):
+        _, none = near_far(graph, 0, heavy_degree=10**9)
+        assert none.heavy_relaxations == 0 and none.child_launches == 0
+        _, all_heavy = near_far(graph, 0, heavy_degree=0)
+        if all_heavy.relaxations:
+            assert all_heavy.heavy_relaxations == all_heavy.relaxations
+            assert all_heavy.child_launches > 0
+
+    def test_batch_scales_superadditively(self, graph):
+        """A 4-source batch does at least the work of one source and at
+        most 4 sources' worth plus shared-split slack."""
+        _, one = near_far_batch(graph, np.array([0]))
+        _, four = near_far_batch(graph, np.array([0, 1, 2, 3]))
+        assert four.relaxations >= one.relaxations
+        assert four.relaxations <= 8 * one.relaxations + 1000
+
+    def test_iterations_positive_when_reachable(self, graph):
+        _, stats = near_far(graph, 0)
+        assert stats.iterations >= 1
+
+    def test_deterministic(self, graph):
+        _, a = near_far(graph, 3)
+        _, b = near_far(graph, 3)
+        assert a == b
+
+
+class TestDijkstraAccounting:
+    def test_pops_bounded_by_pushes(self, graph):
+        _, stats = dijkstra(graph, 0)
+        assert stats.pops <= stats.pushes
+
+    def test_relaxations_bounded_by_edges(self, graph):
+        _, stats = dijkstra(graph, 0)
+        # each vertex settles once, so relaxations <= m
+        assert stats.relaxations <= graph.num_edges
+
+    def test_pushes_bounded_by_relaxations_plus_source(self, graph):
+        _, stats = dijkstra(graph, 0)
+        assert stats.pushes <= stats.relaxations + 1
+
+
+class TestCrossAlgorithmWork:
+    def test_work_efficiency_ordering(self, graph):
+        """Dijkstra ≤ Near-Far ≤ Bellman-Ford in relaxations (the Section
+        II-B spectrum), modulo small constant slack."""
+        _, dj = dijkstra(graph, 0)
+        _, nf = near_far(graph, 0)
+        _, bf = bellman_ford(graph, 0)
+        assert dj.relaxations <= nf.relaxations * 1.01 + 10
+        assert nf.relaxations <= bf.relaxations * 1.01 + 10
+
+    def test_delta_stepping_between(self, graph):
+        _, dj = dijkstra(graph, 0)
+        _, ds = delta_stepping(graph, 0)
+        assert ds.relaxations >= dj.relaxations * 0.5

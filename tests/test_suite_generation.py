@@ -1,0 +1,36 @@
+"""Smoke-generate every registry entry and check basic invariants."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.properties import connected_components
+from repro.graphs.suite import list_suite
+
+SCALE = 1 / 256  # small enough that all 29 generate in seconds
+
+
+@pytest.mark.parametrize("entry", list_suite(), ids=lambda e: e.name)
+class TestEveryStandIn:
+    def test_generates_and_is_sane(self, entry):
+        g = entry.generate(SCALE)
+        assert g.num_vertices >= 64
+        assert g.num_edges > 0
+        assert g.name == entry.name
+        # weights are the default integer range
+        assert g.weights.min() >= 1.0
+        assert g.weights.max() <= 100.0
+
+    def test_mostly_connected(self, entry):
+        """Stand-ins should be dominated by one component (APSP on dust is
+        meaningless); webs/roads may carry small satellites."""
+        g = entry.generate(SCALE)
+        labels = connected_components(g)
+        largest = np.bincount(labels).max()
+        assert largest >= 0.75 * g.num_vertices, entry.name
+
+    def test_degree_tracks_paper(self, entry):
+        g = entry.generate(SCALE)
+        ours = g.num_edges / g.num_vertices
+        paper = entry.paper_m / entry.paper_n
+        # generous band: the generators trade exact degree for class shape
+        assert paper / 3.0 <= ours <= paper * 1.6, (entry.name, ours, paper)

@@ -1,0 +1,63 @@
+"""Tests for the empirical parameter-tuning extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.ooc_boundary import BoundaryInfeasibleError
+from repro.gpu.device import V100
+from repro.graphs.generators import erdos_renyi, road_like
+from repro.select.tuning import tune_components, tune_delta
+
+SPEC = V100.scaled(1 / 64)
+
+
+class TestTuneDelta:
+    def test_returns_candidate(self):
+        g = road_like(500, 2.6, seed=1)
+        result = tune_delta(g, SPEC, factors=(0.5, 1.0, 2.0), seed=0)
+        assert result.parameter == "delta"
+        assert any(p.value == result.best for p in result.sweep)
+        assert len(result.sweep) == 3
+
+    def test_best_minimises_time(self):
+        g = road_like(500, 2.6, seed=1)
+        result = tune_delta(g, SPEC, factors=(0.25, 1.0, 4.0), seed=0)
+        best_time = min(p.seconds for p in result.sweep)
+        chosen = next(p for p in result.sweep if p.value == result.best)
+        assert chosen.seconds == best_time
+
+    def test_deterministic(self):
+        g = road_like(400, 2.6, seed=2)
+        a = tune_delta(g, SPEC, seed=3)
+        b = tune_delta(g, SPEC, seed=3)
+        assert a.best == b.best
+        assert [p.seconds for p in a.sweep] == [p.seconds for p in b.sweep]
+
+    def test_describe(self):
+        g = road_like(300, 2.6, seed=4)
+        text = tune_delta(g, SPEC, factors=(1.0, 2.0), seed=0).describe()
+        assert "delta: best=" in text
+
+
+class TestTuneComponents:
+    def test_best_is_sweep_minimum(self):
+        g = road_like(800, 2.6, seed=5)
+        result = tune_components(g, SPEC, seed=0)
+        feasible = [p for p in result.sweep if p.feasible]
+        assert min(feasible, key=lambda p: p.seconds).value == result.best
+
+    def test_paper_region_wins(self):
+        """On a small-separator graph the optimum sits at √n/8–√n/2, per
+        §V-F (and the component-count ablation benchmark)."""
+        g = road_like(900, 2.6, seed=6)
+        result = tune_components(g, SPEC, factors=(1 / 8, 1 / 4, 1 / 2, 1.0), seed=0)
+        root_n = np.sqrt(g.num_vertices)
+        assert result.best <= root_n / 2 + 2
+
+    def test_infeasible_candidates_recorded(self):
+        g = erdos_renyi(1500, 9000, seed=7, symmetric=True)
+        try:
+            result = tune_components(g, SPEC, factors=(1 / 4, 1.0), seed=0)
+        except BoundaryInfeasibleError:
+            return  # acceptable: nothing feasible at all
+        assert any(not p.feasible for p in result.sweep) or len(result.sweep) == 2
