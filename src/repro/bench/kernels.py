@@ -1,0 +1,192 @@
+"""Wall-clock microbenchmark of the min-plus kernel backends.
+
+Times every registered backend (per tile size, where the backend has one)
+on ``n³`` float32 min-plus products, verifies each result bit-identical to
+the reference backend, and persists the sweep to ``BENCH_kernels.json`` at
+the repository root — the seed of the repo's wall-clock performance
+trajectory. Later PRs re-run the sweep and diff the Gop/s columns to show
+regressions or wins on real hardware (the experiment benchmarks report
+*simulated* device seconds instead; see ``docs/PERFORMANCE.md``).
+
+Entry points: ``python -m repro bench-kernels`` and
+``benchmarks/test_kernel_backends.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from pathlib import Path
+from time import perf_counter
+
+import numpy as np
+
+from repro.bench.runner import results_dir
+from repro.core.backends import available_backends, create_backend
+from repro.core.minplus import DIST_DTYPE, minplus_ops
+
+__all__ = [
+    "DEFAULT_SIZES",
+    "DEFAULT_TILES",
+    "bench_kernels_path",
+    "machine_info",
+    "save_sweep",
+    "sweep_backends",
+]
+
+#: problem sizes (cubes) of the default sweep; 1024 matches the repo's
+#: headline Gop/s target
+DEFAULT_SIZES = (256, 1024)
+
+#: tile sizes tried for the backends that expose one (``tiled``, ``jit``)
+DEFAULT_TILES = (64, 128, 256)
+
+#: backends whose constructor takes the sweep's tile parameter
+_TILED_BACKENDS = {"tiled", "jit"}
+
+
+def bench_kernels_path() -> Path:
+    """Canonical location of ``BENCH_kernels.json`` (repo root, or
+    ``REPRO_BENCH_KERNELS`` when set)."""
+    override = os.environ.get("REPRO_BENCH_KERNELS")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parents[3] / "BENCH_kernels.json"
+
+
+def machine_info() -> dict:
+    """Context needed to compare sweeps across machines/commits."""
+    try:
+        import numba
+
+        numba_version = numba.__version__
+    except ImportError:
+        numba_version = None
+    from repro.core.backends.jit import cc_compiler
+
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "numba": numba_version,
+        "cc": cc_compiler(),
+        "cpus": len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity")
+        else os.cpu_count(),
+        "platform": platform.platform(),
+    }
+
+
+def _make_backend(name: str, tile: int | None):
+    if tile is None or name not in _TILED_BACKENDS:
+        return create_backend(name)
+    if name == "tiled":
+        # wide tiles: short rows for L2 residency, long rows for SIMD runs
+        return create_backend(name, tile_i=tile, tile_j=4 * tile)
+    return create_backend(name, tile=tile)
+
+
+def sweep_backends(
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    tiles: tuple[int, ...] = DEFAULT_TILES,
+    backends: tuple[str, ...] | None = None,
+    *,
+    repeats: int = 1,
+    seed: int = 0,
+    verify: bool = True,
+) -> list[dict]:
+    """Time every backend × tile × size; returns one row dict per config.
+
+    Rows carry ``backend, flavor, n, tile, seconds, gops, speedup,
+    identical`` — ``speedup`` is against the reference backend at the same
+    ``n``, ``identical`` the bit-identity check against the reference
+    result. The reference row is always measured first so speedups exist.
+    """
+    names = list(backends or available_backends())
+    if "reference" in names:  # the yardstick always runs first
+        names.remove("reference")
+    rng = np.random.default_rng(seed)
+    rows: list[dict] = []
+    for n in sizes:
+        a = (rng.random((n, n), dtype=DIST_DTYPE) * 100).astype(DIST_DTYPE)
+        b = (rng.random((n, n), dtype=DIST_DTYPE) * 100).astype(DIST_DTYPE)
+        ops = minplus_ops(n, n, n)
+
+        def timed(backend):
+            best = float("inf")
+            result = None
+            for _ in range(max(1, repeats)):
+                c = np.full((n, n), np.inf, dtype=DIST_DTYPE)
+                t0 = perf_counter()
+                backend.update(c, a, b)
+                best = min(best, perf_counter() - t0)
+                result = c
+            return best, result
+
+        ref_backend = create_backend("reference")
+        ref_seconds, ref_c = timed(ref_backend)
+        ref_gops = ops / ref_seconds / 1e9
+        rows.append(
+            {
+                "backend": "reference",
+                "flavor": ref_backend.flavor,
+                "n": n,
+                "tile": None,
+                "seconds": ref_seconds,
+                "gops": ref_gops,
+                "speedup": 1.0,
+                "identical": True,
+            }
+        )
+        for name in names:
+            tile_options = tiles if name in _TILED_BACKENDS else (None,)
+            for tile in tile_options:
+                backend = _make_backend(name, tile)
+                # warm-up triggers one-time JIT/thread-pool costs
+                backend.update(
+                    np.full((32, 32), np.inf, dtype=DIST_DTYPE),
+                    a[:32, :32].copy(),
+                    b[:32, :32].copy(),
+                )
+                seconds, c = timed(backend)
+                rows.append(
+                    {
+                        "backend": name,
+                        "flavor": backend.flavor,
+                        "n": n,
+                        "tile": tile,
+                        "seconds": seconds,
+                        "gops": ops / seconds / 1e9,
+                        "speedup": ref_seconds / seconds,
+                        "identical": bool(np.array_equal(c, ref_c)) if verify else None,
+                    }
+                )
+    return rows
+
+
+def save_sweep(rows: list[dict], path: Path | str | None = None) -> Path:
+    """Write the sweep to ``BENCH_kernels.json`` (and mirror a record into
+    ``benchmarks/results/`` so ``python -m repro report`` includes it)."""
+    path = Path(path) if path else bench_kernels_path()
+    non_ref = [r for r in rows if r["backend"] != "reference"]
+    best = max(non_ref, key=lambda r: r["gops"]) if non_ref else None
+    payload = {
+        "experiment": "kernels",
+        "title": "min-plus kernel backend wall-clock sweep",
+        "generated_by": "python -m repro bench-kernels",
+        "machine": machine_info(),
+        "rows": rows,
+        "best": best,
+        "best_speedup": best["speedup"] if best else None,
+    }
+    path.write_text(json.dumps(payload, indent=2))
+    mirror = {
+        **payload,
+        "paper_expectation": (
+            "repo target: best non-reference backend ≥ 3× the reference "
+            "rank-1 loop's Gop/s at n=1024 (ISSUE 1 acceptance)"
+        ),
+        "notes": [f"canonical copy: {path}"],
+    }
+    (results_dir() / "kernels.json").write_text(json.dumps(mirror, indent=2))
+    return path

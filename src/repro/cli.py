@@ -2,11 +2,12 @@
 
 Commands
 --------
-``solve``     run out-of-core APSP on a graph file or generator spec
-``info``      graph features: density, degrees, separator class (Table III columns)
-``select``    run the Section-IV selector and print the report
-``suite``     list the paper's evaluation-graph registry
-``devices``   list the device presets and their constants
+``solve``         run out-of-core APSP on a graph file or generator spec
+``info``          graph features: density, degrees, separator class (Table III columns)
+``select``        run the Section-IV selector and print the report
+``suite``         list the paper's evaluation-graph registry
+``devices``       list the device presets and their constants
+``bench-kernels`` wall-clock sweep of the min-plus kernel backends
 """
 
 from __future__ import annotations
@@ -78,8 +79,11 @@ def cmd_solve(args) -> int:
         device=device,
         density_scale=args.scale,
         store_mode="disk" if args.disk else "ram",
+        kernel_backend=args.kernel_backend or None,
     )
     print(f"algorithm: {result.algorithm}")
+    if "kernel_backend" in result.stats:
+        print(f"kernel backend: {result.stats['kernel_backend']}")
     print(f"simulated time: {result.simulated_seconds:.6f}s")
     for key in ("block_size", "num_blocks", "batch_size", "num_batches",
                 "num_components", "num_boundary", "num_transfers"):
@@ -187,6 +191,60 @@ def cmd_devices(args) -> int:
     return 0
 
 
+def cmd_bench_kernels(args) -> int:
+    from repro.bench.kernels import save_sweep, sweep_backends
+    from repro.bench.runner import format_bars, format_table
+    from repro.core.backends import backend_names
+
+    try:
+        sizes = tuple(int(s) for s in args.sizes.split(","))
+        tiles = tuple(int(t) for t in args.tiles.split(","))
+    except ValueError:
+        raise SystemExit("--sizes and --tiles take comma-separated integers")
+    backends = tuple(args.backends.split(",")) if args.backends else None
+    bad = [b for b in backends or () if b not in backend_names()]
+    if bad:
+        raise SystemExit(
+            f"unknown backend(s) {', '.join(bad)}; choose from {', '.join(backend_names())}"
+        )
+    rows = sweep_backends(
+        sizes, tiles, backends, repeats=args.repeats, seed=args.seed
+    )
+    table_rows = [
+        {
+            "backend": r["backend"],
+            "flavor": r["flavor"],
+            "n": r["n"],
+            "tile": r["tile"] if r["tile"] is not None else "-",
+            "seconds": r["seconds"],
+            "Gop/s": r["gops"],
+            "speedup": r["speedup"],
+            "identical": "yes" if r["identical"] else "NO",
+        }
+        for r in rows
+    ]
+    print(format_table(table_rows))
+    n_max = max(r["n"] for r in rows)
+    print(f"\nGop/s at n={n_max}:")
+    bar_rows = [
+        {
+            "config": f"{r['backend']}"
+            + (f"[{r['tile']}]" if r["tile"] is not None else ""),
+            "gops": r["gops"],
+        }
+        for r in rows
+        if r["n"] == n_max
+    ]
+    print(format_bars(bar_rows, "config", "gops"))
+    if not args.no_save:
+        path = save_sweep(rows)
+        print(f"\nwrote {path}")
+    if any(r["identical"] is False for r in rows):
+        print("ERROR: a backend diverged from the reference result", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_report(args) -> int:
     from repro.bench.report import collect_records, render_markdown, write_report
 
@@ -223,6 +281,9 @@ def main(argv=None) -> int:
                    help="write a chrome://tracing JSON of the device schedule")
     p.add_argument("--query", metavar="U,V", default="",
                    help="print one distance after solving")
+    p.add_argument("--kernel-backend", default="",
+                   choices=["", "auto", "reference", "tiled", "chunked", "jit", "threaded"],
+                   help="host min-plus kernel backend (default: process-wide engine)")
     p.set_defaults(fn=cmd_solve)
 
     p = sub.add_parser("info", help="graph features (Table III columns)")
@@ -243,6 +304,19 @@ def main(argv=None) -> int:
 
     p = sub.add_parser("devices", help="list device presets")
     p.set_defaults(fn=cmd_devices)
+
+    p = sub.add_parser("bench-kernels",
+                       help="wall-clock Gop/s sweep of the min-plus kernel backends")
+    p.add_argument("--sizes", default="256,1024", help="comma-separated problem sizes")
+    p.add_argument("--tiles", default="64,128,256",
+                   help="comma-separated tile sizes for tiled/jit backends")
+    p.add_argument("--backends", default="",
+                   help="comma-separated backend names (default: all registered)")
+    p.add_argument("--repeats", type=int, default=1, help="timing repeats (best-of)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-save", action="store_true",
+                   help="print only; skip writing BENCH_kernels.json")
+    p.set_defaults(fn=cmd_bench_kernels)
 
     p = sub.add_parser("report", help="render benchmarks/results/*.json to RESULTS.md")
     p.add_argument("--stdout", action="store_true", help="print instead of writing")

@@ -27,6 +27,7 @@ def solve_apsp(
     store_mode: str = "ram",
     store_dir=None,
     seed: int = 0,
+    kernel_backend=None,
     **algorithm_options,
 ) -> APSPResult:
     """Solve all-pairs shortest paths out-of-core.
@@ -46,6 +47,11 @@ def solve_apsp(
         the selector's density filter (see :mod:`repro.graphs.suite`).
     store_mode:
         ``"ram"`` or ``"disk"`` for the output matrix (Table IV regime).
+    kernel_backend:
+        A kernel backend name (``"reference"``, ``"tiled"``, ``"chunked"``,
+        ``"jit"``, ``"threaded"``, ``"auto"``) or a prebuilt
+        :class:`~repro.core.engine.KernelEngine` for the host-side min-plus
+        and FW tile kernels; ``None`` uses the process-wide default.
     algorithm_options:
         Forwarded to the chosen driver (e.g. ``overlap``,
         ``batch_transfers``, ``dynamic_parallelism``, ``num_components``,
@@ -64,6 +70,16 @@ def solve_apsp(
         device = Device(V100)
     elif isinstance(device, DeviceSpec):
         device = Device(device)
+    if kernel_backend is not None:
+        from repro.core.engine import KernelEngine
+
+        engine = (
+            kernel_backend
+            if isinstance(kernel_backend, KernelEngine)
+            else KernelEngine(kernel_backend)
+        )
+    else:
+        engine = None
 
     report = None
     if algorithm == "auto":
@@ -76,11 +92,16 @@ def solve_apsp(
 
     common = dict(store_mode=store_mode, store_dir=store_dir)
     if algorithm == "floyd-warshall":
-        result = ooc_floyd_warshall(graph, device, **common, **algorithm_options)
+        result = ooc_floyd_warshall(
+            graph, device, engine=engine, **common, **algorithm_options
+        )
     elif algorithm == "johnson":
+        # SSSP-based: no dense min-plus tiles, so no kernel engine to pass
         result = ooc_johnson(graph, device, **common, **algorithm_options)
     else:
-        result = ooc_boundary(graph, device, seed=seed, **common, **algorithm_options)
+        result = ooc_boundary(
+            graph, device, seed=seed, engine=engine, **common, **algorithm_options
+        )
     if report is not None:
         result.stats["selection"] = report
     return result

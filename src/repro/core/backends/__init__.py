@@ -1,0 +1,73 @@
+"""Registry of interchangeable min-plus / FW-tile kernel backends.
+
+Every backend implements :class:`~repro.core.backends.base.KernelBackend`
+and produces **bit-identical** distance tiles on the library's distance
+domain; they differ only in wall-clock speed. The
+:class:`~repro.core.engine.KernelEngine` picks one (auto-calibrated, or
+forced via ``REPRO_KERNEL_BACKEND`` / an explicit API argument).
+
+============  ==========================================================
+``reference``  the seed rank-1 numpy loop — the semantics oracle
+``tiled``      cache-blocked ``(bi, bk, bj)`` sub-tiles sized to L2
+``chunked``    3-D broadcast over bounded ``k``-slabs
+``jit``        numba → compiled C → tiled, degrading gracefully
+``threaded``   thread-pool column panels over the best serial backend
+============  ==========================================================
+"""
+
+from __future__ import annotations
+
+from repro.core.backends.base import KernelBackend
+from repro.core.backends.chunked import ChunkedBackend
+from repro.core.backends.jit import JITBackend
+from repro.core.backends.reference import ReferenceBackend
+from repro.core.backends.threaded import ThreadedBackend
+from repro.core.backends.tiled import TiledBackend
+
+__all__ = [
+    "ChunkedBackend",
+    "JITBackend",
+    "KernelBackend",
+    "ReferenceBackend",
+    "ThreadedBackend",
+    "TiledBackend",
+    "available_backends",
+    "backend_names",
+    "create_backend",
+    "register_backend",
+]
+
+_REGISTRY: dict[str, type[KernelBackend]] = {}
+
+
+def register_backend(cls: type[KernelBackend]) -> type[KernelBackend]:
+    """Add a backend class to the registry (keyed by ``cls.name``)."""
+    if not cls.name or cls.name == "?":
+        raise ValueError(f"{cls.__name__} needs a registry name")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+for _cls in (ReferenceBackend, TiledBackend, ChunkedBackend, JITBackend, ThreadedBackend):
+    register_backend(_cls)
+
+
+def backend_names() -> tuple[str, ...]:
+    """All registered backend names, reference first."""
+    return tuple(_REGISTRY)
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of backends usable in this environment."""
+    return tuple(name for name, cls in _REGISTRY.items() if cls.available())
+
+
+def create_backend(name: str, **options) -> KernelBackend:
+    """Instantiate a registered backend by name."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; choose from {backend_names()}"
+        ) from None
+    return cls(**options)

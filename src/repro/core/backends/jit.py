@@ -1,0 +1,289 @@
+"""JIT-compiled min-plus/FW kernels with graceful degradation.
+
+Flavor resolution order (overridable with ``REPRO_JIT_FLAVOR``):
+
+1. ``numba`` — ``@njit(nogil=True)`` kernels when numba is importable;
+2. ``cc`` — a small C translation unit compiled at first use with the
+   system C compiler (``gcc``/``cc``/``clang``) into a per-user cache
+   directory and loaded through :mod:`ctypes`. No build-time dependency:
+   machines without any compiler simply skip this flavor. The ``.so`` is
+   keyed by a hash of the source and compiler, so later processes pay only
+   a ``dlopen``;
+3. ``fallback`` — delegate to :class:`~repro.core.backends.tiled.TiledBackend`
+   (pure numpy), so requesting ``jit`` is always safe.
+
+Both compiled flavors implement the same loop nest: ``k``-and-``j`` tiled,
+with an early ``isinf(A[i, k])`` skip, candidate-compare inner loop. On the
+library's distance domain (``[0, +inf]``, zero diagonals) this is
+bit-identical to the numpy rank-1 formulation — ``min`` is order-independent
+and float32 ``a + b`` rounds identically in all three. Setting
+``REPRO_JIT=off`` forces the fallback (used by the CI leg that exercises
+the degradation path).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.backends.base import KernelBackend
+from repro.core.backends.tiled import TiledBackend
+
+__all__ = ["JITBackend", "cc_compiler", "load_cc_kernels"]
+
+_C_SOURCE = r"""
+#include <math.h>
+
+typedef long long i64;
+
+/* In-place C = min(C, A (min,+) B).  Shapes: C bi x bj, A bi x bk, B bk x bj.
+ * cs/as/bs are row strides in ELEMENTS (unit stride along the last axis).
+ * k and j are tiled so the B sub-block stays cache-resident across the i
+ * sweep; all-inf A entries short-circuit a full row of work. */
+void mp_update_f32(float *c, const float *a, const float *b,
+                   i64 bi, i64 bk, i64 bj,
+                   i64 cs, i64 as, i64 bs, i64 tile)
+{
+    if (tile <= 0) tile = 128;
+    for (i64 k0 = 0; k0 < bk; k0 += tile) {
+        i64 k1 = k0 + tile < bk ? k0 + tile : bk;
+        for (i64 j0 = 0; j0 < bj; j0 += tile) {
+            i64 len = (j0 + tile < bj ? j0 + tile : bj) - j0;
+            for (i64 i = 0; i < bi; i++) {
+                float *crow = c + i * cs + j0;
+                const float *arow = a + i * as;
+                for (i64 k = k0; k < k1; k++) {
+                    float aik = arow[k];
+                    if (isinf(aik)) continue;
+                    const float *brow = b + k * bs + j0;
+                    for (i64 j = 0; j < len; j++) {
+                        float cand = aik + brow[j];
+                        if (cand < crow[j]) crow[j] = cand;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/* In-place Floyd-Warshall closure of an n x n tile with row stride s.
+ * Equivalent to n rank-1 min-updates on matrices with non-negative
+ * weights and a zero diagonal (the library's distance domain). */
+void fw_inplace_f32(float *d, i64 n, i64 s)
+{
+    for (i64 k = 0; k < n; k++) {
+        const float *krow = d + k * s;
+        for (i64 i = 0; i < n; i++) {
+            float dik = d[i * s + k];
+            if (isinf(dik)) continue;
+            float *irow = d + i * s;
+            for (i64 j = 0; j < n; j++) {
+                float cand = dik + krow[j];
+                if (cand < irow[j]) irow[j] = cand;
+            }
+        }
+    }
+}
+"""
+
+_CFLAGS = ["-O3", "-march=native", "-funroll-loops", "-shared", "-fPIC"]
+
+
+def cc_compiler() -> str | None:
+    """Path of the first usable system C compiler, or ``None``."""
+    override = os.environ.get("REPRO_CC")
+    candidates = [override] if override else ["gcc", "cc", "clang"]
+    for name in candidates:
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def _cache_dir() -> Path:
+    root = os.environ.get("REPRO_JIT_CACHE")
+    if root:
+        return Path(root)
+    home = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return Path(home) / "repro-jit"
+
+
+class _CCKernels:
+    """ctypes bindings to the compiled shared object."""
+
+    def __init__(self, lib: ctypes.CDLL) -> None:
+        self.mp_update = lib.mp_update_f32
+        self.mp_update.argtypes = [ctypes.c_void_p] * 3 + [ctypes.c_longlong] * 7
+        self.mp_update.restype = None
+        self.fw_inplace = lib.fw_inplace_f32
+        self.fw_inplace.argtypes = [ctypes.c_void_p] + [ctypes.c_longlong] * 2
+        self.fw_inplace.restype = None
+
+
+_CC_KERNELS: _CCKernels | None | bool = None  # None = untried, False = failed
+
+
+def load_cc_kernels() -> _CCKernels | None:
+    """Compile (once, cached on disk) and load the C kernels.
+
+    Returns ``None`` when no compiler is present or compilation fails —
+    callers degrade to the numpy fallback. Never raises.
+    """
+    global _CC_KERNELS
+    if _CC_KERNELS is not None:
+        return _CC_KERNELS or None
+    _CC_KERNELS = False
+    compiler = cc_compiler()
+    if compiler is None:
+        return None
+    try:
+        key = hashlib.sha256(
+            (_C_SOURCE + compiler + " ".join(_CFLAGS)).encode()
+        ).hexdigest()[:16]
+        cache = _cache_dir()
+        cache.mkdir(parents=True, exist_ok=True)
+        so_path = cache / f"minplus-{key}.so"
+        if not so_path.exists():
+            with tempfile.TemporaryDirectory(dir=cache) as tmp:
+                src = Path(tmp) / "minplus.c"
+                src.write_text(_C_SOURCE)
+                out = Path(tmp) / "minplus.so"
+                proc = subprocess.run(
+                    [compiler, *_CFLAGS, "-o", str(out), str(src)],
+                    capture_output=True,
+                    timeout=120,
+                )
+                if proc.returncode != 0:
+                    return None
+                os.replace(out, so_path)  # atomic publish into the cache
+        _CC_KERNELS = _CCKernels(ctypes.CDLL(str(so_path)))
+    except Exception:
+        _CC_KERNELS = False
+        return None
+    return _CC_KERNELS
+
+
+def _load_numba_kernels():
+    """Compile the numba flavor; returns ``(update, fw)`` or ``None``."""
+    try:
+        import numba
+    except ImportError:
+        return None
+    try:
+        @numba.njit(cache=True, nogil=True)
+        def nb_update(c, a, b, tile):  # pragma: no cover - needs numba
+            bi, bj = c.shape
+            bk = a.shape[1]
+            for k0 in range(0, bk, tile):
+                k1 = min(k0 + tile, bk)
+                for j0 in range(0, bj, tile):
+                    j1 = min(j0 + tile, bj)
+                    for i in range(bi):
+                        for k in range(k0, k1):
+                            aik = a[i, k]
+                            if np.isinf(aik):
+                                continue
+                            for j in range(j0, j1):
+                                cand = aik + b[k, j]
+                                if cand < c[i, j]:
+                                    c[i, j] = cand
+            return c
+
+        @numba.njit(cache=True, nogil=True)
+        def nb_fw(d):  # pragma: no cover - needs numba
+            n = d.shape[0]
+            for k in range(n):
+                for i in range(n):
+                    dik = d[i, k]
+                    if np.isinf(dik):
+                        continue
+                    for j in range(n):
+                        cand = dik + d[k, j]
+                        if cand < d[i, j]:
+                            d[i, j] = cand
+            return d
+
+        # trigger compilation now so failures downgrade instead of raising
+        probe = np.zeros((2, 2), dtype=np.float32)
+        nb_update(probe.copy(), probe, probe, 128)
+        nb_fw(probe.copy())
+        return nb_update, nb_fw
+    except Exception:
+        return None
+
+
+class JITBackend(KernelBackend):
+    """numba/compiled-C kernels, degrading gracefully to the tiled backend."""
+
+    name = "jit"
+    summary = "JIT kernel: numba if present, else compiled C, else tiled numpy"
+
+    def __init__(self, flavor: str | None = None, tile: int = 128) -> None:
+        self.tile = tile
+        self._numba = None
+        self._cc = None
+        self._fallback = TiledBackend()
+        requested = flavor or os.environ.get("REPRO_JIT_FLAVOR") or "auto"
+        if os.environ.get("REPRO_JIT", "").lower() in ("off", "0", "no"):
+            requested = "fallback"
+        if requested in ("auto", "numba"):
+            self._numba = _load_numba_kernels()
+        if self._numba is None and requested in ("auto", "cc"):
+            self._cc = load_cc_kernels()
+        if requested == "numba" and self._numba is None:
+            self._cc = load_cc_kernels()  # numba asked for but absent: degrade
+        self._flavor = (
+            "numba" if self._numba else "cc" if self._cc else "fallback"
+        )
+
+    @property
+    def flavor(self) -> str:
+        """Which implementation answered: ``numba``, ``cc``, or ``fallback``."""
+        return self._flavor
+
+    @property
+    def compiled(self) -> bool:
+        """True when a compiled (non-numpy) flavor is active."""
+        return self._flavor in ("numba", "cc")
+
+    @staticmethod
+    def _row_stride(arr: np.ndarray) -> int:
+        if arr.strides[1] != arr.itemsize:
+            raise ValueError("jit backend needs unit stride along the last axis")
+        return arr.strides[0] // arr.itemsize
+
+    def update(self, c: np.ndarray, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """In-place ``C = min(C, A ⊗ B)`` via the active JIT flavor."""
+        if self._flavor == "numba":
+            return self._numba[0](c, a, b, self.tile)
+        if self._flavor == "cc":
+            bi, bj = c.shape
+            bk = a.shape[1]
+            self._cc.mp_update(
+                c.ctypes.data, a.ctypes.data, b.ctypes.data,
+                bi, bk, bj,
+                self._row_stride(c), self._row_stride(a), self._row_stride(b),
+                self.tile,
+            )
+            return c
+        return self._fallback.update(c, a, b)
+
+    def fw_inplace(self, dist: np.ndarray) -> np.ndarray:
+        """Floyd–Warshall closure via the active JIT flavor."""
+        if self._flavor == "numba":
+            return self._numba[1](dist)
+        if self._flavor == "cc":
+            self._cc.fw_inplace(
+                dist.ctypes.data, dist.shape[0], self._row_stride(dist)
+            )
+            return dist
+        return self._fallback.fw_inplace(dist)

@@ -1,0 +1,25 @@
+"""The baseline backend: the original rank-1 broadcast loop.
+
+Kept as the semantics oracle every other backend is property-tested
+against, and as the universal fallback (it handles any dtype and any
+stride pattern numpy itself handles).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.backends.base import KernelBackend, rank1_update
+
+__all__ = ["ReferenceBackend"]
+
+
+class ReferenceBackend(KernelBackend):
+    """Rank-1 numpy broadcast updates (the profiled seed implementation)."""
+
+    name = "reference"
+    summary = "rank-1 numpy broadcast loop (baseline)"
+
+    def update(self, c: np.ndarray, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """In-place ``C = min(C, A ⊗ B)`` via ``k`` rank-1 min-updates."""
+        return rank1_update(c, a, b)

@@ -12,7 +12,10 @@ outer iteration ``k``:
 3. rank-update all remaining tiles ``A(i,j) ⊦ A(i,k) ⊗ A(k,j)``.
 
 These run on host arrays; the out-of-core driver (:mod:`repro.core.ooc_fw`)
-applies the same three stages across device-resident tiles.
+applies the same three stages across device-resident tiles. All numeric
+work dispatches through the kernel engine (:mod:`repro.core.engine`); with
+a threaded engine, the independent stage-3 tile updates fan out across the
+worker pool (they share only the read-only ``A(i,k)``/``A(k,j)`` panels).
 """
 
 from __future__ import annotations
@@ -24,24 +27,27 @@ from repro.core.minplus import minplus_update
 __all__ = ["floyd_warshall", "floyd_warshall_inplace", "blocked_floyd_warshall", "fw_ops"]
 
 
-def floyd_warshall_inplace(dist: np.ndarray) -> np.ndarray:
+def _engine(engine):
+    if engine is None:
+        from repro.core.engine import default_engine
+
+        return default_engine()
+    return engine
+
+
+def floyd_warshall_inplace(dist: np.ndarray, *, engine=None) -> np.ndarray:
     """Plain FW on a square matrix, vectorised per intermediate vertex."""
-    n = dist.shape[0]
-    if dist.shape != (n, n):
-        raise ValueError("dist must be square")
-    for k in range(n):
-        np.minimum(dist, dist[:, k : k + 1] + dist[k : k + 1, :], out=dist)
-    return dist
+    return _engine(engine).fw_inplace(dist)
 
 
-def floyd_warshall(weights: np.ndarray) -> np.ndarray:
+def floyd_warshall(weights: np.ndarray, *, engine=None) -> np.ndarray:
     """Plain FW on a copy; input is a dense weight matrix (inf = no edge)."""
     dist = np.array(weights, copy=True)
     np.fill_diagonal(dist, np.minimum(np.diag(dist), 0.0))
-    return floyd_warshall_inplace(dist)
+    return floyd_warshall_inplace(dist, engine=engine)
 
 
-def blocked_floyd_warshall(dist: np.ndarray, block_size: int) -> np.ndarray:
+def blocked_floyd_warshall(dist: np.ndarray, block_size: int, *, engine=None) -> np.ndarray:
     """Blocked FW in place on a host matrix; returns ``dist``.
 
     Equivalent to :func:`floyd_warshall_inplace` for every block size
@@ -53,6 +59,7 @@ def blocked_floyd_warshall(dist: np.ndarray, block_size: int) -> np.ndarray:
         raise ValueError("dist must be square")
     if block_size < 1:
         raise ValueError("block_size must be positive")
+    eng = _engine(engine)
     b = block_size
     nb = (n + b - 1) // b
 
@@ -61,20 +68,22 @@ def blocked_floyd_warshall(dist: np.ndarray, block_size: int) -> np.ndarray:
 
     for k in range(nb):
         diag = tile(k, k)
-        floyd_warshall_inplace(diag)
+        eng.fw_inplace(diag)
         for j in range(nb):
             if j != k:
-                minplus_update(tile(k, j), diag, tile(k, j))
+                minplus_update(tile(k, j), diag, tile(k, j), engine=eng)
         for i in range(nb):
             if i != k:
-                minplus_update(tile(i, k), tile(i, k), diag)
-        for i in range(nb):
-            if i == k:
-                continue
-            col = tile(i, k)
-            for j in range(nb):
-                if j != k:
-                    minplus_update(tile(i, j), col, tile(k, j))
+                minplus_update(tile(i, k), tile(i, k), diag, engine=eng)
+        eng.map_updates(
+            [
+                (tile(i, j), tile(i, k), tile(k, j))
+                for i in range(nb)
+                if i != k
+                for j in range(nb)
+                if j != k
+            ]
+        )
     return dist
 
 

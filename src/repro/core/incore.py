@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.blocked_fw import floyd_warshall_inplace
 from repro.core.minplus import DIST_DTYPE
 from repro.core.result import APSPResult
 from repro.core.tiling import HostStore
@@ -42,17 +41,23 @@ def incore_apsp(
     *,
     store_mode: str = "ram",
     store_dir=None,
+    engine=None,
 ) -> APSPResult:
     """Solve APSP fully on-device (raises ``OutOfMemoryError`` when the
-    matrix does not fit — use the out-of-core drivers then)."""
+    matrix does not fit — use the out-of-core drivers then). ``engine``
+    overrides the process-wide kernel engine for the host-side FW."""
     n = graph.num_vertices
     spec = device.spec
+    if engine is None:
+        from repro.core.engine import default_engine
+
+        engine = default_engine()
     host = HostStore.from_graph(graph, mode=store_mode, directory=store_dir)
     device.reset_clock()
     stream = device.default_stream
     with device.memory.alloc((n, n), DIST_DTYPE, name="dist") as dist:
         stream.copy_h2d(dist, host.data, pinned=True)
-        floyd_warshall_inplace(dist.data)
+        engine.fw_inplace(dist.data)
         stream.launch("fw_incore", fw_tile_cost(spec, n))
         stream.copy_d2h(host.data, dist, pinned=True)
     elapsed = device.synchronize()
@@ -64,5 +69,5 @@ def incore_apsp(
         algorithm="floyd-warshall-incore",
         store=host,
         simulated_seconds=elapsed,
-        stats={"in_core": True, **transfer_stats(device)},
+        stats={"in_core": True, "kernel_backend": engine.describe(), **transfer_stats(device)},
     )

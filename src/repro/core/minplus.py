@@ -4,16 +4,21 @@ The workhorse of both the blocked Floyd–Warshall algorithm (stages 2 and 3
 of Algorithm 1) and the boundary algorithm's ``dist4`` step (Algorithm 3,
 lines 16–17): ``C[i,j] = min(C[i,j], min_k A[i,k] + B[k,j])``.
 
-The GPU implements this with shared-memory tiling [Katz & Kider]; the numpy
-equivalent runs ``k`` rank-1 broadcast updates, which profiled fastest of
-the candidate formulations (chunked 3-D broadcast, preallocated buffers) at
-the tile sizes the out-of-core planner produces — 2.5 Gop/s in float32 vs
-0.2 Gop/s for the naive 3-D version.
+The GPU implements this with shared-memory tiling [Katz & Kider]; on the
+host the computation is dispatched through the pluggable kernel engine
+(:mod:`repro.core.engine`), whose registered backends — the original rank-1
+numpy loop, cache-blocked tiles, bounded 3-D broadcast, JIT-compiled
+kernels, a thread pool — are bit-identical on distance tiles and differ
+only in wall-clock speed. Select one with ``REPRO_KERNEL_BACKEND``, an
+explicit ``engine=`` argument, or let first-use auto-calibration pick.
 
 Dense distance tiles use **float32** throughout the library
 (:data:`DIST_DTYPE`): the paper stores 4-byte ``int`` distances, and with
 integer edge weights ≤ 100 every finite path length stays far below 2²⁴, so
-float32 arithmetic is exact here while halving memory traffic.
+float32 arithmetic is exact here while halving memory traffic. Operands of
+other dtypes or layouts are coerced (or routed to the generic numpy path
+for non-float32 accumulators) so a Fortran-ordered or float64 tile can't
+silently change the result dtype or fall off the fast path.
 """
 
 from __future__ import annotations
@@ -26,27 +31,28 @@ __all__ = ["DIST_DTYPE", "minplus", "minplus_update", "minplus_ops"]
 DIST_DTYPE = np.float32
 
 
-def minplus(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+def minplus(a: np.ndarray, b: np.ndarray, *, engine=None) -> np.ndarray:
     """Return the min-plus product ``A ⊗ B`` (no accumulation)."""
     if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
         raise ValueError(f"incompatible shapes {a.shape} ⊗ {b.shape}")
     out = np.full((a.shape[0], b.shape[1]), np.inf, dtype=np.result_type(a, b))
-    return minplus_update(out, a, b)
+    return minplus_update(out, a, b, engine=engine)
 
 
-def minplus_update(c: np.ndarray, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+def minplus_update(
+    c: np.ndarray, a: np.ndarray, b: np.ndarray, *, engine=None
+) -> np.ndarray:
     """In-place ``C = min(C, A ⊗ B)``; returns ``C``.
 
     ``inf + inf = inf`` in IEEE arithmetic, so unreachable entries propagate
-    correctly without sentinel handling.
+    correctly without sentinel handling. ``engine`` overrides the
+    process-wide default :class:`~repro.core.engine.KernelEngine`.
     """
-    if c.shape != (a.shape[0], b.shape[1]) or a.shape[1] != b.shape[0]:
-        raise ValueError(f"incompatible shapes C{c.shape} = A{a.shape} ⊗ B{b.shape}")
-    if c.size == 0 or a.shape[1] == 0:
-        return c
-    for k in range(a.shape[1]):
-        np.minimum(c, a[:, k : k + 1] + b[k : k + 1, :], out=c)
-    return c
+    if engine is None:
+        from repro.core.engine import default_engine
+
+        engine = default_engine()
+    return engine.update(c, a, b)
 
 
 def minplus_ops(bi: int, bk: int, bj: int) -> int:

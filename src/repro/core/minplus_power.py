@@ -35,18 +35,20 @@ def minplus_power_apsp(
     *,
     store_mode: str = "ram",
     store_dir=None,
+    engine=None,
 ) -> APSPResult:
     """Solve APSP by repeated min-plus squaring (in-core on the device).
 
     Converges early when a squaring changes nothing (graphs with small
-    weighted diameter in hops).
+    weighted diameter in hops). ``engine`` overrides the process-wide
+    kernel engine for the product kernel.
     """
     n = graph.num_vertices
     host = HostStore.from_graph(graph, mode=store_mode, directory=store_dir)
     if device is None:
         dist = np.asarray(host.data)
         for _ in range(squarings_needed(n)):
-            nxt = minplus(dist, dist)
+            nxt = minplus(dist, dist, engine=engine)
             if np.array_equal(nxt, dist):
                 break
             dist = nxt
@@ -61,7 +63,7 @@ def minplus_power_apsp(
         with device.memory.alloc((n, n), DIST_DTYPE, name="dist") as dist:
             stream.copy_h2d(dist, host.data, pinned=True)
             for _ in range(squarings_needed(n)):
-                nxt = minplus(dist.data, dist.data)
+                nxt = minplus(dist.data, dist.data, engine=engine)
                 stream.launch("mp_square", minplus_cost(spec, n, n, n))
                 rounds += 1
                 if np.array_equal(nxt, dist.data):

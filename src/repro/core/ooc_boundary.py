@@ -35,7 +35,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.blocked_fw import floyd_warshall_inplace
 from repro.core.minplus import DIST_DTYPE, minplus_update
 from repro.core.result import APSPResult
 from repro.core.tiling import HostStore
@@ -246,10 +245,19 @@ def ooc_boundary(
     store_mode: str = "ram",
     store_dir=None,
     seed: int = 0,
+    engine=None,
 ) -> APSPResult:
-    """Solve APSP with the out-of-core boundary algorithm."""
+    """Solve APSP with the out-of-core boundary algorithm.
+
+    ``engine`` overrides the process-wide kernel engine for the host-side
+    numeric work (FW closures and the ``dist4`` min-plus chain).
+    """
     n = graph.num_vertices
     spec = device.spec
+    if engine is None:
+        from repro.core.engine import default_engine
+
+        engine = default_engine()
     if plan is None:
         plan = plan_boundary(
             graph, spec,
@@ -269,12 +277,12 @@ def ooc_boundary(
     with device.memory.cleanup_on_error():
         return _run_boundary(
             graph, device, compute, copier, host, plan, pg,
-            batch_transfers, overlap,
+            batch_transfers, overlap, engine,
         )
 
 
 def _run_boundary(
-    graph, device, compute, copier, host, plan, pg, batch_transfers, overlap
+    graph, device, compute, copier, host, plan, pg, batch_transfers, overlap, engine
 ):
     """Steps 2-4 of Algorithm 3 (see module docstring)."""
     n = graph.num_vertices
@@ -296,7 +304,7 @@ def _run_boundary(
         sub = pg.subgraph(np.arange(lo, hi))
         with device.memory.alloc((ni, ni), DIST_DTYPE, name=f"comp{i}") as tile:
             compute.copy_h2d(tile, sub.to_dense(dtype=DIST_DTYPE), pinned=True)
-            floyd_warshall_inplace(tile.data)
+            engine.fw_inplace(tile.data)
             compute.launch("fw_comp", fw_tile_cost(spec, ni))
             block = np.empty((ni, ni), dtype=DIST_DTYPE)
             compute.copy_d2h(block, tile, pinned=True)
@@ -322,7 +330,7 @@ def _run_boundary(
 
     bound = device.memory.alloc((nb_total, nb_total), DIST_DTYPE, name="bound")
     compute.copy_h2d(bound, bound_host, pinned=True)
-    floyd_warshall_inplace(bound.data)
+    engine.fw_inplace(bound.data)
     compute.launch("fw_bound", fw_tile_cost(spec, nb_total))
 
     # ---- step 4: dist4 via two successive min-plus products ------------
@@ -399,9 +407,9 @@ def _run_boundary(
                 bview = bound.data[oi : oi + bi, oj : oj + bj]
                 t1 = tmp1.data[:ni, :bj]
                 t1[...] = np.inf
-                minplus_update(t1, c2b_view, bview)
+                minplus_update(t1, c2b_view, bview, engine=engine)
                 compute.launch("mp_c2b_bound", minplus_cost(spec, ni, bi, bj))
-                minplus_update(dest, t1, b2c_view)
+                minplus_update(dest, t1, b2c_view, engine=engine)
                 compute.launch("mp_bound_b2c", minplus_cost(spec, ni, bj, nj))
             # else: isolated component — no boundary path in or out
             if i == j:
@@ -441,6 +449,7 @@ def _run_boundary(
             "num_buffers": plan.num_buffers if batch_transfers else 1,
             "batch_transfers": batch_transfers,
             "overlap": overlap,
+            "kernel_backend": engine.describe(),
             **transfer_stats(device),
         },
     )

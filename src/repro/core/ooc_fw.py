@@ -17,13 +17,18 @@ Every block crosses the bus each iteration, giving the paper's
 double-buffered: uploads of block ``t+1`` and the download of block ``t−1``
 overlap the min-plus of block ``t`` on a second stream. The host side of
 every transfer is a pinned staging buffer, as in the paper.
+
+Host-side numeric work dispatches through the kernel engine
+(:mod:`repro.core.engine`). With a threaded engine and ``overlap=True``,
+stage 3 processes the double-buffered blocks in waves: both buffers'
+independent rank-updates (disjoint outputs, shared read-only
+``A(i,k)``/``A(k,j)`` panels) run concurrently on the worker pool.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.blocked_fw import floyd_warshall_inplace
 from repro.core.minplus import DIST_DTYPE, minplus_update
 from repro.core.result import APSPResult
 from repro.core.tiling import BlockLayout, HostStore
@@ -73,14 +78,21 @@ def ooc_floyd_warshall(
     overlap: bool = True,
     store_mode: str = "ram",
     store_dir=None,
+    engine=None,
 ) -> APSPResult:
     """Solve APSP with the out-of-core blocked FW algorithm.
 
     ``simulated_seconds`` in the result is the device-model makespan of the
     full schedule (kernels + transfers, overlapped where requested).
+    ``engine`` overrides the process-wide kernel engine for the host-side
+    numeric work.
     """
     n = graph.num_vertices
     spec = device.spec
+    if engine is None:
+        from repro.core.engine import default_engine
+
+        engine = default_engine()
     if block_size is None:
         block_size = plan_fw_block_size(n, spec, overlap=overlap)
     host = HostStore.from_graph(graph, mode=store_mode, directory=store_dir)
@@ -94,7 +106,7 @@ def ooc_floyd_warshall(
 
     with device.memory.cleanup_on_error():
         _run_fw_schedule(
-            device, compute, copier, host, layout, nd, bmax, spec, overlap
+            device, compute, copier, host, layout, nd, bmax, spec, overlap, engine
         )
 
     elapsed = device.synchronize()
@@ -107,12 +119,13 @@ def ooc_floyd_warshall(
             "block_size": block_size,
             "num_blocks": nd,
             "overlap": overlap,
+            "kernel_backend": engine.describe(),
             **transfer_stats(device),
         },
     )
 
 
-def _run_fw_schedule(device, compute, copier, host, layout, nd, bmax, spec, overlap):
+def _run_fw_schedule(device, compute, copier, host, layout, nd, bmax, spec, overlap, engine):
     """The three-stage tile schedule of Algorithm 1 (see module docstring)."""
     pinned = True  # staging buffers are pinned, as in the paper
     for k in range(nd):
@@ -120,7 +133,7 @@ def _run_fw_schedule(device, compute, copier, host, layout, nd, bmax, spec, over
         # ---- stage 1: diagonal block closure --------------------------
         diag = device.memory.alloc((bk, bk), DIST_DTYPE, name=f"diag{k}")
         compute.copy_h2d(diag, host.block(layout, k, k), pinned=pinned)
-        floyd_warshall_inplace(diag.data)
+        engine.fw_inplace(diag.data)
         compute.launch("fw_diag", fw_tile_cost(spec, bk))
         compute.copy_d2h(host.block(layout, k, k), diag, pinned=pinned)
 
@@ -132,7 +145,7 @@ def _run_fw_schedule(device, compute, copier, host, layout, nd, bmax, spec, over
                 bj = layout.size(j)
                 view = panel.data[:bk, :bj]
                 compute.copy_h2d(view, host.block(layout, k, j), pinned=pinned)
-                minplus_update(view, diag.data, view)
+                minplus_update(view, diag.data, view, engine=engine)
                 compute.launch("mp_row", minplus_cost(spec, bk, bk, bj))
                 compute.copy_d2h(host.block(layout, k, j), view, pinned=pinned)
         with device.memory.alloc((bmax, bk), DIST_DTYPE, name="col-panel") as panel:
@@ -142,7 +155,7 @@ def _run_fw_schedule(device, compute, copier, host, layout, nd, bmax, spec, over
                 bi = layout.size(i)
                 view = panel.data[:bi, :bk]
                 compute.copy_h2d(view, host.block(layout, i, k), pinned=pinned)
-                minplus_update(view, view, diag.data)
+                minplus_update(view, view, diag.data, engine=engine)
                 compute.launch("mp_col", minplus_cost(spec, bi, bk, bk))
                 compute.copy_d2h(host.block(layout, i, k), view, pinned=pinned)
         diag.free()
@@ -157,7 +170,9 @@ def _run_fw_schedule(device, compute, copier, host, layout, nd, bmax, spec, over
             device.memory.alloc((bmax, bmax), DIST_DTYPE, name=f"work{p}") for p in range(nbuf)
         ]
         down_events: list[Event | None] = [None] * nbuf
+        fan_out = engine.fanout > 1 and nbuf > 1
         t = 0
+        js = [j for j in range(nd) if j != k]
         for i in range(nd):
             if i == k:
                 continue
@@ -168,32 +183,57 @@ def _run_fw_schedule(device, compute, copier, host, layout, nd, bmax, spec, over
                 compute.wait(copier.record(Event("col-up")))
             else:
                 compute.copy_h2d(cview, host.block(layout, i, k), pinned=pinned)
-            for j in range(nd):
-                if j == k:
-                    continue
-                p = t % nbuf
-                t += 1
-                bj = layout.size(j)
-                if down_events[p] is not None:
-                    # buffer p is reused: its previous download must finish
-                    copier.wait(down_events[p])
-                rview = rows[p].data[:bk, :bj]
-                wview = works[p].data[:bi, :bj]
-                hwork = host.block(layout, i, j)
-                if overlap:
+            if not fan_out:
+                for j in js:
+                    p = t % nbuf
+                    t += 1
+                    bj = layout.size(j)
+                    if down_events[p] is not None:
+                        # buffer p is reused: its previous download must finish
+                        copier.wait(down_events[p])
+                    rview = rows[p].data[:bk, :bj]
+                    wview = works[p].data[:bi, :bj]
+                    hwork = host.block(layout, i, j)
+                    if overlap:
+                        copier.copy_h2d_async(rview, host.block(layout, k, j), pinned=pinned)
+                        copier.copy_h2d_async(wview, hwork, pinned=pinned)
+                        compute.wait(copier.record(Event("up")))
+                    else:
+                        compute.copy_h2d(rview, host.block(layout, k, j), pinned=pinned)
+                        compute.copy_h2d(wview, hwork, pinned=pinned)
+                    minplus_update(wview, cview, rview, engine=engine)
+                    compute.launch("mp_rank", minplus_cost(spec, bi, bk, bj))
+                    if overlap:
+                        copier.wait(compute.record(Event("comp")))
+                        copier.copy_d2h_async(hwork, wview, pinned=pinned)
+                        down_events[p] = copier.record(Event("down"))
+                    else:
+                        compute.copy_d2h(hwork, wview, pinned=pinned)
+                continue
+            # Threaded engine: process the double-buffered blocks in waves
+            # of nbuf. Each wave uploads into both buffer pairs, fans the
+            # independent rank-updates (disjoint outputs, shared read-only
+            # column panel) across the worker pool, then drains downloads.
+            for w0 in range(0, len(js), nbuf):
+                wave = []
+                for j in js[w0 : w0 + nbuf]:
+                    p = t % nbuf
+                    t += 1
+                    bj = layout.size(j)
+                    if down_events[p] is not None:
+                        copier.wait(down_events[p])
+                    rview = rows[p].data[:bk, :bj]
+                    wview = works[p].data[:bi, :bj]
+                    hwork = host.block(layout, i, j)
                     copier.copy_h2d_async(rview, host.block(layout, k, j), pinned=pinned)
                     copier.copy_h2d_async(wview, hwork, pinned=pinned)
                     compute.wait(copier.record(Event("up")))
-                else:
-                    compute.copy_h2d(rview, host.block(layout, k, j), pinned=pinned)
-                    compute.copy_h2d(wview, hwork, pinned=pinned)
-                minplus_update(wview, cview, rview)
-                compute.launch("mp_rank", minplus_cost(spec, bi, bk, bj))
-                if overlap:
+                    wave.append((p, bj, rview, wview, hwork))
+                engine.map_updates([(w, cview, r) for (_, _, r, w, _) in wave])
+                for p, bj, rview, wview, hwork in wave:
+                    compute.launch("mp_rank", minplus_cost(spec, bi, bk, bj))
                     copier.wait(compute.record(Event("comp")))
                     copier.copy_d2h_async(hwork, wview, pinned=pinned)
                     down_events[p] = copier.record(Event("down"))
-                else:
-                    compute.copy_d2h(hwork, wview, pinned=pinned)
         for arr in [col, *rows, *works]:
             arr.free()

@@ -1,0 +1,275 @@
+"""Cross-backend equivalence and contract tests for the kernel engine.
+
+Every backend registered in :mod:`repro.core.backends` must produce results
+**bit-identical** to the naive rank-1 reference loop — min is
+order-independent and float32 ``a + b`` rounds identically regardless of
+tiling, chunking, JIT compilation, or threading, so equality here is exact
+``array_equal``, not ``allclose``. The suite covers random, inf-heavy,
+empty, degenerate, and non-square tiles (parametrized and property-based),
+Floyd–Warshall closure, the engine's dtype/layout coercion rules, the
+environment/API selection knobs, and the graceful numba→C→numpy fallback.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.backends import available_backends, backend_names, create_backend
+from repro.core.backends.base import finite_column_indices, numpy_fw_inplace, rank1_update
+from repro.core.backends.jit import JITBackend
+from repro.core.backends.threaded import ThreadedBackend
+from repro.core.blocked_fw import blocked_floyd_warshall, floyd_warshall_inplace
+from repro.core.engine import (
+    ENV_BACKEND,
+    KernelEngine,
+    calibrate,
+    default_engine,
+    reset_default_engine,
+    set_default_backend,
+)
+from repro.core.minplus import DIST_DTYPE, minplus, minplus_update
+
+BACKENDS = available_backends()
+
+
+@pytest.fixture(autouse=True)
+def _clean_default_engine():
+    """Isolate the process-wide engine from per-test env manipulation."""
+    reset_default_engine()
+    yield
+    reset_default_engine()
+
+
+def naive_update(c, a, b):
+    """Ground-truth rank-1 loop: no column skipping, no tiling."""
+    out = c.copy()
+    for k in range(a.shape[1]):
+        np.minimum(out, a[:, k, None] + b[k, None, :], out=out)
+    return out
+
+
+def random_tiles(shape, inf_frac=0.0, seed=0, integer=True):
+    """Random (c, a, b) operands with optional +inf entries."""
+    bi, bk, bj = shape
+    rng = np.random.default_rng(seed)
+
+    def mat(r, c):
+        if integer:
+            m = rng.integers(0, 100, (r, c)).astype(DIST_DTYPE)
+        else:
+            m = (rng.random((r, c)) * 100).astype(DIST_DTYPE)
+        if inf_frac:
+            m[rng.random((r, c)) < inf_frac] = np.inf
+        return m
+
+    return mat(bi, bj), mat(bi, bk), mat(bk, bj)
+
+
+SHAPES = [(17, 23, 11), (64, 64, 64), (1, 5, 1), (3, 1, 4), (128, 200, 96)]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("shape", SHAPES)
+@pytest.mark.parametrize("inf_frac", [0.0, 0.3])
+def test_backend_bit_identical(backend, shape, inf_frac):
+    c, a, b = random_tiles(shape, inf_frac, seed=hash((shape, inf_frac)) % 2**32)
+    expected = naive_update(c, a, b)
+    got = c.copy()
+    KernelEngine(backend).update(got, a, b)
+    assert np.array_equal(got, expected)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_backend_all_inf_operands(backend):
+    """Entirely-+inf A (every column dead) must leave C untouched."""
+    c, _, _ = random_tiles((9, 7, 9), seed=5)
+    a = np.full((9, 7), np.inf, dtype=DIST_DTYPE)
+    b = np.full((7, 9), np.inf, dtype=DIST_DTYPE)
+    before = c.copy()
+    KernelEngine(backend).update(c, a, b)
+    assert np.array_equal(c, before)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("shape", [(0, 5, 3), (4, 0, 3), (3, 5, 0), (0, 0, 0)])
+def test_backend_empty_tiles(backend, shape):
+    bi, bk, bj = shape
+    c = np.zeros((bi, bj), dtype=DIST_DTYPE)
+    a = np.zeros((bi, bk), dtype=DIST_DTYPE)
+    b = np.zeros((bk, bj), dtype=DIST_DTYPE)
+    before = c.copy()
+    KernelEngine(backend).update(c, a, b)
+    assert np.array_equal(c, before)  # k == 0 or no output elements
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    bi=st.integers(1, 24),
+    bk=st.integers(1, 24),
+    bj=st.integers(1, 24),
+    inf_frac=st.sampled_from([0.0, 0.2, 0.9]),
+    seed=st.integers(0, 2**16),
+)
+def test_backends_agree_property(bi, bk, bj, inf_frac, seed):
+    """Property: all backends agree bit-for-bit on arbitrary tiles."""
+    c, a, b = random_tiles((bi, bk, bj), inf_frac, seed)
+    expected = naive_update(c, a, b)
+    for name in BACKENDS:
+        got = c.copy()
+        KernelEngine(name).update(got, a, b)
+        assert np.array_equal(got, expected), name
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_fw_inplace_bit_identical(backend, rng=np.random.default_rng(7)):
+    d = rng.integers(1, 50, (97, 97)).astype(DIST_DTYPE)
+    d[rng.random((97, 97)) < 0.5] = np.inf
+    np.fill_diagonal(d, 0.0)
+    expected = numpy_fw_inplace(d.copy())
+    got = KernelEngine(backend).fw_inplace(d.copy())
+    assert np.array_equal(got, expected)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("block_size", [1, 13, 64, 200])
+def test_blocked_fw_engine_equivalence(backend, block_size):
+    """Blocked FW (aliased stage-2 tiles) agrees exactly on integer weights."""
+    rng = np.random.default_rng(11)
+    d = rng.integers(1, 100, (75, 75)).astype(DIST_DTYPE)
+    d[rng.random((75, 75)) < 0.6] = np.inf
+    np.fill_diagonal(d, 0.0)
+    expected = numpy_fw_inplace(d.copy())
+    eng = KernelEngine(backend)
+    got = blocked_floyd_warshall(d.copy(), block_size, engine=eng)
+    assert np.array_equal(got, expected)
+
+
+def test_inf_column_skip_fast_path():
+    """Satellite: dead columns are skipped without changing the result."""
+    c, a, b = random_tiles((31, 19, 23), inf_frac=0.0, seed=3)
+    a[:, ::2] = np.inf  # kill every even column of A
+    idx = finite_column_indices(a)
+    assert idx is not None and np.array_equal(idx, np.arange(1, 19, 2))
+    got = rank1_update(c.copy(), a, b, skip_inf_columns=True)
+    assert np.array_equal(got, naive_update(c, a, b))
+    assert finite_column_indices(np.zeros((3, 3), dtype=DIST_DTYPE)) is None
+
+
+# ----------------------------------------------------------------------
+# Engine contract: dtype / layout coercion
+# ----------------------------------------------------------------------
+def test_engine_coerces_fortran_operands():
+    c, a, b = random_tiles((20, 16, 12), inf_frac=0.2, seed=9)
+    expected = naive_update(c, a, b)
+    got = c.copy()
+    KernelEngine("jit").update(got, np.asfortranarray(a), np.asfortranarray(b))
+    assert np.array_equal(got, expected)
+    assert got.dtype == DIST_DTYPE
+
+
+def test_engine_float64_accumulator_keeps_dtype():
+    c, a, b = random_tiles((10, 8, 6), seed=13)
+    c64 = c.astype(np.float64)
+    got = KernelEngine("tiled").update(c64, a, b)
+    assert got is c64 and got.dtype == np.float64
+    assert np.array_equal(got, naive_update(c, a, b).astype(np.float64))
+
+
+def test_engine_strided_output_updated_in_place():
+    c, a, b = random_tiles((15, 15, 15), inf_frac=0.3, seed=17)
+    base = c.T.copy()  # c-view through a transpose: non-unit last stride
+    view = base.T
+    expected = naive_update(view.copy(), a, b)
+    got = KernelEngine("jit").update(view, a, b)
+    assert got is view
+    assert np.array_equal(view, expected)
+
+
+def test_engine_shape_validation():
+    eng = KernelEngine("reference")
+    with pytest.raises(ValueError, match="incompatible shapes"):
+        eng.update(
+            np.zeros((2, 2), DIST_DTYPE),
+            np.zeros((2, 3), DIST_DTYPE),
+            np.zeros((4, 2), DIST_DTYPE),
+        )
+    with pytest.raises(ValueError, match="square"):
+        eng.fw_inplace(np.zeros((2, 3), DIST_DTYPE))
+    with pytest.raises(ValueError, match="unknown kernel backend"):
+        KernelEngine("nope")
+
+
+def test_minplus_module_dispatch():
+    c, a, b = random_tiles((12, 9, 14), inf_frac=0.2, seed=23)
+    expected = naive_update(np.full_like(c, np.inf), a, b)
+    assert np.array_equal(minplus(a, b), expected)
+    assert np.array_equal(minplus(a, b, engine=KernelEngine("chunked")), expected)
+    got = np.full_like(c, np.inf)
+    minplus_update(got, a, b, engine=KernelEngine("threaded"))
+    assert np.array_equal(got, expected)
+
+
+# ----------------------------------------------------------------------
+# Selection knobs
+# ----------------------------------------------------------------------
+def test_env_variable_selects_backend(monkeypatch):
+    monkeypatch.setenv(ENV_BACKEND, "tiled")
+    reset_default_engine()
+    assert default_engine().name == "tiled"
+    monkeypatch.setenv(ENV_BACKEND, "reference")
+    assert default_engine().name == "reference"  # re-resolves on env change
+
+
+def test_set_default_backend_pins(monkeypatch):
+    set_default_backend("chunked")
+    monkeypatch.setenv(ENV_BACKEND, "reference")
+    assert default_engine().name == "chunked"  # pinned beats the env
+
+
+def test_jit_off_falls_back(monkeypatch):
+    monkeypatch.setenv("REPRO_JIT", "off")
+    backend = JITBackend()
+    assert backend.flavor == "fallback" and not backend.compiled
+    c, a, b = random_tiles((9, 9, 9), inf_frac=0.2, seed=29)
+    got = c.copy()
+    backend.update(got, a, b)
+    assert np.array_equal(got, naive_update(c, a, b))
+
+
+def test_threaded_matches_serial_inner():
+    backend = ThreadedBackend(workers=3)
+    c, a, b = random_tiles((40, 30, 500), inf_frac=0.2, seed=31)
+    got = c.copy()
+    backend.update(got, a, b)
+    assert np.array_equal(got, naive_update(c, a, b))
+    assert backend.flavor.startswith("threaded(") and backend.workers == 3
+
+
+def test_calibration_smoke():
+    result = calibrate(shape=(48, 48, 48))
+    assert {r["backend"] for r in result.rows} == set(BACKENDS)
+    assert result.best in BACKENDS
+    assert all(r["seconds"] >= 0 and r["gops"] >= 0 for r in result.rows)
+    eng = KernelEngine("auto")
+    assert eng.calibration is not None and eng.name == eng.calibration.best
+
+
+def test_registry_contents():
+    assert backend_names() == ("reference", "tiled", "chunked", "jit", "threaded")
+    # every registered backend is constructible in this environment
+    # (jit degrades to its fallback flavor rather than dropping out)
+    assert set(BACKENDS) == set(backend_names())
+    for name in BACKENDS:
+        assert create_backend(name).name == name
+
+
+def test_solve_apsp_kernel_backend_arg():
+    from repro.core import solve_apsp
+    from repro.graphs.generators import erdos_renyi
+
+    g = erdos_renyi(60, 300, seed=1)
+    base = solve_apsp(g, algorithm="floyd-warshall", kernel_backend="reference")
+    fast = solve_apsp(g, algorithm="floyd-warshall", kernel_backend="jit")
+    assert fast.stats["kernel_backend"].startswith("jit")
+    assert np.array_equal(base.store.data, fast.store.data)
