@@ -8,6 +8,8 @@ Commands
 ``suite``         list the paper's evaluation-graph registry
 ``devices``       list the device presets and their constants
 ``bench-kernels`` wall-clock sweep of the min-plus kernel backends
+``sanitize``      run the schedule sanitizer over the out-of-core drivers
+``lint``          run the repository AST contract checker
 """
 
 from __future__ import annotations
@@ -245,6 +247,43 @@ def cmd_bench_kernels(args) -> int:
     return 0
 
 
+def cmd_sanitize(args) -> int:
+    from repro.sanitize import DRIVER_NAMES, sanitize_driver
+
+    graph = _load_graph(args)
+    spec = _device_spec(args)
+    names = list(DRIVER_NAMES) if args.driver == "all" else [args.driver]
+    failures = 0
+    for name in names:
+        kwargs = {}
+        if name == "multi-gpu":
+            kwargs["num_devices"] = args.num_devices
+        elif not args.overlap:
+            kwargs["overlap"] = False
+        report, result = sanitize_driver(name, graph, spec, **kwargs)
+        status = "clean" if report.clean else f"{len(report.hazards)} hazard(s)"
+        print(f"{name:<10} {report.num_ops:>5} ops, {report.num_buffers:>3} buffers: {status}")
+        if not report.clean:
+            failures += 1
+            for line in report.describe().splitlines()[1:]:
+                print(line)
+    return 1 if failures else 0
+
+
+def cmd_lint(args) -> int:
+    from pathlib import Path
+
+    from repro.sanitize import format_violations, lint_paths
+
+    paths = [Path(p) for p in args.paths] or [Path("src")]
+    violations = lint_paths(paths)
+    if violations:
+        print(format_violations(violations))
+        print(f"{len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_report(args) -> int:
     from repro.bench.report import collect_records, render_markdown, write_report
 
@@ -317,6 +356,23 @@ def main(argv=None) -> int:
     p.add_argument("--no-save", action="store_true",
                    help="print only; skip writing BENCH_kernels.json")
     p.set_defaults(fn=cmd_bench_kernels)
+
+    p = sub.add_parser("sanitize",
+                       help="race/hazard-check the simulated schedules of the drivers")
+    add_graph_args(p)
+    p.add_argument("--driver", default="all",
+                   choices=["all", "fw", "boundary", "johnson", "multi-gpu"],
+                   help="which out-of-core driver(s) to check (default: all)")
+    p.add_argument("--num-devices", type=int, default=2,
+                   help="device count for the multi-gpu driver")
+    p.add_argument("--no-overlap", dest="overlap", action="store_false",
+                   help="check the single-stream (overlap=False) schedules")
+    p.set_defaults(fn=cmd_sanitize)
+
+    p = sub.add_parser("lint", help="AST contract checks for this repository")
+    p.add_argument("paths", nargs="*", default=["src"],
+                   help="files or directories to lint (default: src)")
+    p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("report", help="render benchmarks/results/*.json to RESULTS.md")
     p.add_argument("--stdout", action="store_true", help="print instead of writing")

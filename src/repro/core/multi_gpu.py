@@ -96,7 +96,7 @@ def ooc_boundary_multi(
         with dev.memory.alloc((ni, ni), DIST_DTYPE, name=f"comp{i}") as tile:
             stream.copy_h2d(tile, sub.to_dense(dtype=DIST_DTYPE), pinned=True)
             floyd_warshall_inplace(tile.data)
-            stream.launch("fw_comp", fw_tile_cost(dev.spec, ni))
+            stream.launch("fw_comp", fw_tile_cost(dev.spec, ni), reads=(tile,), writes=(tile,))
             block = np.empty((ni, ni), dtype=DIST_DTYPE)
             stream.copy_d2h(block, tile, pinned=True)
         dist2_blocks[i] = block
@@ -122,7 +122,9 @@ def ooc_boundary_multi(
     bound0 = root.memory.alloc((nb_total, nb_total), DIST_DTYPE, name="bound")
     root.default_stream.copy_h2d(bound0, bound_host, pinned=True)
     floyd_warshall_inplace(bound0.data)
-    root.default_stream.launch("fw_bound", fw_tile_cost(root.spec, nb_total))
+    root.default_stream.launch(
+        "fw_bound", fw_tile_cost(root.spec, nb_total), reads=(bound0,), writes=(bound0,)
+    )
     root.default_stream.copy_d2h(bound_host, bound0, pinned=True)
     _barrier(devices)
     bounds = [bound0]
@@ -158,7 +160,10 @@ def ooc_boundary_multi(
         oi = int(bnd_offsets[i])
         c2b_view = st["c2b"].data[:ni, :bi]
         stream.copy_h2d(c2b_view, dist2_blocks[i][:, :bi], pinned=True)
-        stream.launch("extract_c2b", extract_cost(spec, ni, bi))
+        stream.launch(
+            "extract_c2b", extract_cost(spec, ni, bi),
+            reads=(c2b_view,), writes=(c2b_view,),
+        )
         strip = st["out"].data[:ni, :]
         for j in range(k):
             lo_j, hi_j = int(starts[j]), int(starts[j + 1])
@@ -167,19 +172,31 @@ def ooc_boundary_multi(
             oj = int(bnd_offsets[j])
             b2c_view = st["b2c"].data[:bj, :nj]
             stream.copy_h2d(b2c_view, dist2_blocks[j][:bj, :], pinned=True)
-            stream.launch("extract_b2c", extract_cost(spec, bj, nj))
+            stream.launch(
+                "extract_b2c", extract_cost(spec, bj, nj),
+                reads=(b2c_view,), writes=(b2c_view,),
+            )
             dest = strip[:, lo_j:hi_j]
             dest[...] = np.inf
+            stream.annotate("memset_out", writes=(dest,))
             if bi and bj:
                 bview = bounds[d].data[oi : oi + bi, oj : oj + bj]
                 t1 = st["tmp"].data[:ni, :bj]
                 t1[...] = np.inf
+                stream.annotate("memset_tmp1", writes=(t1,))
                 minplus_update(t1, c2b_view, bview)
-                stream.launch("mp_c2b_bound", minplus_cost(spec, ni, bi, bj))
+                stream.launch(
+                    "mp_c2b_bound", minplus_cost(spec, ni, bi, bj),
+                    reads=(c2b_view, bview), writes=(t1,),
+                )
                 minplus_update(dest, t1, b2c_view)
-                stream.launch("mp_bound_b2c", minplus_cost(spec, ni, bj, nj))
+                stream.launch(
+                    "mp_bound_b2c", minplus_cost(spec, ni, bj, nj),
+                    reads=(t1, b2c_view), writes=(dest,),
+                )
             if i == j:
                 np.minimum(dest, dist2_blocks[i], out=dest)
+                stream.annotate("min_diag", reads=(dest,), writes=(dest,))
         stream.copy_d2h(host.data[lo_i:hi_i, :], strip, pinned=True)
 
     elapsed = _barrier(devices)

@@ -305,7 +305,7 @@ def _run_boundary(
         with device.memory.alloc((ni, ni), DIST_DTYPE, name=f"comp{i}") as tile:
             compute.copy_h2d(tile, sub.to_dense(dtype=DIST_DTYPE), pinned=True)
             engine.fw_inplace(tile.data)
-            compute.launch("fw_comp", fw_tile_cost(spec, ni))
+            compute.launch("fw_comp", fw_tile_cost(spec, ni), reads=(tile,), writes=(tile,))
             block = np.empty((ni, ni), dtype=DIST_DTYPE)
             compute.copy_d2h(block, tile, pinned=True)
         dist2_blocks.append(block)
@@ -331,7 +331,7 @@ def _run_boundary(
     bound = device.memory.alloc((nb_total, nb_total), DIST_DTYPE, name="bound")
     compute.copy_h2d(bound, bound_host, pinned=True)
     engine.fw_inplace(bound.data)
-    compute.launch("fw_bound", fw_tile_cost(spec, nb_total))
+    compute.launch("fw_bound", fw_tile_cost(spec, nb_total), reads=(bound,), writes=(bound,))
 
     # ---- step 4: dist4 via two successive min-plus products ------------
     nmax = plan.max_component
@@ -384,7 +384,10 @@ def _run_boundary(
         # C2B[i]: extract + upload (paper lines 6-8)
         c2b_view = c2b.data[:ni, :bi]
         compute.copy_h2d(c2b_view, dist2_blocks[i][:, :bi], pinned=True)
-        compute.launch("extract_c2b", extract_cost(spec, ni, bi))
+        compute.launch(
+            "extract_c2b", extract_cost(spec, ni, bi),
+            reads=(c2b_view,), writes=(c2b_view,),
+        )
 
         if batch_transfers:
             row_base = buf_rows
@@ -396,24 +399,36 @@ def _run_boundary(
             oj = int(bnd_offsets[j])
             b2c_view = b2c.data[:bj, :nj]
             compute.copy_h2d(b2c_view, dist2_blocks[j][:bj, :], pinned=True)
-            compute.launch("extract_b2c", extract_cost(spec, bj, nj))
+            compute.launch(
+                "extract_b2c", extract_cost(spec, bj, nj),
+                reads=(b2c_view,), writes=(b2c_view,),
+            )
 
             if batch_transfers:
                 dest = out_bufs[active].data[row_base : row_base + ni, lo_j:hi_j]
             else:
                 dest = out_bufs[0].data[:ni, :nj]
             dest[...] = np.inf
+            compute.annotate("memset_out", writes=(dest,))
             if bi and bj:
                 bview = bound.data[oi : oi + bi, oj : oj + bj]
                 t1 = tmp1.data[:ni, :bj]
                 t1[...] = np.inf
+                compute.annotate("memset_tmp1", writes=(t1,))
                 minplus_update(t1, c2b_view, bview, engine=engine)
-                compute.launch("mp_c2b_bound", minplus_cost(spec, ni, bi, bj))
+                compute.launch(
+                    "mp_c2b_bound", minplus_cost(spec, ni, bi, bj),
+                    reads=(c2b_view, bview), writes=(t1,),
+                )
                 minplus_update(dest, t1, b2c_view, engine=engine)
-                compute.launch("mp_bound_b2c", minplus_cost(spec, ni, bj, nj))
+                compute.launch(
+                    "mp_bound_b2c", minplus_cost(spec, ni, bj, nj),
+                    reads=(t1, b2c_view), writes=(dest,),
+                )
             # else: isolated component — no boundary path in or out
             if i == j:
                 np.minimum(dest, dist2_blocks[i], out=dest)
+                compute.annotate("min_diag", reads=(dest,), writes=(dest,))
 
             if not batch_transfers:
                 # naive path: strided per-block copy into the host matrix

@@ -134,7 +134,7 @@ def _run_fw_schedule(device, compute, copier, host, layout, nd, bmax, spec, over
         diag = device.memory.alloc((bk, bk), DIST_DTYPE, name=f"diag{k}")
         compute.copy_h2d(diag, host.block(layout, k, k), pinned=pinned)
         engine.fw_inplace(diag.data)
-        compute.launch("fw_diag", fw_tile_cost(spec, bk))
+        compute.launch("fw_diag", fw_tile_cost(spec, bk), reads=(diag,), writes=(diag,))
         compute.copy_d2h(host.block(layout, k, k), diag, pinned=pinned)
 
         # ---- stage 2: row and column panels ---------------------------
@@ -146,7 +146,10 @@ def _run_fw_schedule(device, compute, copier, host, layout, nd, bmax, spec, over
                 view = panel.data[:bk, :bj]
                 compute.copy_h2d(view, host.block(layout, k, j), pinned=pinned)
                 minplus_update(view, diag.data, view, engine=engine)
-                compute.launch("mp_row", minplus_cost(spec, bk, bk, bj))
+                compute.launch(
+                    "mp_row", minplus_cost(spec, bk, bk, bj),
+                    reads=(diag, view), writes=(view,),
+                )
                 compute.copy_d2h(host.block(layout, k, j), view, pinned=pinned)
         with device.memory.alloc((bmax, bk), DIST_DTYPE, name="col-panel") as panel:
             for i in range(nd):
@@ -156,7 +159,10 @@ def _run_fw_schedule(device, compute, copier, host, layout, nd, bmax, spec, over
                 view = panel.data[:bi, :bk]
                 compute.copy_h2d(view, host.block(layout, i, k), pinned=pinned)
                 minplus_update(view, view, diag.data, engine=engine)
-                compute.launch("mp_col", minplus_cost(spec, bi, bk, bk))
+                compute.launch(
+                    "mp_col", minplus_cost(spec, bi, bk, bk),
+                    reads=(diag, view), writes=(view,),
+                )
                 compute.copy_d2h(host.block(layout, i, k), view, pinned=pinned)
         diag.free()
 
@@ -202,7 +208,10 @@ def _run_fw_schedule(device, compute, copier, host, layout, nd, bmax, spec, over
                         compute.copy_h2d(rview, host.block(layout, k, j), pinned=pinned)
                         compute.copy_h2d(wview, hwork, pinned=pinned)
                     minplus_update(wview, cview, rview, engine=engine)
-                    compute.launch("mp_rank", minplus_cost(spec, bi, bk, bj))
+                    compute.launch(
+                        "mp_rank", minplus_cost(spec, bi, bk, bj),
+                        reads=(cview, rview), writes=(wview,),
+                    )
                     if overlap:
                         copier.wait(compute.record(Event("comp")))
                         copier.copy_d2h_async(hwork, wview, pinned=pinned)
@@ -231,7 +240,10 @@ def _run_fw_schedule(device, compute, copier, host, layout, nd, bmax, spec, over
                     wave.append((p, bj, rview, wview, hwork))
                 engine.map_updates([(w, cview, r) for (_, _, r, w, _) in wave])
                 for p, bj, rview, wview, hwork in wave:
-                    compute.launch("mp_rank", minplus_cost(spec, bi, bk, bj))
+                    compute.launch(
+                        "mp_rank", minplus_cost(spec, bi, bk, bj),
+                        reads=(cview, rview), writes=(wview,),
+                    )
                     copier.wait(compute.record(Event("comp")))
                     copier.copy_d2h_async(hwork, wview, pinned=pinned)
                     down_events[p] = copier.record(Event("down"))

@@ -85,12 +85,15 @@ def run_mssp_batch(
     delta: float | None,
     dynamic_parallelism: bool,
     heavy_degree: int,
+    graph_buffers=(),
 ) -> MsspWorkload:
     """Execute one MSSP kernel: real Near-Far numerics into ``out_rows``
     plus the modelled kernel time charged to ``stream``.
 
     ``bat`` is the planned batch size (the kernel's grid size); the last
     batch may carry fewer sources but still launches the same grid.
+    ``graph_buffers`` names the resident CSR device arrays the kernel
+    reads, for the schedule sanitizer.
     """
     dist, stats = near_far_batch(
         graph, sources, delta=delta, heavy_degree=heavy_degree
@@ -105,7 +108,7 @@ def run_mssp_batch(
     cost = mssp_batch_cost(
         device.spec, workload, bat, dynamic_parallelism=dynamic_parallelism
     )
-    stream.launch("mssp", cost)
+    stream.launch("mssp", cost, reads=tuple(graph_buffers), writes=(out_rows,))
     return workload
 
 
@@ -186,6 +189,10 @@ def _run_johnson(
 
     num_batches = (n + bat - 1) // bat
     batch_workloads: list[MsspWorkload] = []
+    # empty graphs leave indices/weights unwritten — don't declare them read
+    csr_arrays = (
+        (csr_indptr, csr_indices, csr_weights) if graph.num_edges else (csr_indptr,)
+    )
     for b in range(num_batches):
         lo, hi = b * bat, min((b + 1) * bat, n)
         sources = np.arange(lo, hi, dtype=np.int64)
@@ -197,6 +204,7 @@ def _run_johnson(
             graph, device, compute, sources, rows_view,
             bat=bat, delta=delta,
             dynamic_parallelism=dynamic_parallelism, heavy_degree=heavy_degree,
+            graph_buffers=csr_arrays,
         )
         batch_workloads.append(workload)
         if overlap:

@@ -25,10 +25,15 @@ docstring for the rationale per constant). See also DESIGN.md §2.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 from repro.gpu.memory import DeviceMemory
 from repro.gpu.stream import Stream
 from repro.gpu.timeline import Timeline
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sanitize.hazards import HazardReport
+    from repro.sanitize.sanitizer import ScheduleSanitizer
 
 __all__ = ["Device", "DeviceSpec", "V100", "K80", "TEST_DEVICE"]
 
@@ -187,11 +192,26 @@ class Device:
     The ``host_ready`` clock models the CPU thread driving the device:
     synchronous operations block it, asynchronous ones only charge the launch
     overhead, which is how overlap pays off.
+
+    With ``sanitize=True`` the device carries a
+    :class:`~repro.sanitize.sanitizer.ScheduleSanitizer` that observes
+    every stream operation, event edge, allocation and free, and detects
+    cross-stream races, use-after-free, and uninitialized device reads —
+    the simulated analogue of ``compute-sanitizer --tool racecheck``.
+    Collect findings with :meth:`hazard_report`.
     """
 
-    def __init__(self, spec: DeviceSpec, *, record_trace: bool = True) -> None:
+    def __init__(
+        self, spec: DeviceSpec, *, record_trace: bool = True, sanitize: bool = False
+    ) -> None:
         self.spec = spec
+        self.sanitizer: ScheduleSanitizer | None = None
+        if sanitize:
+            from repro.sanitize.sanitizer import ScheduleSanitizer
+
+            self.sanitizer = ScheduleSanitizer(spec.name)
         self.memory = DeviceMemory(spec.memory_bytes)
+        self.memory.observer = self.sanitizer
         self.timeline = Timeline(record_trace=record_trace)
         self.host_ready = 0.0
         self._stream_counter = 0
@@ -208,7 +228,21 @@ class Device:
         """Block the host until all device work completes; returns the
         simulated wall-clock time at that point."""
         self.host_ready = max(self.host_ready, self.timeline.makespan)
+        if self.sanitizer is not None:
+            self.sanitizer.on_device_sync()
         return self.host_ready
+
+    def hazard_report(self) -> "HazardReport":
+        """Scan the sanitized schedule; requires ``sanitize=True``.
+
+        Returns a :class:`~repro.sanitize.hazards.HazardReport`.
+        """
+        if self.sanitizer is None:
+            raise ValueError(
+                "device was created without sanitize=True; "
+                "use Device(spec, sanitize=True) to enable the sanitizer"
+            )
+        return self.sanitizer.report()
 
     @property
     def elapsed(self) -> float:
@@ -222,6 +256,8 @@ class Device:
         self.host_ready = 0.0
         for stream in self._streams:
             stream.ready_at = 0.0
+        if self.sanitizer is not None:
+            self.sanitizer.reset_schedule()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -17,11 +17,14 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
 
 from repro.gpu.errors import OutOfMemoryError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sanitize.sanitizer import ScheduleSanitizer
 
 __all__ = ["DeviceArray", "DeviceMemory", "HostBuffer"]
 
@@ -98,11 +101,17 @@ class DeviceArray:
 
 @dataclass
 class DeviceMemory:
-    """Bump-counted device memory pool with a hard capacity."""
+    """Bump-counted device memory pool with a hard capacity.
+
+    ``observer`` is the owning device's schedule sanitizer (or ``None``);
+    it is told about every allocation and free so use-after-free and
+    uninitialized reads can be detected.
+    """
 
     capacity: int
     used: int = 0
     peak: int = 0
+    observer: "ScheduleSanitizer | None" = field(default=None, repr=False)
     _live: dict[int, "DeviceArray"] = field(default_factory=dict, repr=False)
 
     def alloc(
@@ -131,6 +140,8 @@ class DeviceMemory:
         self.used += charge
         self.peak = max(self.peak, self.used)
         self._live[id(arr)] = arr
+        if self.observer is not None:
+            self.observer.on_alloc(arr, prefilled=fill is not None)
         return arr
 
     def upload(self, host: np.ndarray, *, name: str = "") -> DeviceArray:
@@ -138,6 +149,9 @@ class DeviceMemory:
         use :meth:`repro.gpu.stream.Stream.copy_h2d` for timed uploads)."""
         arr = self.alloc(host.shape, host.dtype, name=name)
         arr.data[...] = host
+        if self.observer is not None:
+            # the untimed upload initialises the bytes, like a fill
+            self.observer.on_alloc(arr, prefilled=True)
         return arr
 
     def _release(self, arr: DeviceArray) -> None:
@@ -146,6 +160,8 @@ class DeviceMemory:
         del self._live[id(arr)]
         self.used -= arr.charged_bytes
         assert self.used >= 0
+        if self.observer is not None:
+            self.observer.on_free(arr)
 
     @property
     def free_bytes(self) -> int:

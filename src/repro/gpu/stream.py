@@ -11,11 +11,20 @@ Copies come in synchronous (`copy_*`, blocks the simulated host thread, like
 ``cudaMemcpy``) and asynchronous (`copy_*_async`, like ``cudaMemcpyAsync``)
 flavours; kernels are always asynchronous, charging only their launch
 overhead to the host clock.
+
+When the owning device was created with ``sanitize=True``, every stream
+operation is also reported to the schedule sanitizer
+(:mod:`repro.sanitize.sanitizer`): copies carry their source/destination
+buffers, kernels their declared ``reads=``/``writes=`` sets, and
+record/wait/synchronize contribute the happens-before edges. The
+``annotate`` pseudo-op exists for host-side numeric work that models a
+kernel side effect (e.g. the ``memset`` that clears an accumulation tile)
+without occupying the timeline.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable, Union
 
 import numpy as np
 
@@ -24,18 +33,27 @@ from repro.gpu.transfer import copy_duration, copy_duration_2d
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.gpu.device import Device
+    from repro.sanitize.sanitizer import Clock
 
 __all__ = ["Event", "Stream"]
 
+#: operand types the sanitizer hooks accept
+Operand = Union[DeviceArray, HostBuffer, np.ndarray]
+
 
 class Event:
-    """Marks a point in a stream's execution (``cudaEvent`` analogue)."""
+    """Marks a point in a stream's execution (``cudaEvent`` analogue).
 
-    __slots__ = ("name", "time")
+    ``_clock`` is the schedule sanitizer's snapshot of the recording
+    stream's vector clock; it stays ``None`` on unsanitized devices.
+    """
+
+    __slots__ = ("name", "time", "_clock")
 
     def __init__(self, name: str = "") -> None:
         self.name = name
         self.time = 0.0
+        self._clock: "Clock | None" = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Event({self.name!r}, t={self.time:.6f})"
@@ -63,11 +81,22 @@ class Stream:
     # ------------------------------------------------------------------
     # Kernels
     # ------------------------------------------------------------------
-    def launch(self, name: str, duration: float, *, flops: int = 0, nbytes: int = 0) -> None:
+    def launch(
+        self,
+        name: str,
+        duration: float,
+        *,
+        flops: int = 0,
+        nbytes: int = 0,
+        reads: Iterable[Operand] = (),
+        writes: Iterable[Operand] = (),
+    ) -> None:
         """Enqueue a kernel with a pre-computed duration (asynchronous).
 
         The host pays only the launch overhead; the kernel runs on the
-        compute engine when the stream and engine are free.
+        compute engine when the stream and engine are free. ``reads`` and
+        ``writes`` declare the buffers (device arrays or views into them)
+        the kernel touches — ignored unless the device is sanitized.
         """
         spec = self.device.spec
         self.device.host_ready += spec.kernel_launch_overhead
@@ -77,6 +106,27 @@ class Stream:
             stream=self.name, name=name, flops=flops, nbytes=nbytes,
         )
         self.ready_at = op.end
+        if self.device.sanitizer is not None:
+            self.device.sanitizer.on_kernel(self, name, reads, writes)
+
+    def annotate(
+        self,
+        name: str,
+        *,
+        reads: Iterable[Operand] = (),
+        writes: Iterable[Operand] = (),
+    ) -> None:
+        """Record a timeline-free access for the schedule sanitizer.
+
+        Host-side numeric work that *models* a kernel side effect — e.g.
+        the ``memset`` clearing an accumulation tile before a min-plus
+        chain — performs real array writes without a matching ``launch``.
+        ``annotate`` gives the sanitizer that access at the stream's
+        current position so its happens-before accounting stays complete.
+        No-op on unsanitized devices.
+        """
+        if self.device.sanitizer is not None:
+            self.device.sanitizer.on_kernel(self, name, reads, writes)
 
     # ------------------------------------------------------------------
     # Copies
@@ -93,6 +143,10 @@ class Stream:
             self.device.host_ready = max(self.device.host_ready, op.end)
         else:
             self.device.host_ready += spec.kernel_launch_overhead
+
+    def _sanitize_copy(self, name: str, dst: Operand, src: Operand, *, sync: bool) -> None:
+        if self.device.sanitizer is not None:
+            self.device.sanitizer.on_copy(self, name, dst, src, sync=sync)
 
     def copy_h2d(
         self,
@@ -111,6 +165,7 @@ class Stream:
         data, pin = _as_host_array(src, pinned)
         _as_device_array(dst)[...] = data
         self._copy("h2d", name, data.nbytes, pin, sync=True)
+        self._sanitize_copy(name, dst, data, sync=True)
 
     def copy_h2d_async(
         self,
@@ -124,6 +179,7 @@ class Stream:
         data, pin = _as_host_array(src, pinned)
         _as_device_array(dst)[...] = data
         self._copy("h2d", name, data.nbytes, pin, sync=False)
+        self._sanitize_copy(name, dst, data, sync=False)
 
     def copy_d2h(
         self,
@@ -137,6 +193,7 @@ class Stream:
         data, pin = _as_host_array(dst, pinned)
         data[...] = _as_device_array(src)
         self._copy("d2h", name, data.nbytes, pin, sync=True)
+        self._sanitize_copy(name, data, src, sync=True)
 
     def copy_d2h_async(
         self,
@@ -150,6 +207,7 @@ class Stream:
         data, pin = _as_host_array(dst, pinned)
         data[...] = _as_device_array(src)
         self._copy("d2h", name, data.nbytes, pin, sync=False)
+        self._sanitize_copy(name, data, src, sync=False)
 
     def copy_d2h_2d(
         self,
@@ -184,6 +242,7 @@ class Stream:
             self.device.host_ready = max(self.device.host_ready, op.end)
         else:
             self.device.host_ready += self.device.spec.kernel_launch_overhead
+        self._sanitize_copy(name, data, src, sync=sync)
 
     # ------------------------------------------------------------------
     # Ordering
@@ -191,15 +250,21 @@ class Stream:
     def record(self, event: Event) -> Event:
         """Record ``event`` at the stream's current completion point."""
         event.time = self.ready_at
+        if self.device.sanitizer is not None:
+            self.device.sanitizer.on_record(self, event)
         return event
 
     def wait(self, event: Event) -> None:
         """Make subsequent work on this stream wait for ``event``."""
         self.ready_at = max(self.ready_at, event.time)
+        if self.device.sanitizer is not None:
+            self.device.sanitizer.on_wait(self, event)
 
     def synchronize(self) -> float:
         """Block the host until this stream's queued work completes."""
         self.device.host_ready = max(self.device.host_ready, self.ready_at)
+        if self.device.sanitizer is not None:
+            self.device.sanitizer.on_stream_sync(self)
         return self.device.host_ready
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -1,0 +1,97 @@
+"""Hazard records produced by the schedule sanitizer.
+
+A :class:`Hazard` names one concrete defect in a device schedule — the
+analogue of one line of ``compute-sanitizer --tool racecheck`` output: the
+hazard class, the buffer involved, the stream pair, and the two operations
+whose ordering (or lack of it) constitutes the bug.
+
+A :class:`HazardReport` aggregates every hazard found in one run together
+with enough context (op/buffer counts, device name) to read the report on
+its own. ``report.clean`` is the pass/fail bit the CLI and CI key off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Hazard", "HazardReport", "AccessKind"]
+
+#: access kinds recorded by the sanitizer (module-level for reuse in docs)
+AccessKind = ("read", "write")
+
+
+@dataclass(frozen=True)
+class Hazard:
+    """One detected schedule defect.
+
+    ``kind`` is one of:
+
+    * ``"write-read-race"`` / ``"read-write-race"`` / ``"write-write-race"``
+      — two operations on *different streams* touch overlapping bytes of
+      the same buffer, at least one writes, and no happens-before path
+      (stream order, event edge, or host synchronisation) orders them;
+    * ``"use-after-free"`` — an operation accesses a device allocation that
+      was already freed when the operation was enqueued;
+    * ``"uninitialized-read"`` — an operation reads device bytes that no
+      transfer, fill, or kernel write is ordered before.
+    """
+
+    kind: str
+    buffer: str
+    streams: tuple[str, str]
+    first_op: str
+    second_op: str
+    detail: str = ""
+
+    def describe(self) -> str:
+        """One human-readable line, ``racecheck`` style."""
+        a, b = self.streams
+        pair = a if a == b else f"{a} <-> {b}"
+        return (
+            f"{self.kind}: buffer {self.buffer!r} between streams [{pair}] "
+            f"({self.first_op} vs {self.second_op})"
+            + (f" — {self.detail}" if self.detail else "")
+        )
+
+
+@dataclass
+class HazardReport:
+    """All hazards found in one sanitized run."""
+
+    device: str = ""
+    num_ops: int = 0
+    num_buffers: int = 0
+    hazards: list[Hazard] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when the schedule is free of detected hazards."""
+        return not self.hazards
+
+    def kinds(self) -> list[str]:
+        """Sorted distinct hazard kinds present (for quick assertions)."""
+        return sorted({h.kind for h in self.hazards})
+
+    def merged(self, other: "HazardReport") -> "HazardReport":
+        """Combine two reports (multi-device runs) into a new one."""
+        return HazardReport(
+            device=f"{self.device}+{other.device}" if other.device else self.device,
+            num_ops=self.num_ops + other.num_ops,
+            num_buffers=self.num_buffers + other.num_buffers,
+            hazards=[*self.hazards, *other.hazards],
+        )
+
+    def describe(self) -> str:
+        """Multi-line human-readable report."""
+        head = (
+            f"schedule sanitizer [{self.device or 'device'}]: "
+            f"{self.num_ops} ops over {self.num_buffers} buffers — "
+        )
+        if self.clean:
+            return head + "no hazards"
+        lines = [head + f"{len(self.hazards)} hazard(s)"]
+        lines += [f"  {h.describe()}" for h in self.hazards]
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()

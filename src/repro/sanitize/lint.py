@@ -1,0 +1,303 @@
+"""Repo-specific AST lint pass (``python -m repro lint``).
+
+General-purpose linters cannot know this repository's contracts; these
+rules encode them:
+
+======= ==================== =====================================================
+rule id name                 contract
+======= ==================== =====================================================
+RPR001  raw-minplus          inside ``repro/core/`` (outside ``core/backends/``),
+                             min-plus products must go through the
+                             :class:`~repro.core.engine.KernelEngine` — no raw
+                             ``np.minimum(C, A[:, :, None] + B[None, :, :])``-style
+                             broadcasts that bypass backend selection and the
+                             operand contract
+RPR002  float64-into-engine  engine call sites (``minplus``, ``minplus_update``,
+                             ``.update``, ``.fw_inplace``) must not be fed inline
+                             float64 array constructors (``np.full(...)`` without
+                             ``dtype=``, or an explicit float64 dtype): a float64
+                             accumulator silently falls off the fast float32 path
+RPR003  wall-clock-bench     benchmark code (``repro/bench/``) must time with
+                             ``time.perf_counter``, never ``time.time`` (coarse,
+                             non-monotonic)
+RPR004  mutable-default      no mutable default arguments (list/dict/set
+                             displays or constructor calls)
+RPR005  missing-all          public modules that define public top-level names
+                             must declare ``__all__``
+======= ==================== =====================================================
+
+Run over paths with :func:`lint_paths`; each finding is a
+:class:`Violation` carrying ``rule``, ``file``, ``line`` and ``col``.
+Fix the code, don't suppress the rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = ["Violation", "lint_file", "lint_paths", "format_violations", "RULES"]
+
+#: rule id -> (name, summary) — the lint CLI's ``--list-rules`` output
+RULES: dict[str, tuple[str, str]] = {
+    "RPR001": ("raw-minplus", "raw broadcast min-plus bypassing the KernelEngine in core/"),
+    "RPR002": ("float64-into-engine", "float64 array constructor fed to an engine call site"),
+    "RPR003": ("wall-clock-bench", "time.time() used in bench/ (use time.perf_counter)"),
+    "RPR004": ("mutable-default", "mutable default argument"),
+    "RPR005": ("missing-all", "public module defines public names but no __all__"),
+}
+
+#: engine entry points whose operands RPR002 inspects
+_ENGINE_CALLEES = {"minplus", "minplus_update", "update", "fw_inplace"}
+
+#: numpy constructors that default to float64 when dtype is omitted
+_F64_DEFAULT_CTORS = ("full", "zeros", "ones", "empty")
+
+_MUTABLE_CTORS = {"list", "dict", "set"}
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One lint finding at ``file:line:col``."""
+
+    rule: str
+    name: str
+    file: str
+    line: int
+    col: int
+    message: str
+
+    def describe(self) -> str:
+        """``file:line:col: RPRnnn name: message`` — editor-clickable."""
+        return f"{self.file}:{self.line}:{self.col}: {self.rule} {self.name}: {self.message}"
+
+
+def _is_np_attr(node: ast.AST, attr: str) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == attr
+        and isinstance(node.value, ast.Name)
+        and node.value.id in ("np", "numpy")
+    )
+
+
+def _subscript_has_none(node: ast.AST) -> bool:
+    """True for ``x[..., None, ...]``-style new-axis subscripts."""
+    if not isinstance(node, ast.Subscript):
+        return False
+    idx = node.slice
+    elts = idx.elts if isinstance(idx, ast.Tuple) else [idx]
+    return any(isinstance(e, ast.Constant) and e.value is None for e in elts)
+
+
+def _is_broadcast_minplus_arg(node: ast.AST) -> bool:
+    """``A[:, :, None] + B[None, :, :]`` (or any Add of subscript views)."""
+    if not isinstance(node, ast.BinOp) or not isinstance(node.op, ast.Add):
+        return False
+    return _subscript_has_none(node.left) or _subscript_has_none(node.right)
+
+
+def _is_float64_dtype(node: ast.AST) -> bool:
+    if _is_np_attr(node, "float64"):
+        return True
+    if isinstance(node, ast.Constant) and node.value in ("float64", "f8"):
+        return True
+    return isinstance(node, ast.Name) and node.id == "float"
+
+
+def _constructs_float64(node: ast.AST) -> bool:
+    """An inline array constructor whose result dtype is float64."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    ctor = func.attr if isinstance(func, ast.Attribute) else None
+    if ctor is None or not _is_np_attr(func, ctor):
+        return False
+    dtype_kw = next((kw.value for kw in node.keywords if kw.arg == "dtype"), None)
+    if dtype_kw is not None:
+        return _is_float64_dtype(dtype_kw)
+    # dtype omitted: np.full/zeros/ones/empty default to float64
+    return ctor in _F64_DEFAULT_CTORS
+
+
+class _Checker(ast.NodeVisitor):
+    """Single-pass visitor applying every location-scoped rule."""
+
+    def __init__(self, path: Path, rel: str) -> None:
+        self.path = path
+        self.rel = rel.replace("\\", "/")
+        self.violations: list[Violation] = []
+        self.in_core = "/core/" in f"/{self.rel}" and "/backends/" not in self.rel
+        self.in_bench = "/bench/" in f"/{self.rel}"
+
+    def _flag(self, rule: str, node: ast.AST, message: str) -> None:
+        name, _ = RULES[rule]
+        self.violations.append(
+            Violation(
+                rule=rule,
+                name=name,
+                file=str(self.path),
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                message=message,
+            )
+        )
+
+    # -- RPR001 / RPR002 / RPR003 --------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.in_core and _is_np_attr(node.func, "minimum"):
+            if any(_is_broadcast_minplus_arg(arg) for arg in node.args):
+                self._flag(
+                    "RPR001", node,
+                    "raw broadcast min-plus product; route it through the "
+                    "KernelEngine (repro.core.engine) instead",
+                )
+        callee = None
+        if isinstance(node.func, ast.Name):
+            callee = node.func.id
+        elif isinstance(node.func, ast.Attribute):
+            callee = node.func.attr
+        if callee in _ENGINE_CALLEES:
+            for arg in node.args:
+                if _constructs_float64(arg):
+                    self._flag(
+                        "RPR002", arg,
+                        f"float64 array constructed inline at {callee}() call "
+                        "site; pass dtype=DIST_DTYPE (float32) so the operand "
+                        "stays on the fast path",
+                    )
+        func = node.func
+        if (
+            self.in_bench
+            and isinstance(func, ast.Attribute)
+            and func.attr == "time"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "time"
+        ):
+            self._flag(
+                "RPR003", node,
+                "time.time() in benchmark code; use time.perf_counter()",
+            )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if self.in_bench and node.module == "time":
+            for alias in node.names:
+                if alias.name == "time":
+                    self._flag(
+                        "RPR003", node,
+                        "wall-clock `from time import time` in benchmark code; "
+                        "import perf_counter instead",
+                    )
+        self.generic_visit(node)
+
+    # -- RPR004 --------------------------------------------------------
+    def _check_defaults(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in _MUTABLE_CTORS
+            )
+            if mutable:
+                self._flag(
+                    "RPR004", default,
+                    f"mutable default argument in {node.name}(); "
+                    "default to None and construct inside the body",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+
+def _module_public_names(tree: ast.Module) -> list[str]:
+    """Top-level public defs/classes/assignments (imports excluded)."""
+    names: list[str] = []
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if not node.name.startswith("_"):
+                names.append(node.name)
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Name) and not target.id.startswith("_"):
+                    names.append(target.id)
+    return names
+
+
+def _declares_all(tree: ast.Module) -> bool:
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets
+        ):
+            return True
+        if (
+            isinstance(node, ast.AnnAssign)
+            and isinstance(node.target, ast.Name)
+            and node.target.id == "__all__"
+        ):
+            return True
+    return False
+
+
+def lint_file(path: Path, root: Path | None = None) -> list[Violation]:
+    """Lint one python file; returns its violations (possibly empty)."""
+    path = Path(path)
+    try:
+        rel = str(path.resolve().relative_to((root or Path.cwd()).resolve()))
+    except ValueError:
+        rel = str(path)
+    source = path.read_text()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Violation(
+                rule="RPR000", name="syntax-error", file=str(path),
+                line=exc.lineno or 1, col=exc.offset or 0,
+                message=str(exc.msg),
+            )
+        ]
+    checker = _Checker(path, rel)
+    checker.visit(tree)
+    violations = checker.violations
+    # RPR005 is module-shaped, not node-shaped
+    module_name = path.stem
+    exempt = module_name.startswith("_") and module_name != "__init__"
+    if not exempt and _module_public_names(tree) and not _declares_all(tree):
+        checker._flag("RPR005", tree.body[0] if tree.body else tree,
+                      "module defines public names but no __all__")
+    return violations
+
+
+def _iter_py_files(paths: Iterable[Path]) -> Iterator[Path]:
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(paths: Iterable[Path], root: Path | None = None) -> list[Violation]:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    violations: list[Violation] = []
+    for path in _iter_py_files(paths):
+        violations.extend(lint_file(path, root=root))
+    return violations
+
+
+def format_violations(violations: list[Violation]) -> str:
+    """Render findings one per line, stable order."""
+    ordered = sorted(violations, key=lambda v: (v.file, v.line, v.col, v.rule))
+    return "\n".join(v.describe() for v in ordered)

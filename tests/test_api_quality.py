@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.gpu",
     "repro.graphs",
     "repro.partition",
+    "repro.sanitize",
     "repro.select",
     "repro.sssp",
 ]
