@@ -8,8 +8,14 @@ Commands
 ``suite``         list the paper's evaluation-graph registry
 ``devices``       list the device presets and their constants
 ``bench-kernels`` wall-clock sweep of the min-plus kernel backends
+``bench-transfers`` record/check the static transfer-volume baseline
 ``sanitize``      run the schedule sanitizer over the out-of-core drivers
+``verify-plan``   statically verify the OOC execution plans (no execution)
 ``lint``          run the repository AST contract checker
+
+Exit codes (``sanitize``, ``verify-plan``, ``bench-transfers --check``,
+``lint``): 0 — clean/verified; 1 — hazards, findings, failed bounds, or
+baseline drift; 2 — usage error (argparse).
 """
 
 from __future__ import annotations
@@ -248,12 +254,15 @@ def cmd_bench_kernels(args) -> int:
 
 
 def cmd_sanitize(args) -> int:
+    import json as _json
+
     from repro.sanitize import DRIVER_NAMES, sanitize_driver
 
     graph = _load_graph(args)
     spec = _device_spec(args)
     names = list(DRIVER_NAMES) if args.driver == "all" else [args.driver]
     failures = 0
+    reports = {}
     for name in names:
         kwargs = {}
         if name == "multi-gpu":
@@ -261,13 +270,66 @@ def cmd_sanitize(args) -> int:
         elif not args.overlap:
             kwargs["overlap"] = False
         report, result = sanitize_driver(name, graph, spec, **kwargs)
+        reports[name] = report
+        if not report.clean:
+            failures += 1
+        if args.json:
+            continue
         status = "clean" if report.clean else f"{len(report.hazards)} hazard(s)"
         print(f"{name:<10} {report.num_ops:>5} ops, {report.num_buffers:>3} buffers: {status}")
         if not report.clean:
-            failures += 1
             for line in report.describe().splitlines()[1:]:
                 print(line)
+    if args.json:
+        payload = {
+            "graph": {"n": graph.num_vertices, "m": graph.num_edges},
+            "device": spec.name,
+            "clean": failures == 0,
+            "drivers": {name: r.to_dict() for name, r in reports.items()},
+        }
+        print(_json.dumps(payload, indent=2))
     return 1 if failures else 0
+
+
+def cmd_verify_plan(args) -> int:
+    import json as _json
+
+    from repro.verifyplan import DEFAULT_TOLERANCE, verify_plan
+
+    graph = _load_graph(args)
+    spec = _device_spec(args)
+    algorithms = None if args.algorithm == "all" else [args.algorithm]
+    tolerance = DEFAULT_TOLERANCE if args.tolerance is None else args.tolerance
+    ver = verify_plan(
+        graph,
+        spec,
+        algorithms=algorithms,
+        overlap=args.overlap,
+        num_devices=args.num_devices,
+        tolerance=tolerance,
+    )
+    if args.json:
+        print(_json.dumps(ver.to_dict(), indent=2))
+    else:
+        print(ver.describe())
+    return 0 if ver.ok else 1
+
+
+def cmd_bench_transfers(args) -> int:
+    from repro.bench.transfers import compare_baseline, save_baseline
+
+    if args.check:
+        drifts = compare_baseline()
+        if drifts:
+            for line in drifts:
+                print(line)
+            print(f"{len(drifts)} drift(s) from BENCH_transfers.json", file=sys.stderr)
+            return 1
+        print("transfer baseline: no drift")
+        return 0
+    path = save_baseline()
+    print(f"wrote {path}")
+    return 0
 
 
 def cmd_lint(args) -> int:
@@ -367,7 +429,35 @@ def main(argv=None) -> int:
                    help="device count for the multi-gpu driver")
     p.add_argument("--no-overlap", dest="overlap", action="store_false",
                    help="check the single-stream (overlap=False) schedules")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(fn=cmd_sanitize)
+
+    p = sub.add_parser(
+        "verify-plan",
+        help="statically prove the OOC execution plans fit memory and "
+             "match the paper's transfer bounds (nothing executes)",
+    )
+    add_graph_args(p)
+    p.add_argument("--algorithm", default="all",
+                   choices=["all", "fw", "floyd-warshall", "johnson", "boundary", "multi-gpu"],
+                   help="which plan(s) to verify (default: all)")
+    p.add_argument("--num-devices", type=int, default=2,
+                   help="device count for the multi-gpu plan")
+    p.add_argument("--no-overlap", dest="overlap", action="store_false",
+                   help="verify the single-stream (overlap=False) schedules")
+    p.add_argument("--tolerance", type=float, default=None,
+                   help="relative tolerance for the approximate FW bounds")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(fn=cmd_verify_plan)
+
+    p = sub.add_parser(
+        "bench-transfers",
+        help="record (default) or --check the static transfer-volume "
+             "baseline in BENCH_transfers.json",
+    )
+    p.add_argument("--check", action="store_true",
+                   help="diff current audits against the recorded baseline")
+    p.set_defaults(fn=cmd_bench_transfers)
 
     p = sub.add_parser("lint", help="AST contract checks for this repository")
     p.add_argument("paths", nargs="*", default=["src"],

@@ -58,7 +58,7 @@ def incore_apsp(
     with device.memory.alloc((n, n), DIST_DTYPE, name="dist") as dist:
         stream.copy_h2d(dist, host.data, pinned=True)
         engine.fw_inplace(dist.data)
-        stream.launch("fw_incore", fw_tile_cost(spec, n))
+        stream.launch("fw_incore", fw_tile_cost(spec, n), reads=(dist,), writes=(dist,))
         stream.copy_d2h(host.data, dist, pinned=True)
     elapsed = device.synchronize()
     host.flush()

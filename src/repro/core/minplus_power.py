@@ -64,7 +64,12 @@ def minplus_power_apsp(
             stream.copy_h2d(dist, host.data, pinned=True)
             for _ in range(squarings_needed(n)):
                 nxt = minplus(dist.data, dist.data, engine=engine)
-                stream.launch("mp_square", minplus_cost(spec, n, n, n))
+                stream.launch(
+                    "mp_square",
+                    minplus_cost(spec, n, n, n),
+                    reads=(dist,),
+                    writes=(dist,),
+                )
                 rounds += 1
                 if np.array_equal(nxt, dist.data):
                     break

@@ -31,7 +31,7 @@ from repro.core.tiling import HostStore
 from repro.gpu.device import Device, DeviceSpec
 from repro.gpu.kernels import extract_cost, fw_tile_cost, minplus_cost
 
-__all__ = ["ooc_boundary_multi"]
+__all__ = ["emit_multi_ir", "ooc_boundary_multi"]
 
 _ELEM = np.dtype(DIST_DTYPE).itemsize
 
@@ -221,3 +221,112 @@ def ooc_boundary_multi(
             "imbalance": max(per_device) / max(min(per_device), 1e-30),
         },
     )
+
+def emit_multi_ir(
+    graph,
+    spec: DeviceSpec,
+    num_devices: int,
+    *,
+    num_components: int | None = None,
+    plan: BoundaryPlan | None = None,
+    seed: int = 0,
+):
+    """Compile the multi-GPU boundary schedule to one symbolic
+    :class:`~repro.verifyplan.ir.PlanIR` *per device*, without executing.
+
+    Mirrors :func:`ooc_boundary_multi` op for op on each device: the
+    round-robin dist2 tiles, the boundary closure on device 0 with its
+    host-staged broadcast, and each device's step-4 strip pipeline.
+    """
+    from repro.verifyplan.ir import IREmitter, Rect
+
+    if num_devices < 1:
+        raise ValueError("need at least one device")
+    n = graph.num_vertices
+    if plan is None:
+        plan = plan_boundary(graph, spec, num_components=num_components, seed=seed)
+    k = plan.num_components
+    nb_total = plan.num_boundary
+    starts = plan.comp_start
+    bcounts = plan.comp_boundary
+    bnd_offsets = np.zeros(k + 1, dtype=np.int64)
+    np.cumsum(bcounts, out=bnd_offsets[1:])
+
+    ems = [
+        IREmitter(f"boundary-multi[{num_devices}]", f"{spec.name}#{d}", spec.memory_bytes)
+        for d in range(num_devices)
+    ]
+
+    # step 2: per-component APSP, round-robin over devices
+    for i in range(k):
+        em = ems[i % num_devices]
+        ni = int(starts[i + 1] - starts[i])
+        tile = em.alloc(f"comp{i}", (ni, ni))
+        em.h2d(tile, key=("sub", i))
+        em.kernel("fw_comp", reads=(tile,), writes=(tile,))
+        em.d2h(tile, key=("dist2", i))
+        em.free(tile)
+
+    # step 3: boundary closure on device 0, broadcast to the rest
+    bounds = []
+    root = ems[0]
+    bound0 = root.alloc("bound", (nb_total, nb_total))
+    root.h2d(bound0, key=("bound",))
+    root.kernel("fw_bound", reads=(bound0,), writes=(bound0,))
+    root.d2h(bound0, key=("bound",))
+    bounds.append(bound0)
+    for em in ems[1:]:
+        b = em.alloc("bound", (nb_total, nb_total))
+        em.h2d(b, key=("bound",))
+        bounds.append(b)
+
+    # step 4: block rows round-robin, one strip buffer per device
+    nmax = plan.max_component
+    bmax = int(bcounts.max()) if k else 1
+    state = []
+    for em in ems:
+        state.append(
+            dict(
+                c2b=em.alloc("c2b", (nmax, max(1, bmax))),
+                b2c=em.alloc("b2c", (max(1, bmax), nmax)),
+                tmp=em.alloc("tmp1", (nmax, max(1, bmax))),
+                out=em.alloc("out", (nmax, n)),
+            )
+        )
+
+    for i in range(k):
+        d = i % num_devices
+        em = ems[d]
+        st = state[d]
+        lo_i, hi_i = int(starts[i]), int(starts[i + 1])
+        ni = hi_i - lo_i
+        bi = int(bcounts[i])
+        oi = int(bnd_offsets[i])
+        cr = Rect(0, ni, 0, bi)
+        em.h2d(st["c2b"], cr, key=("dist2", i, "c2b"))
+        em.kernel("extract_c2b", reads=((st["c2b"], cr),), writes=((st["c2b"], cr),))
+        for j in range(k):
+            lo_j, hi_j = int(starts[j]), int(starts[j + 1])
+            nj = hi_j - lo_j
+            bj = int(bcounts[j])
+            oj = int(bnd_offsets[j])
+            br = Rect(0, bj, 0, nj)
+            em.h2d(st["b2c"], br, key=("dist2", j, "b2c"))
+            em.kernel("extract_b2c", reads=((st["b2c"], br),), writes=((st["b2c"], br),))
+            dest = (st["out"], Rect(0, ni, lo_j, hi_j))
+            em.kernel("memset_out", writes=(dest,))
+            if bi and bj:
+                bview = (bounds[d], Rect(oi, oi + bi, oj, oj + bj))
+                t1 = (st["tmp"], Rect(0, ni, 0, bj))
+                em.kernel("memset_tmp1", writes=(t1,))
+                em.kernel("mp_c2b_bound", reads=((st["c2b"], cr), bview), writes=(t1,))
+                em.kernel("mp_bound_b2c", reads=(t1, (st["b2c"], br)), writes=(dest,))
+            if i == j:
+                em.kernel("min_diag", reads=(dest,), writes=(dest,))
+        em.d2h(st["out"], Rect(0, ni, 0, n), key=("host-rows", lo_i, hi_i))
+
+    for d, em in enumerate(ems):
+        for buf in state[d].values():
+            em.free(buf)
+        em.free(bounds[d])
+    return [em.finish() for em in ems]

@@ -49,6 +49,7 @@ __all__ = [
     "BoundaryInfeasibleError",
     "BoundaryPlan",
     "default_num_components",
+    "emit_boundary_ir",
     "ooc_boundary",
     "plan_boundary",
 ]
@@ -468,3 +469,130 @@ def _run_boundary(
             **transfer_stats(device),
         },
     )
+
+def emit_boundary_ir(
+    graph,
+    spec: DeviceSpec,
+    *,
+    num_components: int | None = None,
+    batch_transfers: bool = True,
+    overlap: bool = True,
+    plan: BoundaryPlan | None = None,
+    seed: int = 0,
+):
+    """Compile the boundary-algorithm schedule to a symbolic
+    :class:`~repro.verifyplan.ir.PlanIR` without executing anything.
+
+    Mirrors :func:`_run_boundary` op for op: per-component dist2 tiles,
+    the resident boundary matrix, the C2B/B2C extract uploads, and the
+    ``N_row``-batched (or per-block) output drains with their flush
+    boundaries.
+    """
+    from repro.verifyplan.ir import IREmitter, Rect
+
+    n = graph.num_vertices
+    if plan is None:
+        plan = plan_boundary(
+            graph, spec,
+            num_components=num_components,
+            batch_transfers=batch_transfers, overlap=overlap, seed=seed,
+        )
+    k = plan.num_components
+    nb_total = plan.num_boundary
+    starts = plan.comp_start
+    bcounts = plan.comp_boundary
+    bnd_offsets = np.zeros(k + 1, dtype=np.int64)
+    np.cumsum(bcounts, out=bnd_offsets[1:])
+
+    em = IREmitter("boundary", spec.name, spec.memory_bytes)
+    # step 2: per-component APSP (dist2)
+    for i in range(k):
+        ni = int(starts[i + 1] - starts[i])
+        tile = em.alloc(f"comp{i}", (ni, ni))
+        em.h2d(tile, key=("sub", i))
+        em.kernel("fw_comp", reads=(tile,), writes=(tile,))
+        em.d2h(tile, key=("dist2", i))
+        em.free(tile)
+
+    # step 3: boundary graph closure (dist3); stays resident
+    bound = em.alloc("bound", (nb_total, nb_total))
+    em.h2d(bound, key=("bound",))
+    em.kernel("fw_bound", reads=(bound,), writes=(bound,))
+
+    # step 4: two min-plus products per block
+    nmax = plan.max_component
+    bmax = int(bcounts.max())
+    c2b = em.alloc("c2b", (nmax, max(1, bmax)))
+    b2c = em.alloc("b2c", (max(1, bmax), nmax))
+    tmp1 = em.alloc("tmp1", (nmax, max(1, bmax)))
+    if batch_transfers and plan.n_row < 1:
+        batch_transfers = False
+    if batch_transfers:
+        out_bufs = [
+            em.alloc(f"out{p}", (plan.n_row * nmax, n))
+            for p in range(plan.num_buffers)
+        ]
+    else:
+        out_bufs = [em.alloc("out", (nmax, nmax))]
+
+    buf_rows = 0
+    buf_meta: list[tuple[int, int, int]] = []
+    active = 0
+
+    def flush(active_idx: int) -> None:
+        nonlocal buf_rows, buf_meta
+        if buf_rows == 0:
+            return
+        em.d2h(
+            out_bufs[active_idx], Rect(0, buf_rows, 0, n),
+            key=("host-rows", buf_meta[0][0], buf_meta[-1][1]),
+        )
+        buf_rows = 0
+        buf_meta = []
+
+    row_base = 0
+    for i in range(k):
+        lo_i, hi_i = int(starts[i]), int(starts[i + 1])
+        ni = hi_i - lo_i
+        bi = int(bcounts[i])
+        oi = int(bnd_offsets[i])
+        cr = Rect(0, ni, 0, bi)
+        em.h2d(c2b, cr, key=("dist2", i, "c2b"))
+        em.kernel("extract_c2b", reads=((c2b, cr),), writes=((c2b, cr),))
+        if batch_transfers:
+            row_base = buf_rows
+            buf_meta.append((lo_i, hi_i, row_base))
+        for j in range(k):
+            lo_j, hi_j = int(starts[j]), int(starts[j + 1])
+            nj = hi_j - lo_j
+            bj = int(bcounts[j])
+            oj = int(bnd_offsets[j])
+            br = Rect(0, bj, 0, nj)
+            em.h2d(b2c, br, key=("dist2", j, "b2c"))
+            em.kernel("extract_b2c", reads=((b2c, br),), writes=((b2c, br),))
+            if batch_transfers:
+                dest = (out_bufs[active], Rect(row_base, row_base + ni, lo_j, hi_j))
+            else:
+                dest = (out_bufs[0], Rect(0, ni, 0, nj))
+            em.kernel("memset_out", writes=(dest,))
+            if bi and bj:
+                bview = (bound, Rect(oi, oi + bi, oj, oj + bj))
+                t1 = (tmp1, Rect(0, ni, 0, bj))
+                em.kernel("memset_tmp1", writes=(t1,))
+                em.kernel("mp_c2b_bound", reads=((c2b, cr), bview), writes=(t1,))
+                em.kernel("mp_bound_b2c", reads=(t1, (b2c, br)), writes=(dest,))
+            if i == j:
+                em.kernel("min_diag", reads=(dest,), writes=(dest,))
+            if not batch_transfers:
+                em.d2h(out_bufs[0], Rect(0, ni, 0, nj), key=("host-block", i, j))
+        if batch_transfers:
+            buf_rows += ni
+            next_ni = (
+                int(starts[min(i + 2, k)] - starts[min(i + 1, k)]) if i + 1 < k else 0
+            )
+            if i + 1 >= k or buf_rows + next_ni > plan.n_row * nmax:
+                flush(active)
+                active = (active + 1) % len(out_bufs)
+    for buf in [bound, c2b, b2c, tmp1, *out_bufs]:
+        em.free(buf)
+    return em.finish()

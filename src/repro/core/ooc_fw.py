@@ -36,7 +36,7 @@ from repro.gpu.device import Device, DeviceSpec
 from repro.gpu.kernels import fw_tile_cost, minplus_cost
 from repro.gpu.stream import Event
 
-__all__ = ["ooc_floyd_warshall", "plan_fw_block_size"]
+__all__ = ["emit_fw_ir", "ooc_floyd_warshall", "plan_fw_block_size", "transfer_stats"]
 
 _ELEM = np.dtype(DIST_DTYPE).itemsize
 
@@ -176,6 +176,11 @@ def _run_fw_schedule(device, compute, copier, host, layout, nd, bmax, spec, over
             device.memory.alloc((bmax, bmax), DIST_DTYPE, name=f"work{p}") for p in range(nbuf)
         ]
         down_events: list[Event | None] = [None] * nbuf
+        # Row block A(k, j) is read-only during stage 3 and the buffer
+        # rotation revisits the same j with a fixed period, so when buffer p
+        # still holds block j its re-upload would be pure wasted bus bytes
+        # (the static plan verifier flags exactly this as redundant).
+        loaded: list[int | None] = [None] * nbuf
         fan_out = engine.fanout > 1 and nbuf > 1
         t = 0
         js = [j for j in range(nd) if j != k]
@@ -201,12 +206,15 @@ def _run_fw_schedule(device, compute, copier, host, layout, nd, bmax, spec, over
                     wview = works[p].data[:bi, :bj]
                     hwork = host.block(layout, i, j)
                     if overlap:
-                        copier.copy_h2d_async(rview, host.block(layout, k, j), pinned=pinned)
+                        if loaded[p] != j:
+                            copier.copy_h2d_async(rview, host.block(layout, k, j), pinned=pinned)
                         copier.copy_h2d_async(wview, hwork, pinned=pinned)
                         compute.wait(copier.record(Event("up")))
                     else:
-                        compute.copy_h2d(rview, host.block(layout, k, j), pinned=pinned)
+                        if loaded[p] != j:
+                            compute.copy_h2d(rview, host.block(layout, k, j), pinned=pinned)
                         compute.copy_h2d(wview, hwork, pinned=pinned)
+                    loaded[p] = j
                     minplus_update(wview, cview, rview, engine=engine)
                     compute.launch(
                         "mp_rank", minplus_cost(spec, bi, bk, bj),
@@ -234,9 +242,11 @@ def _run_fw_schedule(device, compute, copier, host, layout, nd, bmax, spec, over
                     rview = rows[p].data[:bk, :bj]
                     wview = works[p].data[:bi, :bj]
                     hwork = host.block(layout, i, j)
-                    copier.copy_h2d_async(rview, host.block(layout, k, j), pinned=pinned)
+                    if loaded[p] != j:
+                        copier.copy_h2d_async(rview, host.block(layout, k, j), pinned=pinned)
                     copier.copy_h2d_async(wview, hwork, pinned=pinned)
                     compute.wait(copier.record(Event("up")))
+                    loaded[p] = j
                     wave.append((p, bj, rview, wview, hwork))
                 engine.map_updates([(w, cview, r) for (_, _, r, w, _) in wave])
                 for p, bj, rview, wview, hwork in wave:
@@ -249,3 +259,84 @@ def _run_fw_schedule(device, compute, copier, host, layout, nd, bmax, spec, over
                     down_events[p] = copier.record(Event("down"))
         for arr in [col, *rows, *works]:
             arr.free()
+
+
+def emit_fw_ir(n: int, spec: DeviceSpec, *, block_size: int | None = None,
+               overlap: bool = True):
+    """Compile the blocked-FW schedule to a symbolic
+    :class:`~repro.verifyplan.ir.PlanIR` without executing anything.
+
+    Mirrors :func:`_run_fw_schedule` op for op (allocations, transfers
+    with their host-block keys, kernel def/use sets, and the stage-3 row
+    reuse); the verifyplan tests cross-validate it against the dynamic
+    trace byte for byte. The threaded engine's wave grouping reorders ops
+    within a wave but moves identical bytes, so one emission serves both.
+    """
+    from repro.verifyplan.ir import IREmitter, Rect
+
+    if block_size is None:
+        block_size = plan_fw_block_size(n, spec, overlap=overlap)
+    layout = BlockLayout(n, block_size)
+    nd = layout.num_blocks
+    bmax = layout.size(0)
+    em = IREmitter("floyd-warshall", spec.name, spec.memory_bytes)
+    for k in range(nd):
+        bk = layout.size(k)
+        # stage 1: diagonal block closure
+        diag = em.alloc(f"diag{k}", (bk, bk))
+        em.h2d(diag, key=("A", k, k))
+        em.kernel("fw_diag", reads=(diag,), writes=(diag,))
+        em.d2h(diag, key=("A", k, k))
+        # stage 2: row and column panels against the closed diagonal
+        panel = em.alloc("row-panel", (bk, bmax))
+        for j in range(nd):
+            if j == k:
+                continue
+            r = Rect(0, bk, 0, layout.size(j))
+            em.h2d(panel, r, key=("A", k, j))
+            em.kernel("mp_row", reads=(diag, (panel, r)), writes=((panel, r),))
+            em.d2h(panel, r, key=("A", k, j))
+        em.free(panel)
+        panel = em.alloc("col-panel", (bmax, bk))
+        for i in range(nd):
+            if i == k:
+                continue
+            r = Rect(0, layout.size(i), 0, bk)
+            em.h2d(panel, r, key=("A", i, k))
+            em.kernel("mp_col", reads=(diag, (panel, r)), writes=((panel, r),))
+            em.d2h(panel, r, key=("A", i, k))
+        em.free(panel)
+        em.free(diag)
+        # stage 3: double-buffered rank updates
+        nbuf = 2 if overlap else 1
+        col = em.alloc("col", (bmax, bk))
+        rows = [em.alloc(f"row{p}", (bk, bmax)) for p in range(nbuf)]
+        works = [em.alloc(f"work{p}", (bmax, bmax)) for p in range(nbuf)]
+        loaded: list[int | None] = [None] * nbuf
+        t = 0
+        js = [j for j in range(nd) if j != k]
+        for i in range(nd):
+            if i == k:
+                continue
+            bi = layout.size(i)
+            cr = Rect(0, bi, 0, bk)
+            em.h2d(col, cr, key=("A", i, k))
+            for j in js:
+                p = t % nbuf
+                t += 1
+                bj = layout.size(j)
+                rr = Rect(0, bk, 0, bj)
+                wr = Rect(0, bi, 0, bj)
+                if loaded[p] != j:
+                    em.h2d(rows[p], rr, key=("A", k, j))
+                em.h2d(works[p], wr, key=("A", i, j))
+                loaded[p] = j
+                em.kernel(
+                    "mp_rank",
+                    reads=((col, cr), (rows[p], rr)),
+                    writes=((works[p], wr),),
+                )
+                em.d2h(works[p], wr, key=("A", i, j))
+        for buf in [col, *rows, *works]:
+            em.free(buf)
+    return em.finish()

@@ -34,7 +34,13 @@ from repro.gpu.kernels import MsspWorkload, mssp_batch_cost
 from repro.gpu.stream import Event, Stream
 from repro.sssp.near_far import DEFAULT_HEAVY_DEGREE, near_far_batch
 
-__all__ = ["ooc_johnson", "plan_batch_size", "run_mssp_batch", "graph_device_bytes"]
+__all__ = [
+    "emit_johnson_ir",
+    "graph_device_bytes",
+    "ooc_johnson",
+    "plan_batch_size",
+    "run_mssp_batch",
+]
 
 _ELEM = np.dtype(DIST_DTYPE).itemsize
 
@@ -235,3 +241,59 @@ def _run_johnson(
             **transfer_stats(device),
         },
     )
+
+def emit_johnson_ir(
+    graph,
+    spec: DeviceSpec,
+    *,
+    batch_size: int | None = None,
+    queue_factor: float = DEFAULT_QUEUE_FACTOR,
+    overlap: bool = True,
+):
+    """Compile the batched-MSSP schedule to a symbolic
+    :class:`~repro.verifyplan.ir.PlanIR` without executing anything.
+
+    Mirrors :func:`_run_johnson` exactly: the CSR uploads (charged at the
+    scaled device's sparse factor), the worklist allocation, and one MSSP
+    launch plus row download per batch.
+    """
+    from repro.verifyplan.ir import IREmitter, Rect
+
+    n, m = graph.num_vertices, graph.num_edges
+    nbuf = 2 if overlap else 1
+    if batch_size is None:
+        batch_size = plan_batch_size(
+            graph, spec, queue_factor=queue_factor, num_row_buffers=nbuf
+        )
+    bat = max(1, min(batch_size, n))
+    charge = spec.sparse_charge_factor
+    em = IREmitter("johnson", spec.name, spec.memory_bytes)
+    indptr = em.alloc(
+        "indptr", (n + 1,), charged_bytes=int(4 * (n + 1) * charge) + 1
+    )
+    indices = em.alloc(
+        "indices", (max(1, m),), charged_bytes=int(4 * m * charge) + 1
+    )
+    weights = em.alloc(
+        "weights", (max(1, m),), charged_bytes=int(4 * m * charge) + 1
+    )
+    em.h2d(indptr, key=("csr", "indptr"))
+    if m:
+        em.h2d(indices, key=("csr", "indices"))
+        em.h2d(weights, key=("csr", "weights"))
+    queues = em.alloc("queues", (max(1, int(bat * queue_factor * m * charge)),))
+    row_bufs = [
+        em.alloc(f"rows{p}", (bat, n), charged_bytes=int(bat * n * _ELEM * charge) + 1)
+        for p in range(nbuf)
+    ]
+    csr_arrays = (indptr, indices, weights) if m else (indptr,)
+    num_batches = (n + bat - 1) // bat
+    for b in range(num_batches):
+        lo, hi = b * bat, min((b + 1) * bat, n)
+        p = b % nbuf
+        rect = Rect(0, hi - lo, 0, n)
+        em.kernel("mssp", reads=csr_arrays, writes=((row_bufs[p], rect),))
+        em.d2h(row_bufs[p], rect, key=("rows", lo, hi))
+    for buf in [indptr, indices, weights, queues, *row_bufs]:
+        em.free(buf)
+    return em.finish()

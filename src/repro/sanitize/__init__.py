@@ -12,8 +12,12 @@ Two halves (see ``docs/STATIC_ANALYSIS.md``):
 * the **repo lint pass** (:mod:`repro.sanitize.lint`) — an AST checker
   for repository-specific contracts (engine-bypassing min-plus, float64
   operands at engine call sites, wall-clock timing in benchmarks, mutable
-  default arguments, missing ``__all__``). Run with
-  ``python -m repro lint``.
+  default arguments, missing ``__all__``, untracked kernel launches). Run
+  with ``python -m repro lint``.
+
+The *static* counterpart of the sanitizer — proving the same schedule
+properties from a symbolic plan before anything runs — lives in
+:mod:`repro.verifyplan` (``python -m repro verify-plan``).
 """
 
 from repro.sanitize.hazards import Hazard, HazardReport

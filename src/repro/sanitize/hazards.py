@@ -81,6 +81,26 @@ class HazardReport:
             hazards=[*self.hazards, *other.hazards],
         )
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (``repro sanitize --json``)."""
+        return {
+            "device": self.device,
+            "num_ops": self.num_ops,
+            "num_buffers": self.num_buffers,
+            "clean": self.clean,
+            "hazards": [
+                {
+                    "kind": h.kind,
+                    "buffer": h.buffer,
+                    "streams": list(h.streams),
+                    "first_op": h.first_op,
+                    "second_op": h.second_op,
+                    "detail": h.detail,
+                }
+                for h in self.hazards
+            ],
+        }
+
     def describe(self) -> str:
         """Multi-line human-readable report."""
         head = (

@@ -1,0 +1,74 @@
+"""Static plan verifier: prove OOC schedules correct before anything runs.
+
+The dynamic schedule sanitizer (:mod:`repro.sanitize`) watches a *real*
+run; this package proves the same properties at *compile time*. Each OOC
+driver exposes an ``emit_*_ir`` mirror that compiles its execution plan
+into a symbolic :class:`~repro.verifyplan.ir.PlanIR` — allocations,
+H2D/D2H copies, and kernel def/use sets — without touching a device.
+Three analyses then run over the IR:
+
+- **residency** — peak charged bytes via a liveness walk, proven ≤ the
+  :class:`~repro.gpu.device.DeviceSpec` capacity;
+- **def-use** — every kernel operand is defined (written or uploaded)
+  on-device before it is read;
+- **redundancy** — uploads of already-resident unmodified blocks and
+  repeated downloads of untouched regions, reported as wasted bytes.
+
+Finally the tallied transfer volumes are checked against the paper's
+closed-form bounds (FW ≈ ``n_d·n²`` elements per direction group,
+Johnson's exact CSR + row-batch totals, the boundary method's ``N_row``
+output batching). Two independent analyses, one contract: the tests in
+``tests/test_verifyplan.py`` assert byte-for-byte agreement between
+these static predictions and the dynamic trace of real runs.
+
+Entry points: :func:`verify_plan` / ``python -m repro verify-plan``.
+"""
+
+from repro.verifyplan.analyze import (
+    PlanFinding,
+    TransferTally,
+    analyze_def_use,
+    analyze_residency,
+    analyze_transfers,
+    audit_ir,
+)
+from repro.verifyplan.bounds import DEFAULT_TOLERANCE, BoundCheck
+from repro.verifyplan.ir import (
+    AllocOp,
+    CopyOp,
+    FreeOp,
+    IREmitter,
+    KernelOp,
+    PlanIR,
+    Rect,
+    SymBuffer,
+)
+from repro.verifyplan.verifier import (
+    ALGORITHM_NAMES,
+    PlanAudit,
+    PlanVerification,
+    verify_plan,
+)
+
+__all__ = [
+    "ALGORITHM_NAMES",
+    "AllocOp",
+    "BoundCheck",
+    "CopyOp",
+    "DEFAULT_TOLERANCE",
+    "FreeOp",
+    "IREmitter",
+    "KernelOp",
+    "PlanAudit",
+    "PlanFinding",
+    "PlanIR",
+    "PlanVerification",
+    "Rect",
+    "SymBuffer",
+    "TransferTally",
+    "analyze_def_use",
+    "analyze_residency",
+    "analyze_transfers",
+    "audit_ir",
+    "verify_plan",
+]

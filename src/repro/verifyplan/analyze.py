@@ -1,0 +1,252 @@
+"""Static analyses over a :class:`~repro.verifyplan.ir.PlanIR`.
+
+Three independent walks over the linear op sequence:
+
+* :func:`analyze_residency` — interval/liveness analysis of the charged
+  allocation bytes, proving peak device residency stays within capacity
+  (the static analogue of :class:`~repro.gpu.memory.DeviceMemory`'s
+  runtime ``OutOfMemoryError``);
+* :func:`analyze_def_use` — every kernel operand and every download must
+  be *defined before use*: some earlier upload, fill, or kernel write
+  overlaps the read rectangle (the compile-time analogue of the
+  sanitizer's ``uninitialized-read`` rule);
+* :func:`analyze_transfers` — tallies bus traffic and flags redundant
+  transfers: an upload of a host block that is already resident and
+  unmodified on the device, or a download whose source region has not
+  changed since the same block was last downloaded. Both are pure wasted
+  bytes on the PCIe bus the paper's movement bounds assume are absent.
+
+All three return :class:`PlanFinding` records; :func:`audit_ir` bundles
+them with the traffic tally for the verifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.verifyplan.ir import AllocOp, CopyOp, FreeOp, KernelOp, PlanIR, Rect
+
+__all__ = [
+    "PlanFinding",
+    "TransferTally",
+    "analyze_def_use",
+    "analyze_residency",
+    "analyze_transfers",
+    "audit_ir",
+]
+
+
+@dataclass(frozen=True)
+class PlanFinding:
+    """One defect proven from the symbolic schedule.
+
+    ``kind`` is one of ``capacity-exceeded``, ``undefined-read``,
+    ``redundant-upload``, ``redundant-download``. ``block`` carries the
+    host block key (coordinates) for transfer findings.
+    """
+
+    kind: str
+    buffer: str
+    detail: str
+    op_index: int
+    block: tuple | None = None
+    wasted_bytes: int = 0
+
+    def describe(self) -> str:
+        loc = f"op #{self.op_index}"
+        blk = f" block {self.block}" if self.block is not None else ""
+        waste = f" ({self.wasted_bytes} wasted B)" if self.wasted_bytes else ""
+        return f"{self.kind}: buffer {self.buffer!r}{blk} at {loc}{waste} — {self.detail}"
+
+
+@dataclass
+class TransferTally:
+    """Aggregate bus traffic of one plan."""
+
+    bytes_h2d: int = 0
+    bytes_d2h: int = 0
+    num_h2d: int = 0
+    num_d2h: int = 0
+    redundant_bytes: int = 0
+    #: d2h op count per leading key element, e.g. {"host-rows": 3}
+    d2h_by_key: dict = field(default_factory=dict)
+
+
+def analyze_residency(ir: PlanIR) -> tuple[int, list[PlanFinding]]:
+    """Walk allocs/frees; return (peak charged bytes, capacity findings)."""
+    findings: list[PlanFinding] = []
+    used = 0
+    peak = 0
+    live: dict[int, int] = {}  # buffer id -> charged bytes
+    for idx, op in enumerate(ir.ops):
+        if isinstance(op, AllocOp):
+            buf = ir.buffers[op.buffer]
+            used += buf.charged_bytes
+            live[op.buffer] = buf.charged_bytes
+            if used > peak:
+                peak = used
+            if used > ir.capacity:
+                top = sorted(
+                    (ir.buffers[b].name, c) for b, c in live.items()
+                )
+                top.sort(key=lambda t: -t[1])
+                held = ", ".join(f"{n}={c}B" for n, c in top[:6])
+                findings.append(
+                    PlanFinding(
+                        kind="capacity-exceeded",
+                        buffer=buf.name,
+                        detail=(
+                            f"residency {used}B exceeds capacity {ir.capacity}B; "
+                            f"live set: {held}"
+                        ),
+                        op_index=idx,
+                        wasted_bytes=used - ir.capacity,
+                    )
+                )
+        elif isinstance(op, FreeOp):
+            used -= live.pop(op.buffer, 0)
+    return peak, findings
+
+
+def analyze_def_use(ir: PlanIR) -> list[PlanFinding]:
+    """Prove every read rectangle overlaps an earlier write to its buffer."""
+    findings: list[PlanFinding] = []
+    written: dict[int, list[Rect]] = {}
+    prefilled: set[int] = set()
+
+    def record_write(buffer: int, rect: Rect) -> None:
+        written.setdefault(buffer, []).append(rect)
+
+    def check_read(buffer: int, rect: Rect, what: str, idx: int) -> None:
+        if rect.empty or buffer in prefilled:
+            return
+        if any(w.overlaps(rect) for w in written.get(buffer, ())):
+            return
+        buf = ir.buffers[buffer]
+        findings.append(
+            PlanFinding(
+                kind="undefined-read",
+                buffer=buf.name,
+                detail=f"{what} reads {rect} before any upload, fill, or kernel write",
+                op_index=idx,
+            )
+        )
+
+    for idx, op in enumerate(ir.ops):
+        if isinstance(op, AllocOp):
+            written[op.buffer] = []
+            if ir.buffers[op.buffer].prefilled:
+                prefilled.add(op.buffer)
+        elif isinstance(op, CopyOp):
+            if op.kind == "h2d":
+                record_write(op.access.buffer, op.access.rect)
+            else:
+                check_read(op.access.buffer, op.access.rect, "d2h copy", idx)
+        elif isinstance(op, KernelOp):
+            for acc in op.reads:
+                check_read(acc.buffer, acc.rect, f"kernel {op.name!r}", idx)
+            for acc in op.writes:
+                record_write(acc.buffer, acc.rect)
+    return findings
+
+
+@dataclass
+class _Resident:
+    """A host block's clean copy on the device (buffer region + key)."""
+
+    buffer: int
+    rect: Rect
+
+
+def analyze_transfers(ir: PlanIR) -> tuple[TransferTally, list[PlanFinding]]:
+    """Tally traffic and flag redundant transfers.
+
+    A host-block *residency map* tracks which device region last matched
+    each host block. Kernel writes, frees, and overwriting uploads
+    invalidate overlapping entries; an upload whose key is still resident
+    and clean is redundant, as is a download whose key was already
+    downloaded from an untouched region.
+    """
+    tally = TransferTally()
+    findings: list[PlanFinding] = []
+    resident: dict[tuple, _Resident] = {}
+    downloaded: dict[tuple, _Resident] = {}
+
+    def invalidate(buffer: int, rect: Rect | None) -> None:
+        for table in (resident, downloaded):
+            stale = [
+                key
+                for key, ent in table.items()
+                if ent.buffer == buffer
+                and (rect is None or ent.rect.overlaps(rect))
+            ]
+            for key in stale:
+                del table[key]
+
+    for idx, op in enumerate(ir.ops):
+        if isinstance(op, FreeOp):
+            invalidate(op.buffer, None)
+        elif isinstance(op, KernelOp):
+            for acc in op.writes:
+                invalidate(acc.buffer, acc.rect)
+        elif isinstance(op, CopyOp):
+            acc = op.access
+            name = ir.buffers[acc.buffer].name
+            if op.kind == "h2d":
+                tally.bytes_h2d += acc.nbytes
+                tally.num_h2d += 1
+                ent = resident.get(op.key)
+                if ent is not None and acc.nbytes > 0:
+                    where = ir.buffers[ent.buffer].name
+                    tally.redundant_bytes += acc.nbytes
+                    findings.append(
+                        PlanFinding(
+                            kind="redundant-upload",
+                            buffer=name,
+                            detail=(
+                                f"host block {op.key} is already resident and "
+                                f"unmodified in {where!r} {ent.rect}"
+                            ),
+                            op_index=idx,
+                            block=op.key,
+                            wasted_bytes=acc.nbytes,
+                        )
+                    )
+                invalidate(acc.buffer, acc.rect)  # overwrites other keys' bytes
+                if not acc.rect.empty:
+                    resident[op.key] = _Resident(acc.buffer, acc.rect)
+            else:
+                tally.bytes_d2h += acc.nbytes
+                tally.num_d2h += 1
+                head = str(op.key[0]) if op.key else ""
+                tally.d2h_by_key[head] = tally.d2h_by_key.get(head, 0) + 1
+                ent = downloaded.get(op.key)
+                if ent is not None and acc.nbytes > 0:
+                    tally.redundant_bytes += acc.nbytes
+                    findings.append(
+                        PlanFinding(
+                            kind="redundant-download",
+                            buffer=name,
+                            detail=(
+                                f"host block {op.key} was already downloaded and "
+                                f"the source region has not changed since"
+                            ),
+                            op_index=idx,
+                            block=op.key,
+                            wasted_bytes=acc.nbytes,
+                        )
+                    )
+                if not acc.rect.empty:
+                    downloaded[op.key] = _Resident(acc.buffer, acc.rect)
+                    # the host copy now equals this device region, so a
+                    # re-upload of the same key would move nothing new
+                    resident[op.key] = _Resident(acc.buffer, acc.rect)
+    return tally, findings
+
+
+def audit_ir(ir: PlanIR) -> tuple[int, TransferTally, list[PlanFinding]]:
+    """Run all three analyses; returns (peak_bytes, tally, findings)."""
+    peak, cap_findings = analyze_residency(ir)
+    du_findings = analyze_def_use(ir)
+    tally, tr_findings = analyze_transfers(ir)
+    return peak, tally, [*cap_findings, *du_findings, *tr_findings]

@@ -1,0 +1,241 @@
+"""Closed-form transfer bounds from the paper, checked against the IR.
+
+The paper derives the data-movement cost of each algorithm analytically
+(Table I and Section III); the verifier recomputes each bound from the
+plan parameters and compares it with the byte totals the symbolic
+schedule actually moves:
+
+* **blocked FW** — every block crosses the bus each outer iteration, so
+  downloads are *exactly* ``n_d · n²`` elements (the per-``k`` download
+  set tiles the full matrix: ``(b_k + Σ_{i≠k} b_i)(b_k + Σ_{j≠k} b_j) =
+  n²`` even with a ragged last block), and the total volume is
+  ``≈ (3·n_d − 1) · n²`` elements. The total is approximate: ragged
+  blocks and the row-panel reuse in stage 3 shave a few per cent, hence
+  the tolerance;
+* **Johnson** — the CSR graph uploads once (``4(n+1) + 8m`` bytes) and
+  every output row downloads exactly once (``n²`` elements) in
+  ``⌈n / bat⌉`` batches;
+* **boundary** — downloads are ``n² + Σ nᵢ²`` elements (dist2 blocks plus
+  the full dist4 output), uploads ``Σ nᵢ² + n_b² + Σᵢ nᵢbᵢ + k·Σⱼ bⱼnⱼ``
+  elements, and with ``N_row`` batching the step-4 output drains in at
+  most ``⌈k / N_row⌉`` flushes instead of ``k²`` per-block copies.
+
+Each check is a :class:`BoundCheck`; ``mode`` selects exact equality, an
+upper bound, or a relative tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "BoundCheck",
+    "boundary_bound_checks",
+    "fw_bound_checks",
+    "johnson_bound_checks",
+    "multi_bound_checks",
+]
+
+#: default relative tolerance for the approximate FW volume checks —
+#: generous enough for a pathologically ragged last block (b_{n_d-1} ≪ b)
+DEFAULT_TOLERANCE = 0.25
+
+_ELEM = 4  # DIST_DTYPE is float32
+
+
+@dataclass(frozen=True)
+class BoundCheck:
+    """One closed-form bound compared against the symbolic schedule."""
+
+    name: str
+    expected: float
+    actual: float
+    #: "exact" (==), "at-most" (<=), or "approx" (within ``tolerance``)
+    mode: str = "exact"
+    tolerance: float = 0.0
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        if self.mode == "exact":
+            return self.actual == self.expected
+        if self.mode == "at-most":
+            return self.actual <= self.expected
+        if self.expected == 0:
+            return self.actual == 0
+        return abs(self.actual - self.expected) <= self.tolerance * self.expected
+
+    def describe(self) -> str:
+        rel = {"exact": "==", "at-most": "<=", "approx": "≈"}[self.mode]
+        status = "ok" if self.ok else "FAILED"
+        tol = f" ±{self.tolerance:.0%}" if self.mode == "approx" else ""
+        return (
+            f"{self.name}: actual {self.actual:g} {rel} expected "
+            f"{self.expected:g}{tol} [{status}]"
+            + (f" — {self.detail}" if self.detail else "")
+        )
+
+
+def fw_bound_checks(
+    n: int,
+    num_blocks: int,
+    bytes_h2d: int,
+    bytes_d2h: int,
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> list[BoundCheck]:
+    """Blocked FW: Table I's ``O(n_d · n²)`` movement, split by direction."""
+    nd = num_blocks
+    return [
+        BoundCheck(
+            name="fw-d2h-volume",
+            expected=nd * n * n * _ELEM,
+            actual=bytes_d2h,
+            mode="exact",
+            detail="each outer iteration downloads every block exactly once",
+        ),
+        BoundCheck(
+            name="fw-h2d-volume",
+            expected=max(1, 2 * nd - 1) * n * n * _ELEM,
+            actual=bytes_h2d,
+            mode="approx",
+            tolerance=tolerance,
+            detail="uploads ≈ (2·n_d − 1)·n² elements (stage-3 row reuse shaves a little)",
+        ),
+        BoundCheck(
+            name="fw-total-volume",
+            expected=max(2, 3 * nd - 1) * n * n * _ELEM,
+            actual=bytes_h2d + bytes_d2h,
+            mode="approx",
+            tolerance=tolerance,
+            detail="paper Table I: O(n_d · n²) total movement",
+        ),
+    ]
+
+
+def johnson_bound_checks(
+    n: int,
+    m: int,
+    bat: int,
+    bytes_h2d: int,
+    bytes_d2h: int,
+    num_d2h: int,
+) -> list[BoundCheck]:
+    """Johnson: one CSR upload, one exact output-matrix download."""
+    csr_bytes = 4 * (n + 1) + (8 * m if m else 0)
+    return [
+        BoundCheck(
+            name="johnson-h2d-volume",
+            expected=csr_bytes,
+            actual=bytes_h2d,
+            mode="exact",
+            detail="the CSR graph uploads exactly once",
+        ),
+        BoundCheck(
+            name="johnson-d2h-volume",
+            expected=n * n * _ELEM,
+            actual=bytes_d2h,
+            mode="exact",
+            detail="every output row downloads exactly once",
+        ),
+        BoundCheck(
+            name="johnson-num-batches",
+            expected=-(-n // bat),
+            actual=num_d2h,
+            mode="exact",
+            detail="bat = (L − S)/(c·m) sources per MSSP launch, one download each",
+        ),
+    ]
+
+
+def _component_terms(comp_start, comp_boundary) -> tuple[int, int, int]:
+    """(Σ nᵢ², Σᵢ nᵢ·bᵢ, Σⱼ bⱼ·nⱼ) from the plan's partition arrays."""
+    sizes = np.diff(np.asarray(comp_start))
+    bnd = np.asarray(comp_boundary)
+    sq = int((sizes * sizes).sum())
+    nb_mix = int((sizes * bnd).sum())
+    return sq, nb_mix, nb_mix
+
+
+def boundary_bound_checks(
+    plan,
+    n: int,
+    bytes_h2d: int,
+    bytes_d2h: int,
+    num_output_flushes: int,
+    *,
+    batched: bool,
+) -> list[BoundCheck]:
+    """Boundary algorithm: exact volumes plus the N_row batching bound."""
+    k = plan.num_components
+    nb = plan.num_boundary
+    sq, c2b_elems, b2c_row = _component_terms(plan.comp_start, plan.comp_boundary)
+    checks = [
+        BoundCheck(
+            name="boundary-d2h-volume",
+            expected=(n * n + sq) * _ELEM,
+            actual=bytes_d2h,
+            mode="exact",
+            detail="dist2 blocks (Σ nᵢ²) plus the full dist4 output (n²)",
+        ),
+        BoundCheck(
+            name="boundary-h2d-volume",
+            expected=(sq + nb * nb + c2b_elems + k * b2c_row) * _ELEM,
+            actual=bytes_h2d,
+            mode="exact",
+            detail="components + boundary matrix + C2B/B2C extracts",
+        ),
+    ]
+    if batched and plan.n_row >= 1:
+        checks.append(
+            BoundCheck(
+                name="boundary-output-flushes",
+                expected=-(-k // plan.n_row),
+                actual=num_output_flushes,
+                mode="at-most",
+                detail=f"N_row={plan.n_row} block-rows per batched D2H flush",
+            )
+        )
+    else:
+        checks.append(
+            BoundCheck(
+                name="boundary-output-copies",
+                expected=k * k,
+                actual=num_output_flushes,
+                mode="exact",
+                detail="unbatched path: one strided copy per block",
+            )
+        )
+    return checks
+
+
+def multi_bound_checks(
+    plan,
+    n: int,
+    num_devices: int,
+    bytes_h2d: int,
+    bytes_d2h: int,
+) -> list[BoundCheck]:
+    """Multi-GPU boundary: single-device volumes plus the broadcast cost."""
+    k = plan.num_components
+    nb = plan.num_boundary
+    sq, c2b_elems, b2c_row = _component_terms(plan.comp_start, plan.comp_boundary)
+    return [
+        BoundCheck(
+            name="multi-d2h-volume",
+            expected=(n * n + sq + nb * nb) * _ELEM,
+            actual=bytes_d2h,
+            mode="exact",
+            detail="dist2 + dist4 output + the closed boundary matrix staging back",
+        ),
+        BoundCheck(
+            name="multi-h2d-volume",
+            expected=(sq + num_devices * nb * nb + c2b_elems + k * b2c_row) * _ELEM,
+            actual=bytes_h2d,
+            mode="exact",
+            detail="broadcast uploads the closed boundary matrix to every device",
+        ),
+    ]

@@ -1,0 +1,231 @@
+"""Symbolic schedule IR for the static plan verifier.
+
+A :class:`PlanIR` is the *compiled form* of one out-of-core driver's
+execution plan: the linear sequence of device allocations, frees, H2D/D2H
+copies, and kernel launches the driver would enqueue — with every operand
+reduced to a rectangle of a symbolic buffer. Nothing is executed and no
+distance matrix exists; the IR carries only shapes, byte counts, and host
+block identities, which is all the analyses in
+:mod:`repro.verifyplan.analyze` need.
+
+Each driver module owns an ``emit_*_ir`` function that mirrors its real
+schedule (``repro.core.ooc_fw.emit_fw_ir`` and friends); the tests
+cross-validate the mirrors against the dynamic trace, byte for byte.
+
+Conventions:
+
+* buffers are at most 2-D; 1-D buffers of length ``l`` occupy the
+  rectangle ``(0, l, 0, 1)``;
+* rectangles are half-open ``[r0, r1) × [c0, c1)`` in *buffer* coordinates
+  (so disjoint views of one buffer never alias, mirroring the sanitizer's
+  ``np.shares_memory`` test);
+* ``key`` on a copy identifies the host-side block the transfer touches —
+  e.g. ``("A", i, k)`` for a distance-matrix block — and is what the
+  redundant-transfer analysis tracks residency by.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Access",
+    "AllocOp",
+    "CopyOp",
+    "FreeOp",
+    "IREmitter",
+    "KernelOp",
+    "PlanIR",
+    "Rect",
+    "SymBuffer",
+]
+
+
+@dataclass(frozen=True)
+class Rect:
+    """Half-open rectangle ``[r0, r1) × [c0, c1)`` in buffer coordinates."""
+
+    r0: int
+    r1: int
+    c0: int
+    c1: int
+
+    @property
+    def rows(self) -> int:
+        return max(0, self.r1 - self.r0)
+
+    @property
+    def cols(self) -> int:
+        return max(0, self.c1 - self.c0)
+
+    @property
+    def area(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def empty(self) -> bool:
+        return self.area == 0
+
+    def overlaps(self, other: "Rect") -> bool:
+        """Non-empty byte intersection (empty rects overlap nothing)."""
+        if self.empty or other.empty:
+            return False
+        return (
+            self.r0 < other.r1
+            and other.r0 < self.r1
+            and self.c0 < other.c1
+            and other.c0 < self.c1
+        )
+
+    def __str__(self) -> str:
+        return f"[{self.r0}:{self.r1}, {self.c0}:{self.c1}]"
+
+
+@dataclass(frozen=True)
+class SymBuffer:
+    """One symbolic device allocation."""
+
+    id: int
+    name: str
+    shape: tuple[int, ...]
+    itemsize: int = 4
+    #: bytes accounted against device capacity (differs from real bytes for
+    #: sparse structures on scaled devices, see ``DeviceSpec.sparse_charge_factor``)
+    charged_bytes: int = 0
+    #: allocated with a fill value (counts as initialised, like the sanitizer)
+    prefilled: bool = False
+
+    @property
+    def full_rect(self) -> Rect:
+        if len(self.shape) == 1:
+            return Rect(0, int(self.shape[0]), 0, 1)
+        return Rect(0, int(self.shape[0]), 0, int(self.shape[1]))
+
+
+@dataclass(frozen=True)
+class Access:
+    """A rectangle of one buffer, with its transfer/operand byte count."""
+
+    buffer: int
+    rect: Rect
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class AllocOp:
+    buffer: int
+
+
+@dataclass(frozen=True)
+class FreeOp:
+    buffer: int
+
+
+@dataclass(frozen=True)
+class CopyOp:
+    """One bus transfer; ``kind`` is ``"h2d"`` or ``"d2h"``."""
+
+    kind: str
+    access: Access
+    key: tuple
+
+
+@dataclass(frozen=True)
+class KernelOp:
+    """One kernel launch with declared def/use sets."""
+
+    name: str
+    reads: tuple[Access, ...]
+    writes: tuple[Access, ...]
+
+
+@dataclass(frozen=True)
+class PlanIR:
+    """The compiled schedule of one driver on one device."""
+
+    algorithm: str
+    device: str
+    capacity: int
+    buffers: dict[int, SymBuffer] = field(default_factory=dict)
+    ops: tuple = ()
+
+    @property
+    def num_ops(self) -> int:
+        return len(self.ops)
+
+
+class IREmitter:
+    """Builder the drivers' ``emit_*_ir`` mirrors write their schedule into.
+
+    The operand arguments accept either a :class:`SymBuffer` (meaning its
+    full rectangle) or a ``(SymBuffer, Rect)`` pair.
+    """
+
+    def __init__(self, algorithm: str, device: str, capacity: int) -> None:
+        self.algorithm = algorithm
+        self.device = device
+        self.capacity = int(capacity)
+        self._buffers: dict[int, SymBuffer] = {}
+        self._ops: list = []
+        self._next_id = 0
+
+    def alloc(
+        self,
+        name: str,
+        shape: tuple[int, ...] | int,
+        *,
+        itemsize: int = 4,
+        charged_bytes: int | None = None,
+        prefilled: bool = False,
+    ) -> SymBuffer:
+        if isinstance(shape, int):
+            shape = (shape,)
+        shape = tuple(int(s) for s in shape)
+        nelem = 1
+        for s in shape:
+            nelem *= s
+        charge = nelem * itemsize if charged_bytes is None else int(charged_bytes)
+        buf = SymBuffer(
+            id=self._next_id, name=name, shape=shape, itemsize=itemsize,
+            charged_bytes=charge, prefilled=prefilled,
+        )
+        self._next_id += 1
+        self._buffers[buf.id] = buf
+        self._ops.append(AllocOp(buf.id))
+        return buf
+
+    def free(self, buf: SymBuffer) -> None:
+        self._ops.append(FreeOp(buf.id))
+
+    def _access(self, operand, rect: Rect | None = None) -> Access:
+        if isinstance(operand, tuple):
+            buf, rect = operand
+        else:
+            buf = operand
+        if rect is None:
+            rect = buf.full_rect
+        return Access(buf.id, rect, rect.area * buf.itemsize)
+
+    def h2d(self, buf: SymBuffer, rect: Rect | None = None, *, key: tuple) -> None:
+        self._ops.append(CopyOp("h2d", self._access(buf, rect), tuple(key)))
+
+    def d2h(self, buf: SymBuffer, rect: Rect | None = None, *, key: tuple) -> None:
+        self._ops.append(CopyOp("d2h", self._access(buf, rect), tuple(key)))
+
+    def kernel(self, name: str, *, reads=(), writes=()) -> None:
+        self._ops.append(
+            KernelOp(
+                name,
+                tuple(self._access(r) for r in reads),
+                tuple(self._access(w) for w in writes),
+            )
+        )
+
+    def finish(self) -> PlanIR:
+        return PlanIR(
+            algorithm=self.algorithm,
+            device=self.device,
+            capacity=self.capacity,
+            buffers=dict(self._buffers),
+            ops=tuple(self._ops),
+        )

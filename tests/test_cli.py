@@ -121,3 +121,65 @@ class TestSelectJson:
         assert set(data["estimates"]) == {"johnson", "boundary"}
         for est in data["estimates"].values():
             assert est["total_seconds"] > 0
+
+
+class TestVerifyPlan:
+    def test_human_output_and_exit_zero(self, capsys):
+        rc = main(["verify-plan", "rmat:n=110,m=800,seed=2",
+                   "--device", "test", "--scale", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "all feasible plans verified" in out
+        assert "floyd-warshall: VERIFIED" in out
+        assert "multi-gpu: VERIFIED" in out
+
+    def test_json_output_parses(self, capsys):
+        import json
+
+        rc = main(["verify-plan", "road:n=220,deg=2.6,seed=1",
+                   "--device", "test", "--scale", "1", "--json"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["ok"] is True
+        audit = data["audits"]["floyd-warshall"]
+        assert audit["verified"] and audit["redundant_bytes"] == 0
+        assert audit["bytes_h2d"] > 0 and audit["peak_bytes"] <= audit["capacity"]
+
+    def test_single_algorithm_flag(self, capsys):
+        rc = main(["verify-plan", "rmat:n=110,m=800,seed=2",
+                   "--device", "test", "--scale", "1", "--algorithm", "fw"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "floyd-warshall" in out and "johnson" not in out
+
+    def test_failing_bound_exits_one(self, capsys):
+        # an impossible tolerance turns the approximate FW checks into
+        # failures: documented exit code 1
+        rc = main(["verify-plan", "road:n=220,deg=2.6,seed=1",
+                   "--device", "test", "--scale", "1",
+                   "--algorithm", "fw", "--tolerance", "1e-9"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "verification FAILED" in out
+        assert "fw-h2d-volume" in out
+
+
+class TestSanitizeJson:
+    def test_json_output_parses(self, capsys):
+        import json
+
+        rc = main(["sanitize", "rmat:n=110,m=800,seed=2",
+                   "--device", "test", "--scale", "1", "--driver", "fw",
+                   "--json"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["clean"] is True
+        assert data["drivers"]["fw"]["hazards"] == []
+        assert data["drivers"]["fw"]["num_ops"] > 0
+
+
+class TestBenchTransfers:
+    def test_check_mode_clean(self, capsys):
+        rc = main(["bench-transfers", "--check"])
+        assert rc == 0
+        assert "no drift" in capsys.readouterr().out

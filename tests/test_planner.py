@@ -63,3 +63,44 @@ class TestExplainPlan:
         g = erdos_renyi(600, 50_000, seed=5)
         report = explain_plan(g, TEST_DEVICE)
         assert not report.plans["johnson"].feasible
+
+
+class TestPlannerEdgeCases:
+    """Plan parameters at the tiling boundaries, cross-checked against the
+    static plan verifier (explain_plan and verify_plan share the planning
+    functions, so feasibility and parameters must always agree)."""
+
+    def test_block_size_not_dividing_n(self):
+        from repro.verifyplan import verify_plan
+
+        g = road_like(220, 2.6, seed=1)  # n=200, block 161: ragged tail
+        report = explain_plan(g, TEST_DEVICE)
+        plan = report.plans["floyd-warshall"]
+        n, b = g.num_vertices, plan.parameters["block_size"]
+        assert n % b != 0
+        audit = verify_plan(g, TEST_DEVICE).audits["floyd-warshall"]
+        assert audit.parameters["block_size"] == b
+        assert audit.parameters["num_blocks"] == plan.parameters["num_blocks"]
+        assert audit.verified
+
+    def test_single_block_graph(self):
+        from repro.verifyplan import verify_plan
+
+        g = rmat(110, 800, seed=2)  # whole matrix fits one FW block
+        report = explain_plan(g, TEST_DEVICE)
+        assert report.plans["floyd-warshall"].parameters["num_blocks"] == 1
+        audit = verify_plan(g, TEST_DEVICE).audits["floyd-warshall"]
+        assert audit.parameters["num_blocks"] == 1
+        assert audit.verified
+
+    def test_only_one_algorithm_feasible(self):
+        from repro.verifyplan import verify_plan
+
+        g = erdos_renyi(600, 50_000, seed=5)  # dense expander on tiny device
+        report = explain_plan(g, TEST_DEVICE)
+        feasible = [n for n, p in report.plans.items() if p.feasible]
+        assert feasible == ["floyd-warshall"]
+        ver = verify_plan(g, TEST_DEVICE)
+        for name, plan in report.plans.items():
+            assert ver.audits[name].feasible == plan.feasible, name
+        assert ver.ok

@@ -1,0 +1,51 @@
+"""The checked-in transfer baseline is a CI regression gate.
+
+``BENCH_transfers.json`` pins the static plan verifier's byte-exact
+predictions for the standard configurations; a driver change that moves
+different bytes (or starts wasting bus bandwidth on redundant copies)
+fails here before any wall-clock benchmark would notice.
+"""
+
+from repro.bench.transfers import (
+    STANDARD_CONFIGS,
+    bench_transfers_path,
+    collect_baseline,
+    compare_baseline,
+    load_baseline,
+)
+
+
+class TestBaselineFile:
+    def test_checked_in_baseline_exists(self):
+        path = bench_transfers_path()
+        assert path.exists(), "run `python -m repro bench-transfers` to record it"
+        baseline = load_baseline()
+        assert set(baseline["configs"]) == {c["name"] for c in STANDARD_CONFIGS}
+
+    def test_no_drift_from_baseline(self):
+        drifts = compare_baseline()
+        assert drifts == []
+
+    def test_compare_detects_drift(self):
+        baseline = load_baseline()
+        entry = baseline["configs"]["road220-test"]["algorithms"]["floyd-warshall"]
+        entry["bytes_h2d"] += 4
+        drifts = compare_baseline(baseline)
+        assert any("road220-test/floyd-warshall: bytes_h2d" in d for d in drifts)
+
+
+class TestZeroRedundancy:
+    def test_all_current_drivers_waste_no_bytes(self):
+        # the ISSUE acceptance invariant: every feasible plan of every
+        # standard configuration moves zero redundant bytes
+        current = collect_baseline()
+        for name, entry in current["configs"].items():
+            for algo, audit in entry["algorithms"].items():
+                if audit["feasible"]:
+                    assert audit["redundant_bytes"] == 0, (name, algo)
+                    assert audit["verified"], (name, algo)
+
+    def test_every_standard_config_verifies(self):
+        current = collect_baseline()
+        for name, entry in current["configs"].items():
+            assert entry["ok"], name
