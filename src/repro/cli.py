@@ -11,11 +11,16 @@ Commands
 ``bench-transfers`` record/check the static transfer-volume baseline
 ``sanitize``      run the schedule sanitizer over the out-of-core drivers
 ``verify-plan``   statically verify the OOC execution plans (no execution)
+``check-schedule`` happens-before + symbolic critical-path check of the plans
 ``lint``          run the repository AST contract checker
 
-Exit codes (``sanitize``, ``verify-plan``, ``bench-transfers --check``,
-``lint``): 0 — clean/verified; 1 — hazards, findings, failed bounds, or
-baseline drift; 2 — usage error (argparse).
+Exit codes (``sanitize``, ``verify-plan``, ``check-schedule``,
+``bench-transfers --check``, ``lint``): 0 — clean/verified; 1 — hazards,
+findings, failed bounds, or baseline drift; 2 — usage error (argparse).
+
+Every ``--json`` payload carries a top-level ``schema_version`` field
+(:data:`SCHEMA_VERSION`) so downstream consumers can detect format
+changes.
 """
 
 from __future__ import annotations
@@ -25,7 +30,11 @@ import sys
 
 import numpy as np
 
-__all__ = ["main"]
+__all__ = ["SCHEMA_VERSION", "main"]
+
+#: version of the machine-readable (--json) output payloads; bump on any
+#: backwards-incompatible change to their structure
+SCHEMA_VERSION = 1
 
 
 def _load_graph(args):
@@ -145,15 +154,20 @@ def cmd_select(args) -> int:
 
     graph = _load_graph(args)
     spec = _device_spec(args)
-    if not args.json:
+    if not args.json and not args.analytic:
         print("calibrating cost models...")
-    selector = Selector(spec, density_scale=args.scale, seed=0)
+    selector = Selector(
+        spec, density_scale=args.scale, seed=0, analytic=args.analytic
+    )
     report = selector.select(graph, device=Device(spec))
     if args.json:
-        print(_json.dumps(report.to_dict(), indent=2))
+        print(_json.dumps(
+            {"schema_version": SCHEMA_VERSION, **report.to_dict()}, indent=2
+        ))
         return 0
     print(f"graph:      {graph}")
     print(f"density:    {report.density:.4%} (band {report.band!r})")
+    print(f"method:     {report.method}")
     print(f"candidates: {', '.join(report.candidates)}")
     for name, est in report.estimates.items():
         print(f"  {name:<16} {est.total_seconds:.6f}s "
@@ -282,6 +296,7 @@ def cmd_sanitize(args) -> int:
                 print(line)
     if args.json:
         payload = {
+            "schema_version": SCHEMA_VERSION,
             "graph": {"n": graph.num_vertices, "m": graph.num_edges},
             "device": spec.name,
             "clean": failures == 0,
@@ -309,9 +324,57 @@ def cmd_verify_plan(args) -> int:
         tolerance=tolerance,
     )
     if args.json:
-        print(_json.dumps(ver.to_dict(), indent=2))
+        print(_json.dumps(
+            {"schema_version": SCHEMA_VERSION, **ver.to_dict()}, indent=2
+        ))
     else:
         print(ver.describe())
+    return 0 if ver.ok else 1
+
+
+def cmd_check_schedule(args) -> int:
+    import json as _json
+
+    from repro.verifyplan import verify_plan
+
+    graph = _load_graph(args)
+    spec = _device_spec(args)
+    algorithms = None if args.algorithm == "all" else [args.algorithm]
+    ver = verify_plan(
+        graph,
+        spec,
+        algorithms=algorithms,
+        overlap=args.overlap,
+        num_devices=args.num_devices,
+        timing=True,
+    )
+    if args.json:
+        print(_json.dumps(
+            {"schema_version": SCHEMA_VERSION, **ver.to_dict()}, indent=2
+        ))
+        return 0 if ver.ok else 1
+    print(f"schedule checker [{spec.name}]: graph n={graph.num_vertices}, "
+          f"m={graph.num_edges}")
+    for name, audit in ver.audits.items():
+        if not audit.feasible:
+            print(f"  {name}: infeasible — {audit.reason}")
+            continue
+        hb = audit.hb
+        if hb is not None:
+            status = ("race/deadlock-free in every interleaving" if hb.ok
+                      else f"{len(hb.findings)} finding(s)")
+            print(f"  {name}: {hb.num_ops} clocked ops on {hb.num_streams} "
+                  f"stream(s), {hb.num_events} event(s), {hb.num_waits} "
+                  f"wait(s) — {status}")
+            for f in hb.findings:
+                print(f"    {f.describe()}")
+        if audit.timing is not None:
+            t = audit.timing
+            print(f"    predicted makespan {t.makespan:.3e} s (compute "
+                  f"{t.compute_seconds:.3e}, h2d {t.h2d_seconds:.3e}, d2h "
+                  f"{t.d2h_seconds:.3e}; overlap efficiency "
+                  f"{t.overlap_efficiency:.0%})")
+    print("schedule check: " + ("PASS" if ver.ok else "FAIL"))
     return 0 if ver.ok else 1
 
 
@@ -393,6 +456,9 @@ def main(argv=None) -> int:
 
     p = sub.add_parser("select", help="run the algorithm selector")
     add_graph_args(p)
+    p.add_argument("--analytic", action="store_true",
+                   help="rank candidates by the symbolic schedule-DAG "
+                        "critical path instead of calibration/sampling runs")
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(fn=cmd_select)
 
@@ -449,6 +515,22 @@ def main(argv=None) -> int:
                    help="relative tolerance for the approximate FW bounds")
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(fn=cmd_verify_plan)
+
+    p = sub.add_parser(
+        "check-schedule",
+        help="prove the OOC schedules race- and deadlock-free in every "
+             "interleaving and predict their critical-path makespans",
+    )
+    add_graph_args(p)
+    p.add_argument("--algorithm", default="all",
+                   choices=["all", "fw", "floyd-warshall", "johnson", "boundary", "multi-gpu"],
+                   help="which schedule(s) to check (default: all)")
+    p.add_argument("--num-devices", type=int, default=2,
+                   help="device count for the multi-gpu schedule")
+    p.add_argument("--no-overlap", dest="overlap", action="store_false",
+                   help="check the single-stream (overlap=False) schedules")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(fn=cmd_check_schedule)
 
     p = sub.add_parser(
         "bench-transfers",

@@ -30,6 +30,7 @@ from repro.core.result import APSPResult
 from repro.core.tiling import HostStore
 from repro.gpu.device import Device, DeviceSpec
 from repro.gpu.kernels import extract_cost, fw_tile_cost, minplus_cost
+from repro.gpu.stream import Event
 
 __all__ = ["emit_multi_ir", "ooc_boundary_multi"]
 
@@ -56,11 +57,18 @@ def ooc_boundary_multi(
     store_mode: str = "ram",
     store_dir=None,
     seed: int = 0,
+    overlap: bool = False,
 ) -> APSPResult:
     """Solve APSP with the boundary algorithm across ``devices``.
 
     All devices must share a spec-compatible memory budget (the plan is
-    validated against the smallest device).
+    validated against the smallest device). With ``overlap=True`` each
+    device drains its step-4 output strips asynchronously on a
+    ``multi-copy`` stream behind ``strip-ready``/``strip-down`` event
+    edges, double-buffering two strips so compute on strip ``p+1``
+    overlaps the download of strip ``p`` (costs one extra strip of
+    device memory per device; off by default to keep the baseline
+    footprint).
     """
     if not devices:
         raise ValueError("need at least one device")
@@ -137,22 +145,40 @@ def ooc_boundary_multi(
     # ---- step 4: block rows round-robin, batched transfers per device --
     nmax = plan.max_component
     bmax = int(bcounts.max()) if k else 1
+    nbuf = 2 if overlap else 1
+    copiers = [
+        dev.create_stream("multi-copy") if overlap else dev.default_stream
+        for dev in devices
+    ]
     state = []
+    out_bufs = []
     for dev in devices:
         state.append(
             dict(
                 c2b=dev.memory.alloc((nmax, max(1, bmax)), DIST_DTYPE, name="c2b"),
                 b2c=dev.memory.alloc((max(1, bmax), nmax), DIST_DTYPE, name="b2c"),
                 tmp=dev.memory.alloc((nmax, max(1, bmax)), DIST_DTYPE, name="tmp1"),
-                out=dev.memory.alloc((nmax, n), DIST_DTYPE, name="out"),
             )
         )
+        if overlap:
+            out_bufs.append([
+                dev.memory.alloc((nmax, n), DIST_DTYPE, name=f"out{p}")
+                for p in range(nbuf)
+            ])
+        else:
+            out_bufs.append([dev.memory.alloc((nmax, n), DIST_DTYPE, name="out")])
+    drain_events: list[list[Event | None]] = [[None] * nbuf for _ in devices]
+    strip_count = [0] * num_dev
+    # strips device d handles over the round-robin (for trailing-record
+    # elision: the last nbuf drains per device have no future consumer)
+    strips_per_dev = [len(range(d, k, num_dev)) for d in range(num_dev)]
 
     for i in range(k):
         d = i % num_dev
         dev = devices[d]
         st = state[d]
         stream = dev.default_stream
+        copier = copiers[d]
         spec = dev.spec
         lo_i, hi_i = int(starts[i]), int(starts[i + 1])
         ni = hi_i - lo_i
@@ -164,7 +190,12 @@ def ooc_boundary_multi(
             "extract_c2b", extract_cost(spec, ni, bi),
             reads=(c2b_view,), writes=(c2b_view,),
         )
-        strip = st["out"].data[:ni, :]
+        s = strip_count[d]
+        p = s % nbuf
+        strip_count[d] += 1
+        strip = out_bufs[d][p].data[:ni, :]
+        if drain_events[d][p] is not None:
+            stream.wait(drain_events[d][p])  # strip still draining
         for j in range(k):
             lo_j, hi_j = int(starts[j]), int(starts[j + 1])
             nj = hi_j - lo_j
@@ -197,12 +228,20 @@ def ooc_boundary_multi(
             if i == j:
                 np.minimum(dest, dist2_blocks[i], out=dest)
                 stream.annotate("min_diag", reads=(dest,), writes=(dest,))
-        stream.copy_d2h(host.data[lo_i:hi_i, :], strip, pinned=True)
+        if overlap:
+            copier.wait(stream.record(Event("strip-ready")))
+            copier.copy_d2h_async(host.data[lo_i:hi_i, :], strip, pinned=True)
+            if s + nbuf < strips_per_dev[d]:
+                drain_events[d][p] = copier.record(Event("strip-down"))
+        else:
+            stream.copy_d2h(host.data[lo_i:hi_i, :], strip, pinned=True)
 
     elapsed = _barrier(devices)
     host.flush()
     for d, dev in enumerate(devices):
         for arr in state[d].values():
+            arr.free()
+        for arr in out_bufs[d]:
             arr.free()
         bounds[d].free()
 
@@ -217,6 +256,7 @@ def ooc_boundary_multi(
             "num_devices": num_dev,
             "num_components": k,
             "num_boundary": nb_total,
+            "overlap": overlap,
             "per_device_compute": per_device,
             "imbalance": max(per_device) / max(min(per_device), 1e-30),
         },
@@ -230,13 +270,18 @@ def emit_multi_ir(
     num_components: int | None = None,
     plan: BoundaryPlan | None = None,
     seed: int = 0,
+    overlap: bool = False,
 ):
     """Compile the multi-GPU boundary schedule to one symbolic
     :class:`~repro.verifyplan.ir.PlanIR` *per device*, without executing.
 
     Mirrors :func:`ooc_boundary_multi` op for op on each device: the
     round-robin dist2 tiles, the boundary closure on device 0 with its
-    host-staged broadcast, and each device's step-4 strip pipeline.
+    host-staged broadcast, each device's step-4 strip pipeline (async on
+    ``multi-copy`` behind ``strip-ready``/``strip-down`` edges when
+    ``overlap=True``), and a :class:`~repro.verifyplan.ir.BarrierOp` in
+    every device's IR at each of the driver's fleet barriers, so the
+    multi-device timing replay synchronises at the same points.
     """
     from repro.verifyplan.ir import IREmitter, Rect
 
@@ -266,6 +311,8 @@ def emit_multi_ir(
         em.kernel("fw_comp", reads=(tile,), writes=(tile,))
         em.d2h(tile, key=("dist2", i))
         em.free(tile)
+    for em in ems:
+        em.barrier("after-dist2")
 
     # step 3: boundary closure on device 0, broadcast to the rest
     bounds = []
@@ -275,24 +322,37 @@ def emit_multi_ir(
     root.kernel("fw_bound", reads=(bound0,), writes=(bound0,))
     root.d2h(bound0, key=("bound",))
     bounds.append(bound0)
+    for em in ems:
+        em.barrier("after-bound-closure")
     for em in ems[1:]:
         b = em.alloc("bound", (nb_total, nb_total))
         em.h2d(b, key=("bound",))
         bounds.append(b)
+    for em in ems:
+        em.barrier("after-broadcast")
 
-    # step 4: block rows round-robin, one strip buffer per device
+    # step 4: block rows round-robin, double-buffered strips with overlap
     nmax = plan.max_component
     bmax = int(bcounts.max()) if k else 1
+    nbuf = 2 if overlap else 1
+    copier = "multi-copy" if overlap else "default"
     state = []
+    out_bufs = []
     for em in ems:
         state.append(
             dict(
                 c2b=em.alloc("c2b", (nmax, max(1, bmax))),
                 b2c=em.alloc("b2c", (max(1, bmax), nmax)),
                 tmp=em.alloc("tmp1", (nmax, max(1, bmax))),
-                out=em.alloc("out", (nmax, n)),
             )
         )
+        if overlap:
+            out_bufs.append([em.alloc(f"out{p}", (nmax, n)) for p in range(nbuf)])
+        else:
+            out_bufs.append([em.alloc("out", (nmax, n))])
+    drain_events: list[list] = [[None] * nbuf for _ in ems]
+    strip_count = [0] * num_devices
+    strips_per_dev = [len(range(d, k, num_devices)) for d in range(num_devices)]
 
     for i in range(k):
         d = i % num_devices
@@ -305,6 +365,12 @@ def emit_multi_ir(
         cr = Rect(0, ni, 0, bi)
         em.h2d(st["c2b"], cr, key=("dist2", i, "c2b"))
         em.kernel("extract_c2b", reads=((st["c2b"], cr),), writes=((st["c2b"], cr),))
+        s = strip_count[d]
+        p = s % nbuf
+        strip_count[d] += 1
+        out = out_bufs[d][p]
+        if overlap and drain_events[d][p] is not None:
+            em.wait(drain_events[d][p])  # strip still draining
         for j in range(k):
             lo_j, hi_j = int(starts[j]), int(starts[j + 1])
             nj = hi_j - lo_j
@@ -313,20 +379,33 @@ def emit_multi_ir(
             br = Rect(0, bj, 0, nj)
             em.h2d(st["b2c"], br, key=("dist2", j, "b2c"))
             em.kernel("extract_b2c", reads=((st["b2c"], br),), writes=((st["b2c"], br),))
-            dest = (st["out"], Rect(0, ni, lo_j, hi_j))
-            em.kernel("memset_out", writes=(dest,))
+            dest = (out, Rect(0, ni, lo_j, hi_j))
+            em.kernel("memset_out", writes=(dest,), annotate=True)
             if bi and bj:
                 bview = (bounds[d], Rect(oi, oi + bi, oj, oj + bj))
                 t1 = (st["tmp"], Rect(0, ni, 0, bj))
-                em.kernel("memset_tmp1", writes=(t1,))
+                em.kernel("memset_tmp1", writes=(t1,), annotate=True)
                 em.kernel("mp_c2b_bound", reads=((st["c2b"], cr), bview), writes=(t1,))
                 em.kernel("mp_bound_b2c", reads=(t1, (st["b2c"], br)), writes=(dest,))
             if i == j:
-                em.kernel("min_diag", reads=(dest,), writes=(dest,))
-        em.d2h(st["out"], Rect(0, ni, 0, n), key=("host-rows", lo_i, hi_i))
+                em.kernel("min_diag", reads=(dest,), writes=(dest,), annotate=True)
+        if overlap:
+            em.wait(em.record("strip-ready"), stream=copier)
+            em.d2h(
+                out, Rect(0, ni, 0, n), key=("host-rows", lo_i, hi_i),
+                stream=copier, sync=False,
+            )
+            if s + nbuf < strips_per_dev[d]:
+                drain_events[d][p] = em.record("strip-down", stream=copier)
+        else:
+            em.d2h(out, Rect(0, ni, 0, n), key=("host-rows", lo_i, hi_i))
+    for em in ems:
+        em.barrier("after-output")
 
     for d, em in enumerate(ems):
         for buf in state[d].values():
+            em.free(buf)
+        for buf in out_bufs[d]:
             em.free(buf)
         em.free(bounds[d])
     return [em.finish() for em in ems]

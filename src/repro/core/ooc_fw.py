@@ -184,6 +184,10 @@ def _run_fw_schedule(device, compute, copier, host, layout, nd, bmax, spec, over
         fan_out = engine.fanout > 1 and nbuf > 1
         t = 0
         js = [j for j in range(nd) if j != k]
+        # a "down" event is only worth recording if a later pair will
+        # rotate back into buffer p and wait on it — a trailing record
+        # would be a dead event (the HB checker proves none exist)
+        pairs_total = (nd - 1) * len(js)
         for i in range(nd):
             if i == k:
                 continue
@@ -197,6 +201,7 @@ def _run_fw_schedule(device, compute, copier, host, layout, nd, bmax, spec, over
             if not fan_out:
                 for j in js:
                     p = t % nbuf
+                    q = t
                     t += 1
                     bj = layout.size(j)
                     if down_events[p] is not None:
@@ -223,7 +228,8 @@ def _run_fw_schedule(device, compute, copier, host, layout, nd, bmax, spec, over
                     if overlap:
                         copier.wait(compute.record(Event("comp")))
                         copier.copy_d2h_async(hwork, wview, pinned=pinned)
-                        down_events[p] = copier.record(Event("down"))
+                        if q + nbuf < pairs_total:
+                            down_events[p] = copier.record(Event("down"))
                     else:
                         compute.copy_d2h(hwork, wview, pinned=pinned)
                 continue
@@ -235,6 +241,7 @@ def _run_fw_schedule(device, compute, copier, host, layout, nd, bmax, spec, over
                 wave = []
                 for j in js[w0 : w0 + nbuf]:
                     p = t % nbuf
+                    q = t
                     t += 1
                     bj = layout.size(j)
                     if down_events[p] is not None:
@@ -247,16 +254,17 @@ def _run_fw_schedule(device, compute, copier, host, layout, nd, bmax, spec, over
                     copier.copy_h2d_async(wview, hwork, pinned=pinned)
                     compute.wait(copier.record(Event("up")))
                     loaded[p] = j
-                    wave.append((p, bj, rview, wview, hwork))
-                engine.map_updates([(w, cview, r) for (_, _, r, w, _) in wave])
-                for p, bj, rview, wview, hwork in wave:
+                    wave.append((p, q, bj, rview, wview, hwork))
+                engine.map_updates([(w, cview, r) for (_, _, _, r, w, _) in wave])
+                for p, q, bj, rview, wview, hwork in wave:
                     compute.launch(
                         "mp_rank", minplus_cost(spec, bi, bk, bj),
                         reads=(cview, rview), writes=(wview,),
                     )
                     copier.wait(compute.record(Event("comp")))
                     copier.copy_d2h_async(hwork, wview, pinned=pinned)
-                    down_events[p] = copier.record(Event("down"))
+                    if q + nbuf < pairs_total:
+                        down_events[p] = copier.record(Event("down"))
         for arr in [col, *rows, *works]:
             arr.free()
 
@@ -267,10 +275,15 @@ def emit_fw_ir(n: int, spec: DeviceSpec, *, block_size: int | None = None,
     :class:`~repro.verifyplan.ir.PlanIR` without executing anything.
 
     Mirrors :func:`_run_fw_schedule` op for op (allocations, transfers
-    with their host-block keys, kernel def/use sets, and the stage-3 row
-    reuse); the verifyplan tests cross-validate it against the dynamic
-    trace byte for byte. The threaded engine's wave grouping reorders ops
-    within a wave but moves identical bytes, so one emission serves both.
+    with their host-block keys, kernel def/use sets, the stage-3 row
+    reuse, and — with ``overlap=True`` — the full double-buffered
+    stream/event structure: async stage-3 copies on ``fw-copy`` ordered
+    by ``col-up``/``up``/``comp``/``down`` record/wait edges exactly as
+    the driver enqueues them). The verifyplan tests cross-validate it
+    against the dynamic trace byte for byte and second for second. The
+    threaded engine's wave grouping reorders ops within a wave but moves
+    identical bytes, so one emission serves both engines for the byte
+    analyses.
     """
     from repro.verifyplan.ir import IREmitter, Rect
 
@@ -309,34 +322,57 @@ def emit_fw_ir(n: int, spec: DeviceSpec, *, block_size: int | None = None,
         em.free(diag)
         # stage 3: double-buffered rank updates
         nbuf = 2 if overlap else 1
+        copier = "fw-copy" if overlap else "default"
         col = em.alloc("col", (bmax, bk))
         rows = [em.alloc(f"row{p}", (bk, bmax)) for p in range(nbuf)]
         works = [em.alloc(f"work{p}", (bmax, bmax)) for p in range(nbuf)]
+        down_events: list = [None] * nbuf
         loaded: list[int | None] = [None] * nbuf
         t = 0
         js = [j for j in range(nd) if j != k]
+        pairs_total = (nd - 1) * len(js)
         for i in range(nd):
             if i == k:
                 continue
             bi = layout.size(i)
             cr = Rect(0, bi, 0, bk)
-            em.h2d(col, cr, key=("A", i, k))
+            if overlap:
+                em.h2d(col, cr, key=("A", i, k), stream=copier, sync=False)
+                em.wait(em.record("col-up", stream=copier))
+            else:
+                em.h2d(col, cr, key=("A", i, k))
             for j in js:
                 p = t % nbuf
+                q = t
                 t += 1
                 bj = layout.size(j)
                 rr = Rect(0, bk, 0, bj)
                 wr = Rect(0, bi, 0, bj)
-                if loaded[p] != j:
-                    em.h2d(rows[p], rr, key=("A", k, j))
-                em.h2d(works[p], wr, key=("A", i, j))
+                if overlap:
+                    if down_events[p] is not None:
+                        # buffer p is reused: its previous download must finish
+                        em.wait(down_events[p], stream=copier)
+                    if loaded[p] != j:
+                        em.h2d(rows[p], rr, key=("A", k, j), stream=copier, sync=False)
+                    em.h2d(works[p], wr, key=("A", i, j), stream=copier, sync=False)
+                    em.wait(em.record("up", stream=copier))
+                else:
+                    if loaded[p] != j:
+                        em.h2d(rows[p], rr, key=("A", k, j))
+                    em.h2d(works[p], wr, key=("A", i, j))
                 loaded[p] = j
                 em.kernel(
                     "mp_rank",
                     reads=((col, cr), (rows[p], rr)),
                     writes=((works[p], wr),),
                 )
-                em.d2h(works[p], wr, key=("A", i, j))
+                if overlap:
+                    em.wait(em.record("comp"), stream=copier)
+                    em.d2h(works[p], wr, key=("A", i, j), stream=copier, sync=False)
+                    if q + nbuf < pairs_total:
+                        down_events[p] = em.record("down", stream=copier)
+                else:
+                    em.d2h(works[p], wr, key=("A", i, j))
         for buf in [col, *rows, *works]:
             em.free(buf)
     return em.finish()

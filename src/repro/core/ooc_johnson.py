@@ -35,6 +35,7 @@ from repro.gpu.stream import Event, Stream
 from repro.sssp.near_far import DEFAULT_HEAVY_DEGREE, near_far_batch
 
 __all__ = [
+    "collect_mssp_workloads",
     "emit_johnson_ir",
     "graph_device_bytes",
     "ooc_johnson",
@@ -216,7 +217,10 @@ def _run_johnson(
         if overlap:
             copier.wait(compute.record(Event("mssp-done")))
             copier.copy_d2h_async(host.rows(lo, hi), rows_view, pinned=True)
-            down_events[p] = copier.record(Event("rows-down"))
+            if b + nbuf < num_batches:
+                # Trailing drains have no future consumer; recording an
+                # event nobody waits on would trip the dead-event check.
+                down_events[p] = copier.record(Event("rows-down"))
         else:
             compute.copy_d2h(host.rows(lo, hi), rows_view, pinned=True)
 
@@ -242,6 +246,61 @@ def _run_johnson(
         },
     )
 
+def collect_mssp_workloads(
+    graph,
+    *,
+    batch_size: int,
+    delta: float | None = None,
+    dynamic_parallelism: bool = True,
+    heavy_degree: int = DEFAULT_HEAVY_DEGREE,
+    sample: int | None = None,
+    seed: int = 0,
+) -> list[MsspWorkload]:
+    """Per-batch MSSP workload statistics for symbolic timing.
+
+    Runs the same Near-Far execution :func:`run_mssp_batch` would (host
+    numerics only, no device) for every batch, so the costs attached to
+    the emitted ``mssp`` kernels equal the dynamic driver's exactly. With
+    ``sample=K`` only ``K`` deterministically chosen batches are
+    executed and the rest take the componentwise mean of the sampled
+    workloads — the cheap mode the analytic selector uses.
+    """
+    n = graph.num_vertices
+    bat = max(1, min(batch_size, n))
+    num_batches = (n + bat - 1) // bat
+    if sample is None or sample >= num_batches:
+        picked = list(range(num_batches))
+    else:
+        rng = np.random.default_rng(seed)
+        picked = sorted(
+            rng.choice(num_batches, size=max(1, sample), replace=False).tolist()
+        )
+    sampled: dict[int, MsspWorkload] = {}
+    for b in picked:
+        lo, hi = b * bat, min((b + 1) * bat, n)
+        sources = np.arange(lo, hi, dtype=np.int64)
+        _dist, stats = near_far_batch(
+            graph, sources, delta=delta, heavy_degree=heavy_degree
+        )
+        sampled[b] = MsspWorkload(
+            relaxations=stats.relaxations,
+            heavy_relaxations=stats.heavy_relaxations if dynamic_parallelism else 0,
+            iterations=stats.iterations,
+            child_launches=stats.child_launches if dynamic_parallelism else 0,
+        )
+    mean = MsspWorkload(
+        relaxations=int(round(np.mean([w.relaxations for w in sampled.values()]))),
+        heavy_relaxations=int(
+            round(np.mean([w.heavy_relaxations for w in sampled.values()]))
+        ),
+        iterations=int(round(np.mean([w.iterations for w in sampled.values()]))),
+        child_launches=int(
+            round(np.mean([w.child_launches for w in sampled.values()]))
+        ),
+    )
+    return [sampled.get(b, mean) for b in range(num_batches)]
+
+
 def emit_johnson_ir(
     graph,
     spec: DeviceSpec,
@@ -249,13 +308,20 @@ def emit_johnson_ir(
     batch_size: int | None = None,
     queue_factor: float = DEFAULT_QUEUE_FACTOR,
     overlap: bool = True,
+    workloads: "list[MsspWorkload] | None" = None,
+    dynamic_parallelism: bool = True,
 ):
     """Compile the batched-MSSP schedule to a symbolic
     :class:`~repro.verifyplan.ir.PlanIR` without executing anything.
 
     Mirrors :func:`_run_johnson` exactly: the CSR uploads (charged at the
     scaled device's sparse factor), the worklist allocation, and one MSSP
-    launch plus row download per batch.
+    launch plus row download per batch — with ``overlap=True`` the
+    download runs async on ``johnson-copy`` behind the
+    ``mssp-done``/``rows-down`` event edges the driver uses. When
+    ``workloads`` (from :func:`collect_mssp_workloads`) is given, each
+    ``mssp`` kernel carries the exact modelled cost the dynamic run
+    would charge, enabling the symbolic timing pass.
     """
     from repro.verifyplan.ir import IREmitter, Rect
 
@@ -288,12 +354,27 @@ def emit_johnson_ir(
     ]
     csr_arrays = (indptr, indices, weights) if m else (indptr,)
     num_batches = (n + bat - 1) // bat
+    copier = "johnson-copy" if overlap else "default"
+    down_events: list = [None] * nbuf
     for b in range(num_batches):
         lo, hi = b * bat, min((b + 1) * bat, n)
         p = b % nbuf
         rect = Rect(0, hi - lo, 0, n)
-        em.kernel("mssp", reads=csr_arrays, writes=((row_bufs[p], rect),))
-        em.d2h(row_bufs[p], rect, key=("rows", lo, hi))
+        cost = None
+        if workloads is not None:
+            cost = mssp_batch_cost(
+                spec, workloads[b], bat, dynamic_parallelism=dynamic_parallelism
+            )
+        if overlap and down_events[p] is not None:
+            em.wait(down_events[p])  # rows buffer still draining
+        em.kernel("mssp", reads=csr_arrays, writes=((row_bufs[p], rect),), cost=cost)
+        if overlap:
+            em.wait(em.record("mssp-done"), stream=copier)
+            em.d2h(row_bufs[p], rect, key=("rows", lo, hi), stream=copier, sync=False)
+            if b + nbuf < num_batches:
+                down_events[p] = em.record("rows-down", stream=copier)
+        else:
+            em.d2h(row_bufs[p], rect, key=("rows", lo, hi))
     for buf in [indptr, indices, weights, queues, *row_bufs]:
         em.free(buf)
     return em.finish()

@@ -29,6 +29,11 @@ RPR006  untracked-launch     ``stream.launch(...)`` must declare its operand
                              a launch without them is invisible to both the
                              dynamic schedule sanitizer and the static plan
                              verifier's def/use analysis
+RPR007  dead-event           a ``.record(...)`` whose event no reachable
+                             ``.wait(...)`` in the module consumes orders
+                             nothing: either leftover scaffolding or a dropped
+                             synchronisation edge (the source-level twin of the
+                             plan verifier's dead-event check)
 ======= ==================== =====================================================
 
 Run over paths with :func:`lint_paths`; each finding is a
@@ -53,6 +58,7 @@ RULES: dict[str, tuple[str, str]] = {
     "RPR004": ("mutable-default", "mutable default argument"),
     "RPR005": ("missing-all", "public module defines public names but no __all__"),
     "RPR006": ("untracked-launch", "stream.launch() without reads=/writes= operand sets"),
+    "RPR007": ("dead-event", "record() whose event no reachable wait() consumes"),
 }
 
 #: engine entry points whose operands RPR002 inspects
@@ -238,6 +244,68 @@ class _Checker(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+def _base_name(node: ast.AST) -> str | None:
+    """The root ``Name`` under nested subscripts (``a[i][j]`` -> ``a``)."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _check_dead_events(tree: ast.Module, checker: _Checker) -> None:
+    """RPR007 — module-wide: every ``.record(...)`` needs a consumer.
+
+    A record call is *live* when its result is consumed by a ``.wait()``
+    (directly, through a variable/container a wait reads, or via the
+    event object it was given), or when it escapes local analysis
+    (returned, stored on an attribute, passed to another call). Only the
+    provably dead shapes are flagged: a bare expression statement that
+    discards the event, and an assignment to a name no wait in the
+    module ever references.
+    """
+    parents: dict[ast.AST, ast.AST] = {}
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            parents[child] = parent
+    wait_names: set[str] = set()
+    records: list[ast.Call] = []
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            continue
+        if node.func.attr == "wait":
+            for arg in node.args:
+                base = _base_name(arg)
+                if base is not None:
+                    wait_names.add(base)
+        elif node.func.attr == "record":
+            records.append(node)
+    for rc in records:
+        # the event object handed to record() is itself waited on somewhere
+        if any(_base_name(arg) in wait_names for arg in rc.args
+               if _base_name(arg) is not None):
+            continue
+        parent = parents.get(rc)
+        dead = False
+        if isinstance(parent, ast.Expr):
+            dead = True  # result discarded — nothing can ever wait
+        elif isinstance(parent, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                parent.targets if isinstance(parent, ast.Assign) else [parent.target]
+            )
+            plain = [t for t in targets if isinstance(t, (ast.Name, ast.Subscript))]
+            if len(plain) == len(targets) and not any(
+                _base_name(t) in wait_names for t in plain
+            ):
+                dead = True  # bound to name(s) no wait() ever reads
+        if dead:
+            checker._flag(
+                "RPR007", rc,
+                "record() whose event no reachable wait() consumes; the "
+                "edge orders nothing — wait on it, or drop the record",
+            )
+
+
 def _module_public_names(tree: ast.Module) -> list[str]:
     """Top-level public defs/classes/assignments (imports excluded)."""
     names: list[str] = []
@@ -289,6 +357,8 @@ def lint_file(path: Path, root: Path | None = None) -> list[Violation]:
     checker = _Checker(path, rel)
     checker.visit(tree)
     violations = checker.violations
+    # RPR007 needs module-wide wait()-reachability, not a single-node view
+    _check_dead_events(tree, checker)
     # RPR005 is module-shaped, not node-shaped
     module_name = path.stem
     exempt = module_name.startswith("_") and module_name != "__init__"

@@ -41,9 +41,13 @@ from repro.gpu.transfer import copy_duration
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.select.calibrate import Calibration
+    from repro.verifyplan.timing import TimingCalibration, TimingReport
 
 __all__ = [
     "CostEstimate",
+    "analytic_estimate_boundary",
+    "analytic_estimate_fw",
+    "analytic_estimate_johnson",
     "boundary_n_op",
     "estimate_boundary",
     "estimate_fw",
@@ -236,3 +240,90 @@ def estimate_boundary(
     transfer = boundary_transfer_seconds(n, plan, spec)
     detail.update({"k": k, "num_boundary": nb})
     return CostEstimate("boundary", compute, transfer, detail)
+
+
+# ----------------------------------------------------------------------
+# analytic estimators (schedule-DAG critical path, no calibration runs)
+# ----------------------------------------------------------------------
+def _estimate_from_timing(algorithm: str, report: "TimingReport") -> CostEstimate:
+    """A :class:`CostEstimate` whose total is the predicted makespan.
+
+    The compute term is the compute engine's busy time; everything the
+    critical path adds on top (exposed transfer time, launch overheads)
+    lands in the transfer term, so ``total_seconds`` equals the symbolic
+    makespan exactly.
+    """
+    compute = report.compute_seconds
+    transfer = max(0.0, report.makespan - compute)
+    return CostEstimate(
+        algorithm, compute, transfer,
+        {
+            "model": "schedule-dag",
+            "makespan_seconds": report.makespan,
+            "overlap_efficiency": report.overlap_efficiency,
+            "critical_path_length": len(report.critical_path),
+        },
+    )
+
+
+def analytic_estimate_fw(
+    graph, spec: DeviceSpec, *, calibration: "TimingCalibration | None" = None
+) -> CostEstimate:
+    """Price Algorithm 1 off its own schedule IR: emit the plan, replay it
+    symbolically, and report the critical-path makespan. No device runs."""
+    from repro.core.ooc_fw import emit_fw_ir
+    from repro.verifyplan.timing import predict_timing
+
+    n = graph.num_vertices
+    b = plan_fw_block_size(n, spec, overlap=True)
+    ir = emit_fw_ir(n, spec, block_size=b, overlap=True)
+    return _estimate_from_timing(
+        "floyd-warshall", predict_timing(ir, spec, calibration=calibration)
+    )
+
+
+def analytic_estimate_johnson(
+    graph,
+    spec: DeviceSpec,
+    *,
+    calibration: "TimingCalibration | None" = None,
+    num_sample_batches: int = JOHNSON_SAMPLE_BATCHES,
+    seed: int = 0,
+) -> CostEstimate:
+    """Johnson via the schedule IR: sample ``k`` batch workloads on the
+    CPU frontier simulator (no device time), price every ``mssp`` launch
+    with the modelled cost, and take the symbolic makespan."""
+    from repro.core.ooc_johnson import collect_mssp_workloads, emit_johnson_ir
+    from repro.verifyplan.timing import predict_timing
+
+    n = graph.num_vertices
+    bat = max(1, min(plan_batch_size(graph, spec, num_row_buffers=2), n))
+    workloads = collect_mssp_workloads(
+        graph, batch_size=bat, sample=num_sample_batches, seed=seed
+    )
+    ir = emit_johnson_ir(graph, spec, batch_size=bat, workloads=workloads)
+    return _estimate_from_timing(
+        "johnson", predict_timing(ir, spec, calibration=calibration)
+    )
+
+
+def analytic_estimate_boundary(
+    graph,
+    spec: DeviceSpec,
+    *,
+    calibration: "TimingCalibration | None" = None,
+    plan: BoundaryPlan | None = None,
+    seed: int = 0,
+) -> CostEstimate:
+    """Boundary method via the schedule IR critical path. Raises
+    :class:`~repro.core.ooc_boundary.BoundaryInfeasibleError` like
+    :func:`estimate_boundary` when no partition fits the device."""
+    from repro.core.ooc_boundary import emit_boundary_ir
+    from repro.verifyplan.timing import predict_timing
+
+    if plan is None:
+        plan = plan_boundary(graph, spec, seed=seed)
+    ir = emit_boundary_ir(graph, spec, plan=plan, seed=seed)
+    return _estimate_from_timing(
+        "boundary", predict_timing(ir, spec, calibration=calibration)
+    )

@@ -11,6 +11,14 @@ working set of every balanced partition exceeds device memory — the
 paper's "maximal number of components ... is small" case); the selector
 then falls back to Johnson's algorithm, which is exactly the behaviour the
 paper describes for "other sparse graphs".
+
+Two ranking backends are available. The default (``method="measured"``)
+is the paper's: calibration runs plus sampled batches on a scratch
+device. ``analytic=True`` instead prices each candidate off its schedule
+IR — the symbolic critical-path makespan from
+:func:`repro.verifyplan.timing.predict_timing` — which needs no device
+time at all and can be re-rated from measured benchmarks via a
+:class:`~repro.verifyplan.timing.TimingCalibration`.
 """
 
 from __future__ import annotations
@@ -22,11 +30,15 @@ from repro.gpu.device import Device, DeviceSpec
 from repro.select.calibrate import Calibration
 from repro.select.cost_models import (
     CostEstimate,
+    analytic_estimate_boundary,
+    analytic_estimate_fw,
+    analytic_estimate_johnson,
     estimate_boundary,
     estimate_fw,
     estimate_johnson,
 )
 from repro.select.density_filter import density_band, filter_candidates
+from repro.verifyplan.timing import TimingCalibration
 
 __all__ = ["SelectionReport", "Selector"]
 
@@ -41,6 +53,9 @@ class SelectionReport:
     candidates: tuple[str, ...]
     estimates: dict[str, CostEstimate] = field(default_factory=dict)
     infeasible: tuple[str, ...] = ()
+    #: ranking backend: ``"measured"`` (paper-style sampling) or
+    #: ``"analytic"`` (schedule-DAG critical path)
+    method: str = "measured"
 
     def estimated_seconds(self, algorithm: str | None = None) -> float:
         alg = algorithm or self.algorithm
@@ -52,6 +67,7 @@ class SelectionReport:
             "algorithm": self.algorithm,
             "density": self.density,
             "band": self.band,
+            "method": self.method,
             "candidates": list(self.candidates),
             "infeasible": list(self.infeasible),
             "estimates": {
@@ -77,26 +93,67 @@ class Selector:
         *,
         density_scale: float = 1.0,
         seed: int = 0,
+        analytic: bool = False,
+        timing_calibration: TimingCalibration | None = None,
     ) -> None:
         """``density_scale`` converts scaled stand-in densities back to
-        paper-equivalent units (see :mod:`repro.graphs.suite`)."""
+        paper-equivalent units (see :mod:`repro.graphs.suite`).
+
+        ``analytic=True`` ranks candidates by the symbolic critical-path
+        makespan of their schedule IRs instead of calibration/sampling
+        runs — no scratch-device time is spent (the up-front
+        :meth:`Calibration.run` is skipped entirely);
+        ``timing_calibration`` optionally re-rates the device model from
+        measured benchmark files.
+        """
         self.spec = spec
-        self.calibration = (calibration or Calibration(spec)).run()
+        self.analytic = analytic
+        self.timing_calibration = timing_calibration
+        self.calibration = (
+            None if analytic else (calibration or Calibration(spec)).run()
+        )
         self.density_scale = density_scale
         self.seed = seed
 
+    @property
+    def method(self) -> str:
+        return "analytic" if self.analytic else "measured"
+
     def select(self, graph, *, device: Device | None = None) -> SelectionReport:
         """Run the methodology on ``graph``; sampling runs use ``device``
-        (a scratch device is created when omitted)."""
+        (a scratch device is created when omitted; never used in
+        analytic mode)."""
         density = graph.density * self.density_scale
         band = density_band(density)
         candidates = filter_candidates(graph, density_scale=self.density_scale)
 
         if candidates == ("johnson",):
             return SelectionReport(
-                algorithm="johnson", density=density, band=band, candidates=candidates
+                algorithm="johnson", density=density, band=band,
+                candidates=candidates, method=self.method,
             )
 
+        if self.analytic:
+            estimates, infeasible = self._estimate_analytic(graph, candidates)
+        else:
+            estimates, infeasible = self._estimate_measured(
+                graph, candidates, device
+            )
+        best = min(estimates, key=lambda a: estimates[a].total_seconds)
+        return SelectionReport(
+            algorithm=best,
+            density=density,
+            band=band,
+            candidates=candidates,
+            estimates=estimates,
+            infeasible=tuple(infeasible),
+            method=self.method,
+        )
+
+    def _estimate_measured(
+        self, graph, candidates: tuple[str, ...], device: Device | None
+    ) -> tuple[dict[str, CostEstimate], list[str]]:
+        assert self.calibration is not None
         dev = device or Device(self.spec)
         estimates: dict[str, CostEstimate] = {}
         infeasible: list[str] = []
@@ -112,12 +169,28 @@ class Selector:
                     )
                 except BoundaryInfeasibleError:
                     infeasible.append(cand)
-        best = min(estimates, key=lambda a: estimates[a].total_seconds)
-        return SelectionReport(
-            algorithm=best,
-            density=density,
-            band=band,
-            candidates=candidates,
-            estimates=estimates,
-            infeasible=tuple(infeasible),
-        )
+        return estimates, infeasible
+
+    def _estimate_analytic(
+        self, graph, candidates: tuple[str, ...]
+    ) -> tuple[dict[str, CostEstimate], list[str]]:
+        cal = self.timing_calibration
+        estimates: dict[str, CostEstimate] = {}
+        infeasible: list[str] = []
+        for cand in candidates:
+            if cand == "johnson":
+                estimates[cand] = analytic_estimate_johnson(
+                    graph, self.spec, calibration=cal, seed=self.seed
+                )
+            elif cand == "floyd-warshall":
+                estimates[cand] = analytic_estimate_fw(
+                    graph, self.spec, calibration=cal
+                )
+            elif cand == "boundary":
+                try:
+                    estimates[cand] = analytic_estimate_boundary(
+                        graph, self.spec, calibration=cal, seed=self.seed
+                    )
+                except BoundaryInfeasibleError:
+                    infeasible.append(cand)
+        return estimates, infeasible

@@ -4,24 +4,34 @@ The dynamic schedule sanitizer (:mod:`repro.sanitize`) watches a *real*
 run; this package proves the same properties at *compile time*. Each OOC
 driver exposes an ``emit_*_ir`` mirror that compiles its execution plan
 into a symbolic :class:`~repro.verifyplan.ir.PlanIR` — allocations,
-H2D/D2H copies, and kernel def/use sets — without touching a device.
-Three analyses then run over the IR:
+H2D/D2H copies, kernel def/use sets, and (new) the driver's stream,
+event-record/wait, and barrier structure — without touching a device.
+Five analyses then run over the IR:
 
 - **residency** — peak charged bytes via a liveness walk, proven ≤ the
   :class:`~repro.gpu.device.DeviceSpec` capacity;
 - **def-use** — every kernel operand is defined (written or uploaded)
   on-device before it is read;
 - **redundancy** — uploads of already-resident unmodified blocks and
-  repeated downloads of untouched regions, reported as wasted bytes.
+  repeated downloads of untouched regions, reported as wasted bytes;
+- **happens-before** (:mod:`~repro.verifyplan.hb`) — a vector-clock
+  model checker proving every byte-overlapping conflicting access pair
+  ordered in *every* legal interleaving, every wait satisfiable
+  (deadlock-freedom), and no recorded event dead;
+- **timing** (:mod:`~repro.verifyplan.timing`) — a symbolic replay of
+  the device clock discipline yielding the critical path, predicted
+  makespan, and copy/compute overlap efficiency per algorithm.
 
 Finally the tallied transfer volumes are checked against the paper's
 closed-form bounds (FW ≈ ``n_d·n²`` elements per direction group,
 Johnson's exact CSR + row-batch totals, the boundary method's ``N_row``
-output batching). Two independent analyses, one contract: the tests in
-``tests/test_verifyplan.py`` assert byte-for-byte agreement between
-these static predictions and the dynamic trace of real runs.
+output batching). Independent analyses, one contract: the tests in
+``tests/test_verifyplan.py`` and ``tests/test_hb_timing.py`` assert
+agreement between these static predictions and the dynamic traces and
+simulated clocks of real runs.
 
-Entry points: :func:`verify_plan` / ``python -m repro verify-plan``.
+Entry points: :func:`verify_plan` / ``python -m repro verify-plan`` /
+``python -m repro check-schedule``.
 """
 
 from repro.verifyplan.analyze import (
@@ -33,15 +43,28 @@ from repro.verifyplan.analyze import (
     audit_ir,
 )
 from repro.verifyplan.bounds import DEFAULT_TOLERANCE, BoundCheck
+from repro.verifyplan.hb import HBFinding, HBReport, analyze_hb, merge_hb_reports
 from repro.verifyplan.ir import (
     AllocOp,
+    BarrierOp,
     CopyOp,
     FreeOp,
     IREmitter,
     KernelOp,
     PlanIR,
+    RecordOp,
     Rect,
     SymBuffer,
+    SymEvent,
+    WaitOp,
+)
+from repro.verifyplan.timing import (
+    CriticalSegment,
+    TimingCalibration,
+    TimingReport,
+    kernel_duration,
+    predict_multi_timing,
+    predict_timing,
 )
 from repro.verifyplan.verifier import (
     ALGORITHM_NAMES,
@@ -53,22 +76,36 @@ from repro.verifyplan.verifier import (
 __all__ = [
     "ALGORITHM_NAMES",
     "AllocOp",
+    "BarrierOp",
     "BoundCheck",
     "CopyOp",
+    "CriticalSegment",
     "DEFAULT_TOLERANCE",
     "FreeOp",
+    "HBFinding",
+    "HBReport",
     "IREmitter",
     "KernelOp",
     "PlanAudit",
     "PlanFinding",
     "PlanIR",
     "PlanVerification",
+    "RecordOp",
     "Rect",
     "SymBuffer",
+    "SymEvent",
+    "TimingCalibration",
+    "TimingReport",
     "TransferTally",
+    "WaitOp",
     "analyze_def_use",
+    "analyze_hb",
     "analyze_residency",
     "analyze_transfers",
     "audit_ir",
+    "kernel_duration",
+    "merge_hb_reports",
+    "predict_multi_timing",
+    "predict_timing",
     "verify_plan",
 ]

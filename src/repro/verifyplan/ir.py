@@ -21,7 +21,14 @@ Conventions:
   ``np.shares_memory`` test);
 * ``key`` on a copy identifies the host-side block the transfer touches —
   e.g. ``("A", i, k)`` for a distance-matrix block — and is what the
-  redundant-transfer analysis tracks residency by.
+  redundant-transfer analysis tracks residency by;
+* every enqueued op names its ``stream``; cross-stream ordering is
+  expressed with :class:`RecordOp`/:class:`WaitOp` event edges and
+  :class:`BarrierOp` device-wide joins, mirroring the runtime's
+  ``Stream.record``/``Stream.wait``/``_barrier`` exactly so the
+  happens-before checker (:mod:`repro.verifyplan.hb`) and the symbolic
+  timing pass (:mod:`repro.verifyplan.timing`) see the same schedule the
+  dynamic sanitizer would.
 """
 
 from __future__ import annotations
@@ -31,13 +38,17 @@ from dataclasses import dataclass, field
 __all__ = [
     "Access",
     "AllocOp",
+    "BarrierOp",
     "CopyOp",
     "FreeOp",
     "IREmitter",
     "KernelOp",
     "PlanIR",
+    "RecordOp",
     "Rect",
     "SymBuffer",
+    "SymEvent",
+    "WaitOp",
 ]
 
 
@@ -123,20 +134,74 @@ class FreeOp:
 
 @dataclass(frozen=True)
 class CopyOp:
-    """One bus transfer; ``kind`` is ``"h2d"`` or ``"d2h"``."""
+    """One bus transfer; ``kind`` is ``"h2d"`` or ``"d2h"``.
+
+    ``sync`` mirrors ``copy_h2d`` vs ``copy_h2d_async``: a synchronous
+    copy joins the host clock (``cudaMemcpy`` semantics); an async one
+    only orders within its stream. ``strided`` marks the 2-D row-strided
+    transfer (``copy_d2h_2d``), which pays a per-row overhead in the
+    timing model instead of the contiguous bulk rate.
+    """
 
     kind: str
     access: Access
     key: tuple
+    stream: str = "default"
+    sync: bool = True
+    strided: bool = False
 
 
 @dataclass(frozen=True)
 class KernelOp:
-    """One kernel launch with declared def/use sets."""
+    """One kernel launch with declared def/use sets.
+
+    ``annotate`` mirrors ``stream.annotate``: a sanitizer-visible host
+    side effect that occupies no timeline slot (the timing pass skips
+    it; the happens-before pass treats it as a full op, exactly like the
+    dynamic sanitizer). ``cost`` optionally pins the modelled duration in
+    seconds for kernels whose cost is data-dependent (Johnson's
+    ``mssp``); when ``None`` the timing pass derives the duration from
+    the declared operand rectangles.
+    """
 
     name: str
     reads: tuple[Access, ...]
     writes: tuple[Access, ...]
+    stream: str = "default"
+    annotate: bool = False
+    cost: float | None = None
+
+
+@dataclass(frozen=True)
+class SymEvent:
+    """One recorded event instance (a fresh ``Event`` in the runtime)."""
+
+    id: int
+    name: str
+
+
+@dataclass(frozen=True)
+class RecordOp:
+    """``stream.record(Event(name))`` — snapshots the stream's position."""
+
+    event: int
+    name: str
+    stream: str
+
+
+@dataclass(frozen=True)
+class WaitOp:
+    """``stream.wait(event)`` — joins the event's snapshot into ``stream``."""
+
+    event: int
+    stream: str
+
+
+@dataclass(frozen=True)
+class BarrierOp:
+    """A device-wide (or fleet-wide, for multi-GPU) synchronisation point."""
+
+    label: str
 
 
 @dataclass(frozen=True)
@@ -168,6 +233,7 @@ class IREmitter:
         self._buffers: dict[int, SymBuffer] = {}
         self._ops: list = []
         self._next_id = 0
+        self._next_event = 0
 
     def alloc(
         self,
@@ -206,20 +272,71 @@ class IREmitter:
             rect = buf.full_rect
         return Access(buf.id, rect, rect.area * buf.itemsize)
 
-    def h2d(self, buf: SymBuffer, rect: Rect | None = None, *, key: tuple) -> None:
-        self._ops.append(CopyOp("h2d", self._access(buf, rect), tuple(key)))
+    def h2d(
+        self,
+        buf: SymBuffer,
+        rect: Rect | None = None,
+        *,
+        key: tuple,
+        stream: str = "default",
+        sync: bool = True,
+    ) -> None:
+        self._ops.append(
+            CopyOp("h2d", self._access(buf, rect), tuple(key), stream=stream, sync=sync)
+        )
 
-    def d2h(self, buf: SymBuffer, rect: Rect | None = None, *, key: tuple) -> None:
-        self._ops.append(CopyOp("d2h", self._access(buf, rect), tuple(key)))
+    def d2h(
+        self,
+        buf: SymBuffer,
+        rect: Rect | None = None,
+        *,
+        key: tuple,
+        stream: str = "default",
+        sync: bool = True,
+        strided: bool = False,
+    ) -> None:
+        self._ops.append(
+            CopyOp(
+                "d2h", self._access(buf, rect), tuple(key),
+                stream=stream, sync=sync, strided=strided,
+            )
+        )
 
-    def kernel(self, name: str, *, reads=(), writes=()) -> None:
+    def kernel(
+        self,
+        name: str,
+        *,
+        reads=(),
+        writes=(),
+        stream: str = "default",
+        annotate: bool = False,
+        cost: float | None = None,
+    ) -> None:
         self._ops.append(
             KernelOp(
                 name,
                 tuple(self._access(r) for r in reads),
                 tuple(self._access(w) for w in writes),
+                stream=stream,
+                annotate=annotate,
+                cost=cost,
             )
         )
+
+    def record(self, name: str, *, stream: str = "default") -> SymEvent:
+        """Mirror ``stream.record(Event(name))``; returns the event handle."""
+        event = SymEvent(id=self._next_event, name=name)
+        self._next_event += 1
+        self._ops.append(RecordOp(event=event.id, name=name, stream=stream))
+        return event
+
+    def wait(self, event: SymEvent, *, stream: str = "default") -> None:
+        """Mirror ``stream.wait(event)``."""
+        self._ops.append(WaitOp(event=event.id, stream=stream))
+
+    def barrier(self, label: str) -> None:
+        """Mirror a device-wide synchronisation (multi-GPU ``_barrier``)."""
+        self._ops.append(BarrierOp(label))
 
     def finish(self) -> PlanIR:
         return PlanIR(

@@ -28,6 +28,13 @@ from repro.verifyplan.bounds import (
     johnson_bound_checks,
     multi_bound_checks,
 )
+from repro.verifyplan.hb import HBReport, analyze_hb, merge_hb_reports
+from repro.verifyplan.timing import (
+    TimingCalibration,
+    TimingReport,
+    predict_multi_timing,
+    predict_timing,
+)
 
 __all__ = ["ALGORITHM_NAMES", "PlanAudit", "PlanVerification", "verify_plan"]
 
@@ -61,11 +68,19 @@ class PlanAudit:
     redundant_bytes: int = 0
     findings: list[PlanFinding] = field(default_factory=list)
     bounds: list[BoundCheck] = field(default_factory=list)
+    hb: HBReport | None = None
+    timing: TimingReport | None = None
 
     @property
     def verified(self) -> bool:
-        """Feasible, no findings, and every closed-form bound holds."""
-        return self.feasible and not self.findings and all(b.ok for b in self.bounds)
+        """Feasible, no findings, every closed-form bound holds, and the
+        happens-before check (race/deadlock/dead-event freedom) is clean."""
+        return (
+            self.feasible
+            and not self.findings
+            and all(b.ok for b in self.bounds)
+            and (self.hb is None or self.hb.ok)
+        )
 
     def describe(self) -> str:
         if not self.feasible:
@@ -81,6 +96,21 @@ class PlanAudit:
         lines = [head]
         lines += [f"    {f.describe()}" for f in self.findings]
         lines += [f"    {b.describe()}" for b in self.bounds if not b.ok]
+        if self.hb is not None:
+            hb_head = (
+                f"hb: {self.hb.num_streams} stream(s), {self.hb.num_events} "
+                f"event(s), {self.hb.num_waits} wait(s) — "
+                + ("race/deadlock-free" if self.hb.ok
+                   else f"{len(self.hb.findings)} finding(s)")
+            )
+            lines.append(f"    {hb_head}")
+            lines += [f"      {f.describe()}" for f in self.hb.findings]
+        if self.timing is not None:
+            lines.append(
+                f"    timing: predicted makespan {self.timing.makespan:.3e} s, "
+                f"compute {self.timing.compute_seconds:.3e} s, overlap "
+                f"efficiency {self.timing.overlap_efficiency:.0%}"
+            )
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
@@ -103,6 +133,8 @@ class PlanAudit:
                 for f in self.findings
             ],
             "bounds": [asdict(b) | {"ok": b.ok} for b in self.bounds],
+            "hb": self.hb.to_dict() if self.hb is not None else None,
+            "timing": self.timing.to_dict() if self.timing is not None else None,
         }
 
 
@@ -155,7 +187,10 @@ def _merge_audit(
     audit.findings.extend(findings)
 
 
-def _audit_fw(graph, spec, overlap: bool, tolerance: float) -> PlanAudit:
+def _audit_fw(
+    graph, spec, overlap: bool, tolerance: float,
+    timing: bool, calibration: TimingCalibration | None,
+) -> PlanAudit:
     from repro.core.ooc_fw import emit_fw_ir, plan_fw_block_size
     from repro.gpu.errors import OutOfMemoryError
 
@@ -173,11 +208,20 @@ def _audit_fw(graph, spec, overlap: bool, tolerance: float) -> PlanAudit:
     audit.bounds = fw_bound_checks(
         n, nd, audit.bytes_h2d, audit.bytes_d2h, tolerance=tolerance
     )
+    audit.hb = analyze_hb(ir)
+    if timing:
+        audit.timing = predict_timing(ir, spec, calibration=calibration)
     return audit
 
 
-def _audit_johnson(graph, spec, overlap: bool) -> PlanAudit:
-    from repro.core.ooc_johnson import emit_johnson_ir, plan_batch_size
+def _audit_johnson(
+    graph, spec, overlap: bool, timing: bool, calibration: TimingCalibration | None
+) -> PlanAudit:
+    from repro.core.ooc_johnson import (
+        collect_mssp_workloads,
+        emit_johnson_ir,
+        plan_batch_size,
+    )
     from repro.gpu.errors import OutOfMemoryError
 
     n, m = graph.num_vertices, graph.num_edges
@@ -189,16 +233,30 @@ def _audit_johnson(graph, spec, overlap: bool) -> PlanAudit:
         return PlanAudit("johnson", False, reason=str(exc))
     bat = max(1, min(bat, n))
     audit.parameters = {"batch_size": bat, "num_batches": -(-n // bat)}
-    ir = emit_johnson_ir(graph, spec, batch_size=bat, overlap=overlap)
+    # the symbolic timing pass needs the per-batch MSSP workloads (the
+    # kernel cost is workload-dependent); skip the CPU-side frontier
+    # simulation when timing was not requested
+    workloads = (
+        collect_mssp_workloads(graph, batch_size=bat) if timing else None
+    )
+    ir = emit_johnson_ir(
+        graph, spec, batch_size=bat, overlap=overlap, workloads=workloads
+    )
     audit.num_ops = ir.num_ops
     _merge_audit(audit, *audit_ir(ir))
     audit.bounds = johnson_bound_checks(
         n, m, bat, audit.bytes_h2d, audit.bytes_d2h, audit.num_d2h
     )
+    audit.hb = analyze_hb(ir)
+    if timing:
+        audit.timing = predict_timing(ir, spec, calibration=calibration)
     return audit
 
 
-def _audit_boundary(graph, spec, overlap: bool, batch_transfers: bool, seed: int) -> PlanAudit:
+def _audit_boundary(
+    graph, spec, overlap: bool, batch_transfers: bool, seed: int,
+    timing: bool, calibration: TimingCalibration | None,
+) -> PlanAudit:
     from repro.core.ooc_boundary import (
         BoundaryInfeasibleError,
         emit_boundary_ir,
@@ -232,10 +290,16 @@ def _audit_boundary(graph, spec, overlap: bool, batch_transfers: bool, seed: int
     audit.bounds = boundary_bound_checks(
         plan, n, audit.bytes_h2d, audit.bytes_d2h, flushes, batched=batched
     )
+    audit.hb = analyze_hb(ir)
+    if timing:
+        audit.timing = predict_timing(ir, spec, calibration=calibration)
     return audit
 
 
-def _audit_multi(graph, spec, num_devices: int, seed: int) -> PlanAudit:
+def _audit_multi(
+    graph, spec, num_devices: int, seed: int,
+    timing: bool, calibration: TimingCalibration | None,
+) -> PlanAudit:
     from repro.core.multi_gpu import emit_multi_ir
     from repro.core.ooc_boundary import BoundaryInfeasibleError, plan_boundary
 
@@ -258,6 +322,9 @@ def _audit_multi(graph, spec, num_devices: int, seed: int) -> PlanAudit:
     audit.bounds = multi_bound_checks(
         plan, n, num_devices, audit.bytes_h2d, audit.bytes_d2h
     )
+    audit.hb = merge_hb_reports([analyze_hb(ir) for ir in irs])
+    if timing:
+        audit.timing = predict_multi_timing(irs, spec, calibration=calibration)
     return audit
 
 
@@ -271,6 +338,8 @@ def verify_plan(
     batch_transfers: bool = True,
     num_devices: int = 2,
     tolerance: float = DEFAULT_TOLERANCE,
+    timing: bool = False,
+    calibration: TimingCalibration | None = None,
 ) -> PlanVerification:
     """Statically verify every algorithm's execution plan for ``graph`` on
     a device with ``spec``.
@@ -280,6 +349,15 @@ def verify_plan(
     Infeasible algorithms are reported (with the planner's reason), not
     failed — ``PlanVerification.ok`` requires every *feasible* plan to
     verify and at least one to be feasible.
+
+    Every audit now includes a happens-before check (``PlanAudit.hb``)
+    proving the schedule race-, deadlock- and dead-event-free in every
+    interleaving; ``PlanAudit.verified`` requires it to be clean. With
+    ``timing=True`` the symbolic critical-path pass also runs, attaching
+    a :class:`~repro.verifyplan.timing.TimingReport` (predicted makespan,
+    per-engine busy time, overlap efficiency, critical path) per
+    algorithm; ``calibration`` optionally re-rates the device model from
+    measured benchmarks (:meth:`TimingCalibration.from_bench`).
     """
     names = list(algorithms) if algorithms else list(ALGORITHM_NAMES)
     verification = PlanVerification(
@@ -288,13 +366,15 @@ def verify_plan(
     for raw in names:
         name = _ALIASES.get(raw, raw)
         if name == "floyd-warshall":
-            audit = _audit_fw(graph, spec, overlap, tolerance)
+            audit = _audit_fw(graph, spec, overlap, tolerance, timing, calibration)
         elif name == "johnson":
-            audit = _audit_johnson(graph, spec, overlap)
+            audit = _audit_johnson(graph, spec, overlap, timing, calibration)
         elif name == "boundary":
-            audit = _audit_boundary(graph, spec, overlap, batch_transfers, seed)
+            audit = _audit_boundary(
+                graph, spec, overlap, batch_transfers, seed, timing, calibration
+            )
         elif name == "multi-gpu":
-            audit = _audit_multi(graph, spec, num_devices, seed)
+            audit = _audit_multi(graph, spec, num_devices, seed, timing, calibration)
         else:
             raise ValueError(
                 f"unknown algorithm {raw!r}; choose from {ALGORITHM_NAMES}"

@@ -10,6 +10,18 @@ from repro.gpu.device import TEST_DEVICE, Device
 from repro.graphs.csr import CSRGraph
 from repro.graphs.generators import erdos_renyi, planar_like, random_geometric, rmat, road_like
 
+try:  # hypothesis is optional for most of the suite
+    import os
+
+    from hypothesis import settings
+
+    # CI selects this with HYPOTHESIS_PROFILE=ci: derandomised example
+    # generation so property-test failures reproduce across runs
+    settings.register_profile("ci", derandomize=True)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
+except ImportError:  # pragma: no cover
+    pass
+
 
 def oracle_apsp(graph: CSRGraph) -> np.ndarray:
     """Reference APSP distances via scipy (Dijkstra per source)."""

@@ -99,14 +99,27 @@ class TestSelectJson:
     def test_json_output_parses(self, capsys):
         import json
 
-        from repro.cli import main
+        from repro.cli import SCHEMA_VERSION, main
 
         rc = main(["select", "road:n=400,deg=2.6,seed=1",
                    "--scale", "0.015625", "--json"])
         assert rc == 0
         data = json.loads(capsys.readouterr().out)
+        assert data["schema_version"] == SCHEMA_VERSION
         assert data["algorithm"] in ("johnson", "boundary", "floyd-warshall")
         assert "band" in data and "candidates" in data
+
+    def test_analytic_mode(self, capsys):
+        import json
+
+        rc = main(["select", "road:n=220,deg=2.6,seed=1",
+                   "--device", "test", "--scale", "1",
+                   "--analytic", "--json"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["method"] == "analytic"
+        for est in data["estimates"].values():
+            assert est["detail"]["model"] == "schedule-dag"
 
     def test_json_sparse_band_has_estimates(self, capsys):
         import json
@@ -136,10 +149,13 @@ class TestVerifyPlan:
     def test_json_output_parses(self, capsys):
         import json
 
+        from repro.cli import SCHEMA_VERSION
+
         rc = main(["verify-plan", "road:n=220,deg=2.6,seed=1",
                    "--device", "test", "--scale", "1", "--json"])
         assert rc == 0
         data = json.loads(capsys.readouterr().out)
+        assert data["schema_version"] == SCHEMA_VERSION
         assert data["ok"] is True
         audit = data["audits"]["floyd-warshall"]
         assert audit["verified"] and audit["redundant_bytes"] == 0
@@ -168,14 +184,82 @@ class TestSanitizeJson:
     def test_json_output_parses(self, capsys):
         import json
 
+        from repro.cli import SCHEMA_VERSION
+
         rc = main(["sanitize", "rmat:n=110,m=800,seed=2",
                    "--device", "test", "--scale", "1", "--driver", "fw",
                    "--json"])
         assert rc == 0
         data = json.loads(capsys.readouterr().out)
+        assert data["schema_version"] == SCHEMA_VERSION
         assert data["clean"] is True
         assert data["drivers"]["fw"]["hazards"] == []
         assert data["drivers"]["fw"]["num_ops"] > 0
+
+
+class TestCheckSchedule:
+    def test_human_output_pass(self, capsys):
+        rc = main(["check-schedule", "road:n=220,deg=2.6,seed=1",
+                   "--device", "test", "--scale", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "schedule check: PASS" in out
+        assert "race/deadlock-free in every interleaving" in out
+        assert "predicted makespan" in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        from repro.cli import SCHEMA_VERSION
+
+        rc = main(["check-schedule", "road:n=220,deg=2.6,seed=1",
+                   "--device", "test", "--scale", "1", "--json"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["schema_version"] == SCHEMA_VERSION
+        assert data["ok"] is True
+        for audit in data["audits"].values():
+            if not audit["feasible"]:
+                continue
+            assert audit["hb"]["findings"] == []
+            assert audit["timing"]["makespan_seconds"] > 0
+
+    def test_no_overlap_mode(self, capsys):
+        rc = main(["check-schedule", "road:n=220,deg=2.6,seed=1",
+                   "--device", "test", "--scale", "1",
+                   "--algorithm", "fw", "--no-overlap"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "0 event(s)" in out
+
+    def test_injected_defect_exits_one(self, capsys, monkeypatch):
+        # strip every wait edge from the FW emitter: the checker must
+        # catch the resulting races and flip the exit code to 1
+        import dataclasses
+
+        import repro.core.ooc_fw as ooc_fw
+        from repro.verifyplan.ir import WaitOp
+
+        real = ooc_fw.emit_fw_ir
+
+        def broken(*args, **kwargs):
+            ir = real(*args, **kwargs)
+            ops = tuple(op for op in ir.ops if not isinstance(op, WaitOp))
+            return dataclasses.replace(ir, ops=ops)
+
+        monkeypatch.setattr(ooc_fw, "emit_fw_ir", broken)
+        rc = main(["check-schedule", "road:n=220,deg=2.6,seed=1",
+                   "--device", "test", "--scale", "1", "--algorithm", "fw"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "schedule check: FAIL" in out
+        assert "unordered-conflict" in out
+
+    def test_bad_usage_exits_two(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["check-schedule", "road:n=220,deg=2.6,seed=1",
+                  "--algorithm", "bogus"])
+        assert exc.value.code == 2
 
 
 class TestBenchTransfers:

@@ -205,6 +205,65 @@ def test_rpr006_tracked_launch_passes(tmp_path):
     assert lint_file(path, root=tmp_path) == []
 
 
+def test_rpr007_discarded_record(tmp_path):
+    path = _write(
+        tmp_path, "repro/core/driver.py",
+        '"""Doc."""\n'
+        "__all__ = ['go']\n"
+        "def go(stream):\n"
+        "    stream.record(Event('done'))\n",  # bare discard: orders nothing
+    )
+    violations = lint_file(path, root=tmp_path)
+    assert _rules(violations) == {"RPR007"}
+    assert "record()" in violations[0].message
+
+
+def test_rpr007_assigned_but_never_waited(tmp_path):
+    path = _write(
+        tmp_path, "repro/core/driver.py",
+        '"""Doc."""\n'
+        "__all__ = ['go']\n"
+        "def go(stream, events):\n"
+        "    ev = stream.record(Event('a'))\n"
+        "    events[0] = stream.record(Event('b'))\n"
+        "    return None\n",
+    )
+    violations = lint_file(path, root=tmp_path)
+    assert [v.rule for v in violations] == ["RPR007", "RPR007"]
+    assert {v.line for v in violations} == {4, 5}
+
+
+def test_rpr007_waited_records_pass(tmp_path):
+    path = _write(
+        tmp_path, "repro/core/driver.py",
+        '"""Doc."""\n'
+        "__all__ = ['go']\n"
+        "def go(stream, copier, events):\n"
+        "    ev = stream.record(Event('a'))\n"
+        "    copier.wait(ev)\n"
+        "    events[0] = stream.record(Event('b'))\n"
+        "    copier.wait(events[0])\n",
+    )
+    assert lint_file(path, root=tmp_path) == []
+
+
+def test_rpr007_escaping_records_pass(tmp_path):
+    """A record whose handle escapes (returned, stored on an attribute,
+    passed to another call) may be waited elsewhere — not our business."""
+    path = _write(
+        tmp_path, "repro/core/driver.py",
+        '"""Doc."""\n'
+        "__all__ = ['a', 'b', 'c']\n"
+        "def a(stream):\n"
+        "    return stream.record(Event('x'))\n"
+        "def b(stream, self):\n"
+        "    self.pending = stream.record(Event('y'))\n"
+        "def c(stream, register):\n"
+        "    register(stream.record(Event('z')))\n",
+    )
+    assert lint_file(path, root=tmp_path) == []
+
+
 def test_syntax_error_reported_not_raised(tmp_path):
     path = _write(tmp_path, "repro/broken.py", "def broken(:\n")
     violations = lint_file(path, root=tmp_path)
