@@ -81,47 +81,97 @@ def _device_spec(args):
     return base.scaled(args.scale) if args.scale < 1.0 else base
 
 
+def _fault_plan(args):
+    """Build the ``FaultPlan`` requested on the ``solve`` command line."""
+    from repro.faults import FaultPlan
+
+    if args.fault_kill:
+        site, _, index = args.fault_kill.partition(":")
+        return FaultPlan.kill(site=site, index=int(index or 0))
+    if args.fault_count:
+        sites = tuple(s for s in args.fault_sites.split(",") if s)
+        return FaultPlan.random(args.fault_seed, args.fault_count, sites=sites)
+    return None
+
+
+def _json_scalars(mapping) -> dict:
+    """Scalar-only, JSON-safe view of a stats dict (numpy types unboxed)."""
+    out = {}
+    for key, value in mapping.items():
+        if isinstance(value, (np.integer, np.floating, np.bool_)):
+            out[key] = value.item()
+        elif isinstance(value, (int, float, str, bool)) or value is None:
+            out[key] = value
+    return out
+
+
 def cmd_solve(args) -> int:
+    import json
+
     from repro.core import solve_apsp
     from repro.core.verify import verify_result
+    from repro.faults import CheckpointError, RetryPolicy
     from repro.gpu.device import Device
+    from repro.gpu.errors import TransientDeviceError
 
+    emit = (lambda *a, **k: None) if args.json else print
     graph = _load_graph(args)
     device = Device(_device_spec(args))
-    print(f"graph:  {graph}")
-    print(f"device: {device.spec.name} ({device.spec.memory_bytes / 2**20:.1f} MiB)")
-    result = solve_apsp(
-        graph,
-        algorithm=args.algorithm,
-        device=device,
-        density_scale=args.scale,
-        store_mode="disk" if args.disk else "ram",
-        kernel_backend=args.kernel_backend or None,
-    )
-    print(f"algorithm: {result.algorithm}")
+    emit(f"graph:  {graph}")
+    emit(f"device: {device.spec.name} ({device.spec.memory_bytes / 2**20:.1f} MiB)")
+    retry = RetryPolicy(max_attempts=args.retry_limit) if args.retry_limit else None
+    try:
+        result = solve_apsp(
+            graph,
+            algorithm=args.algorithm,
+            device=device,
+            density_scale=args.scale,
+            store_mode="disk" if args.disk else "ram",
+            kernel_backend=args.kernel_backend or None,
+            faults=_fault_plan(args),
+            retry=retry,
+            checkpoint_dir=args.checkpoint_dir or None,
+        )
+    except (TransientDeviceError, CheckpointError) as exc:
+        print(f"solve failed: {exc}", file=sys.stderr)
+        return 1
+    emit(f"algorithm: {result.algorithm}")
     if "kernel_backend" in result.stats:
-        print(f"kernel backend: {result.stats['kernel_backend']}")
-    print(f"simulated time: {result.simulated_seconds:.6f}s")
+        emit(f"kernel backend: {result.stats['kernel_backend']}")
+    emit(f"simulated time: {result.simulated_seconds:.6f}s")
     for key in ("block_size", "num_blocks", "batch_size", "num_batches",
                 "num_components", "num_boundary", "num_transfers"):
         if key in result.stats:
-            print(f"  {key}: {result.stats[key]}")
+            emit(f"  {key}: {result.stats[key]}")
+    if result.faults is not None and not result.faults.clean:
+        emit(f"  faults: {result.faults}")
+    if args.json:
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "graph": {"n": graph.num_vertices, "m": graph.num_edges},
+            "device": device.spec.name,
+            "algorithm": result.algorithm,
+            "simulated_seconds": result.simulated_seconds,
+            "stats": _json_scalars(result.stats),
+            "faults": result.faults.to_dict() if result.faults is not None else None,
+        }
+        print(json.dumps(payload, indent=2))
     if args.verify:
         report = verify_result(graph, result, num_rows=args.verify)
         status = "ok" if report.ok else "FAILED"
-        print(f"verification ({report.checked_rows} rows): {status} "
-              f"(max |err| {report.max_abs_error:g})")
+        emit(f"verification ({report.checked_rows} rows): {status} "
+             f"(max |err| {report.max_abs_error:g})")
         if not report.ok:
             return 1
     if args.trace:
         from repro.gpu.trace import export_chrome_trace, utilization_report
 
-        print(utilization_report(device))
+        emit(utilization_report(device))
         path = export_chrome_trace(device, args.trace)
-        print(f"trace written to {path}")
+        emit(f"trace written to {path}")
     if args.query:
         u, v = (int(x) for x in args.query.split(","))
-        print(f"dist({u}, {v}) = {result.distance(u, v):g}")
+        emit(f"dist({u}, {v}) = {result.distance(u, v):g}")
     return 0
 
 
@@ -448,6 +498,21 @@ def main(argv=None) -> int:
     p.add_argument("--kernel-backend", default="",
                    choices=["", "auto", "reference", "tiled", "chunked", "jit", "threaded"],
                    help="host min-plus kernel backend (default: process-wide engine)")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.add_argument("--checkpoint-dir", metavar="DIR", default="",
+                   help="write per-iteration checkpoints here; rerunning with "
+                        "the same directory resumes from the last checkpoint")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed for --fault-count's random fault plan")
+    p.add_argument("--fault-count", type=int, default=0,
+                   help="inject N seeded transient device faults")
+    p.add_argument("--fault-sites", default="h2d,d2h,kernel,alloc",
+                   help="comma-separated fault sites for --fault-count")
+    p.add_argument("--fault-kill", metavar="SITE:INDEX", default="",
+                   help="make the INDEXth op at SITE fail permanently "
+                        "(exhausts retries; pair with --checkpoint-dir)")
+    p.add_argument("--retry-limit", type=int, default=0,
+                   help="override the retry budget (attempts per op)")
     p.set_defaults(fn=cmd_solve)
 
     p = sub.add_parser("info", help="graph features (Table III columns)")

@@ -28,6 +28,10 @@ def solve_apsp(
     store_dir=None,
     seed: int = 0,
     kernel_backend=None,
+    faults=None,
+    retry=None,
+    checkpoint_dir=None,
+    resume_from=None,
     **algorithm_options,
 ) -> APSPResult:
     """Solve all-pairs shortest paths out-of-core.
@@ -52,6 +56,21 @@ def solve_apsp(
         ``"jit"``, ``"threaded"``, ``"auto"``) or a prebuilt
         :class:`~repro.core.engine.KernelEngine` for the host-side min-plus
         and FW tile kernels; ``None`` uses the process-wide default.
+    faults:
+        A :class:`~repro.faults.FaultPlan` injected into the device — chosen
+        transfers, kernel launches, or allocations raise transient errors
+        that the drivers retry with capped exponential backoff.
+    retry:
+        A :class:`~repro.faults.RetryPolicy` overriding the default retry
+        budget/backoff schedule.
+    checkpoint_dir:
+        Directory for per-outer-iteration checkpoints; a later call with
+        ``resume_from`` pointing at the same directory resumes the run.
+    resume_from:
+        Existing checkpoint directory to resume from (implies
+        ``checkpoint_dir=resume_from``). Raises
+        :class:`~repro.faults.CheckpointError` if the directory does not
+        exist or belongs to a different graph/algorithm.
     algorithm_options:
         Forwarded to the chosen driver (e.g. ``overlap``,
         ``batch_transfers``, ``dynamic_parallelism``, ``num_components``,
@@ -66,10 +85,25 @@ def solve_apsp(
     """
     if algorithm not in ALGORITHMS:
         raise ValueError(f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}")
+    if resume_from is not None:
+        from pathlib import Path
+
+        from repro.faults import CheckpointError
+
+        if not Path(resume_from).is_dir():
+            raise CheckpointError(
+                f"resume_from directory does not exist [{resume_from}]"
+            )
+        checkpoint_dir = resume_from
     if device is None:
-        device = Device(V100)
+        device = Device(V100, faults=faults, retry=retry)
     elif isinstance(device, DeviceSpec):
-        device = Device(device)
+        device = Device(device, faults=faults, retry=retry)
+    elif faults is not None or retry is not None:
+        if faults is not None:
+            device.faults = faults
+        if retry is not None:
+            device.retry = retry
     if kernel_backend is not None:
         from repro.core.engine import KernelEngine
 
@@ -91,6 +125,8 @@ def solve_apsp(
         algorithm = report.algorithm
 
     common = dict(store_mode=store_mode, store_dir=store_dir)
+    if checkpoint_dir is not None:
+        common["checkpoint"] = checkpoint_dir
     if algorithm == "floyd-warshall":
         result = ooc_floyd_warshall(
             graph, device, engine=engine, **common, **algorithm_options

@@ -21,13 +21,16 @@ driver (asserted in the tests).
 
 from __future__ import annotations
 
+import contextlib
+
 import numpy as np
 
 from repro.core.blocked_fw import floyd_warshall_inplace
 from repro.core.minplus import DIST_DTYPE, minplus_update
-from repro.core.ooc_boundary import BoundaryPlan, plan_boundary
+from repro.core.ooc_boundary import BoundaryPlan, _bind_boundary_plan, plan_boundary
 from repro.core.result import APSPResult
 from repro.core.tiling import HostStore
+from repro.faults.checkpoint import open_checkpoint
 from repro.gpu.device import Device, DeviceSpec
 from repro.gpu.kernels import extract_cost, fw_tile_cost, minplus_cost
 from repro.gpu.stream import Event
@@ -58,6 +61,7 @@ def ooc_boundary_multi(
     store_dir=None,
     seed: int = 0,
     overlap: bool = False,
+    checkpoint=None,
 ) -> APSPResult:
     """Solve APSP with the boundary algorithm across ``devices``.
 
@@ -69,6 +73,12 @@ def ooc_boundary_multi(
     overlaps the download of strip ``p`` (costs one extra strip of
     device memory per device; off by default to keep the baseline
     footprint).
+
+    ``checkpoint`` saves the same ``dist2-{i}``/``dist3``/``dist4``
+    stages as the single-device driver (stamped ``boundary-multi``, so
+    the two drivers' stores are not interchangeable) and resumes from
+    whatever the store holds; the resumed run may even use a different
+    device count, since stages record algorithm progress, not placement.
     """
     if not devices:
         raise ValueError("need at least one device")
@@ -86,6 +96,9 @@ def ooc_boundary_multi(
 
     for dev in devices:
         dev.reset_clock()
+    ckpt = open_checkpoint(checkpoint, algorithm="boundary-multi", graph=graph)
+    _bind_boundary_plan(ckpt, plan)
+    report = devices[0].fault_report  # resume/checkpoint ledger lives on dev 0
 
     starts = plan.comp_start
     bcounts = plan.comp_boundary
@@ -93,174 +106,221 @@ def ooc_boundary_multi(
     np.cumsum(bcounts, out=bnd_offsets[1:])
     num_dev = len(devices)
 
-    # ---- step 2: per-component APSP, round-robin over devices ----------
-    dist2_blocks: list[np.ndarray | None] = [None] * k
-    for i in range(k):
-        dev = devices[i % num_dev]
-        stream = dev.default_stream
-        lo, hi = int(starts[i]), int(starts[i + 1])
-        ni = hi - lo
-        sub = pg.subgraph(np.arange(lo, hi))
-        with dev.memory.alloc((ni, ni), DIST_DTYPE, name=f"comp{i}") as tile:
-            stream.copy_h2d(tile, sub.to_dense(dtype=DIST_DTYPE), pinned=True)
-            floyd_warshall_inplace(tile.data)
-            stream.launch("fw_comp", fw_tile_cost(dev.spec, ni), reads=(tile,), writes=(tile,))
-            block = np.empty((ni, ni), dtype=DIST_DTYPE)
-            stream.copy_d2h(block, tile, pinned=True)
-        dist2_blocks[i] = block
-    _barrier(devices)
+    # A mid-run fault (exhausted retry budget) must not leak device
+    # memory on any device of the fleet.
+    with contextlib.ExitStack() as cleanup:
+        for dev in devices:
+            cleanup.enter_context(dev.memory.cleanup_on_error())
+        # ---- step 2: per-component APSP, round-robin over devices ----------
+        dist2_blocks: list[np.ndarray | None] = [None] * k
+        dist2_done = 0
+        if ckpt is not None:
+            while dist2_done < k and ckpt.has(f"dist2-{dist2_done}"):
+                state2 = ckpt.load(f"dist2-{dist2_done}")
+                dist2_blocks[dist2_done] = np.asarray(state2["block"], dtype=DIST_DTYPE)
+                report.resumed += 1
+                dist2_done += 1
+        for i in range(dist2_done, k):
+            dev = devices[i % num_dev]
+            stream = dev.default_stream
+            lo, hi = int(starts[i]), int(starts[i + 1])
+            ni = hi - lo
+            sub = pg.subgraph(np.arange(lo, hi))
+            with dev.memory.alloc((ni, ni), DIST_DTYPE, name=f"comp{i}") as tile:
+                stream.copy_h2d(tile, sub.to_dense(dtype=DIST_DTYPE), pinned=True)
+                floyd_warshall_inplace(tile.data)
+                stream.launch("fw_comp", fw_tile_cost(dev.spec, ni), reads=(tile,), writes=(tile,))
+                block = np.empty((ni, ni), dtype=DIST_DTYPE)
+                stream.copy_d2h(block, tile, pinned=True)
+            dist2_blocks[i] = block
+            if ckpt is not None:
+                ckpt.save(f"dist2-{i}", block=block)
+                report.checkpoints_written += 1
+        _barrier(devices)
 
-    # ---- step 3: boundary closure on device 0, broadcast ---------------
-    bound_host = np.full((nb_total, nb_total), np.inf, dtype=DIST_DTYPE)
-    np.fill_diagonal(bound_host, 0.0)
-    for i in range(k):
-        bi = int(bcounts[i])
-        o = int(bnd_offsets[i])
-        bound_host[o : o + bi, o : o + bi] = dist2_blocks[i][:bi, :bi]
-    src, dst, w = pg.edge_array()
-    comp_of = np.searchsorted(starts, np.arange(n), side="right") - 1
-    cross = comp_of[src] != comp_of[dst]
-    local = np.arange(n) - starts[comp_of]
-    bidx = bnd_offsets[comp_of] + local
-    np.minimum.at(
-        bound_host, (bidx[src[cross]], bidx[dst[cross]]), w[cross].astype(DIST_DTYPE)
-    )
-
-    root = devices[0]
-    bound0 = root.memory.alloc((nb_total, nb_total), DIST_DTYPE, name="bound")
-    root.default_stream.copy_h2d(bound0, bound_host, pinned=True)
-    floyd_warshall_inplace(bound0.data)
-    root.default_stream.launch(
-        "fw_bound", fw_tile_cost(root.spec, nb_total), reads=(bound0,), writes=(bound0,)
-    )
-    root.default_stream.copy_d2h(bound_host, bound0, pinned=True)
-    _barrier(devices)
-    bounds = [bound0]
-    for dev in devices[1:]:
-        b = dev.memory.alloc((nb_total, nb_total), DIST_DTYPE, name="bound")
-        dev.default_stream.copy_h2d(b, bound_host, pinned=True)
-        bounds.append(b)
-    _barrier(devices)
-
-    # ---- step 4: block rows round-robin, batched transfers per device --
-    nmax = plan.max_component
-    bmax = int(bcounts.max()) if k else 1
-    nbuf = 2 if overlap else 1
-    copiers = [
-        dev.create_stream("multi-copy") if overlap else dev.default_stream
-        for dev in devices
-    ]
-    state = []
-    out_bufs = []
-    for dev in devices:
-        state.append(
-            dict(
-                c2b=dev.memory.alloc((nmax, max(1, bmax)), DIST_DTYPE, name="c2b"),
-                b2c=dev.memory.alloc((max(1, bmax), nmax), DIST_DTYPE, name="b2c"),
-                tmp=dev.memory.alloc((nmax, max(1, bmax)), DIST_DTYPE, name="tmp1"),
-            )
-        )
-        if overlap:
-            out_bufs.append([
-                dev.memory.alloc((nmax, n), DIST_DTYPE, name=f"out{p}")
-                for p in range(nbuf)
-            ])
+        # ---- step 3: boundary closure on device 0, broadcast ---------------
+        bound_state = ckpt.load("dist3") if ckpt is not None else None
+        root = devices[0]
+        if bound_state is not None:
+            # restored matrix is already closed: every device just uploads it
+            bound_host = np.asarray(bound_state["bound"], dtype=DIST_DTYPE)
+            report.resumed += 1
+            bound0 = root.memory.alloc((nb_total, nb_total), DIST_DTYPE, name="bound")
+            root.default_stream.copy_h2d(bound0, bound_host, pinned=True)
         else:
-            out_bufs.append([dev.memory.alloc((nmax, n), DIST_DTYPE, name="out")])
-    drain_events: list[list[Event | None]] = [[None] * nbuf for _ in devices]
-    strip_count = [0] * num_dev
-    # strips device d handles over the round-robin (for trailing-record
-    # elision: the last nbuf drains per device have no future consumer)
-    strips_per_dev = [len(range(d, k, num_dev)) for d in range(num_dev)]
+            bound_host = np.full((nb_total, nb_total), np.inf, dtype=DIST_DTYPE)
+            np.fill_diagonal(bound_host, 0.0)
+            for i in range(k):
+                bi = int(bcounts[i])
+                o = int(bnd_offsets[i])
+                bound_host[o : o + bi, o : o + bi] = dist2_blocks[i][:bi, :bi]
+            src, dst, w = pg.edge_array()
+            comp_of = np.searchsorted(starts, np.arange(n), side="right") - 1
+            cross = comp_of[src] != comp_of[dst]
+            local = np.arange(n) - starts[comp_of]
+            bidx = bnd_offsets[comp_of] + local
+            np.minimum.at(
+                bound_host, (bidx[src[cross]], bidx[dst[cross]]), w[cross].astype(DIST_DTYPE)
+            )
 
-    for i in range(k):
-        d = i % num_dev
-        dev = devices[d]
-        st = state[d]
-        stream = dev.default_stream
-        copier = copiers[d]
-        spec = dev.spec
-        lo_i, hi_i = int(starts[i]), int(starts[i + 1])
-        ni = hi_i - lo_i
-        bi = int(bcounts[i])
-        oi = int(bnd_offsets[i])
-        c2b_view = st["c2b"].data[:ni, :bi]
-        stream.copy_h2d(c2b_view, dist2_blocks[i][:, :bi], pinned=True)
-        stream.launch(
-            "extract_c2b", extract_cost(spec, ni, bi),
-            reads=(c2b_view,), writes=(c2b_view,),
-        )
-        s = strip_count[d]
-        p = s % nbuf
-        strip_count[d] += 1
-        strip = out_bufs[d][p].data[:ni, :]
-        if drain_events[d][p] is not None:
-            stream.wait(drain_events[d][p])  # strip still draining
-        for j in range(k):
-            lo_j, hi_j = int(starts[j]), int(starts[j + 1])
-            nj = hi_j - lo_j
-            bj = int(bcounts[j])
-            oj = int(bnd_offsets[j])
-            b2c_view = st["b2c"].data[:bj, :nj]
-            stream.copy_h2d(b2c_view, dist2_blocks[j][:bj, :], pinned=True)
+            bound0 = root.memory.alloc((nb_total, nb_total), DIST_DTYPE, name="bound")
+            root.default_stream.copy_h2d(bound0, bound_host, pinned=True)
+            floyd_warshall_inplace(bound0.data)
+            root.default_stream.launch(
+                "fw_bound", fw_tile_cost(root.spec, nb_total), reads=(bound0,), writes=(bound0,)
+            )
+            root.default_stream.copy_d2h(bound_host, bound0, pinned=True)
+            if ckpt is not None:
+                ckpt.save("dist3", bound=bound_host)
+                report.checkpoints_written += 1
+        _barrier(devices)
+        bounds = [bound0]
+        for dev in devices[1:]:
+            b = dev.memory.alloc((nb_total, nb_total), DIST_DTYPE, name="bound")
+            dev.default_stream.copy_h2d(b, bound_host, pinned=True)
+            bounds.append(b)
+        _barrier(devices)
+
+        # ---- step 4: block rows round-robin, batched transfers per device --
+        nmax = plan.max_component
+        bmax = int(bcounts.max()) if k else 1
+        nbuf = 2 if overlap else 1
+        copiers = [
+            dev.create_stream("multi-copy") if overlap else dev.default_stream
+            for dev in devices
+        ]
+        state = []
+        out_bufs = []
+        for dev in devices:
+            state.append(
+                dict(
+                    c2b=dev.memory.alloc((nmax, max(1, bmax)), DIST_DTYPE, name="c2b"),
+                    b2c=dev.memory.alloc((max(1, bmax), nmax), DIST_DTYPE, name="b2c"),
+                    tmp=dev.memory.alloc((nmax, max(1, bmax)), DIST_DTYPE, name="tmp1"),
+                )
+            )
+            if overlap:
+                out_bufs.append([
+                    dev.memory.alloc((nmax, n), DIST_DTYPE, name=f"out{p}")
+                    for p in range(nbuf)
+                ])
+            else:
+                out_bufs.append([dev.memory.alloc((nmax, n), DIST_DTYPE, name="out")])
+        drain_events: list[list[Event | None]] = [[None] * nbuf for _ in devices]
+        strip_count = [0] * num_dev
+        rows_done = 0
+        if ckpt is not None:
+            state4 = ckpt.load("dist4")
+            if state4 is not None:
+                host.data[...] = state4["dist"]
+                rows_done = int(state4["rows_done"])
+                report.resumed += 1
+        # strips device d handles over the round-robin (for trailing-record
+        # elision: the last nbuf drains per device have no future consumer);
+        # on resume, only the replayed suffix counts
+        strips_per_dev = [
+            sum(1 for i in range(rows_done, k) if i % num_dev == d)
+            for d in range(num_dev)
+        ]
+
+        for i in range(rows_done, k):
+            d = i % num_dev
+            dev = devices[d]
+            st = state[d]
+            stream = dev.default_stream
+            copier = copiers[d]
+            spec = dev.spec
+            lo_i, hi_i = int(starts[i]), int(starts[i + 1])
+            ni = hi_i - lo_i
+            bi = int(bcounts[i])
+            oi = int(bnd_offsets[i])
+            c2b_view = st["c2b"].data[:ni, :bi]
+            stream.copy_h2d(c2b_view, dist2_blocks[i][:, :bi], pinned=True)
             stream.launch(
-                "extract_b2c", extract_cost(spec, bj, nj),
-                reads=(b2c_view,), writes=(b2c_view,),
+                "extract_c2b", extract_cost(spec, ni, bi),
+                reads=(c2b_view,), writes=(c2b_view,),
             )
-            dest = strip[:, lo_j:hi_j]
-            dest[...] = np.inf
-            stream.annotate("memset_out", writes=(dest,))
-            if bi and bj:
-                bview = bounds[d].data[oi : oi + bi, oj : oj + bj]
-                t1 = st["tmp"].data[:ni, :bj]
-                t1[...] = np.inf
-                stream.annotate("memset_tmp1", writes=(t1,))
-                minplus_update(t1, c2b_view, bview)
+            s = strip_count[d]
+            p = s % nbuf
+            strip_count[d] += 1
+            strip = out_bufs[d][p].data[:ni, :]
+            if drain_events[d][p] is not None:
+                stream.wait(drain_events[d][p])  # strip still draining
+            for j in range(k):
+                lo_j, hi_j = int(starts[j]), int(starts[j + 1])
+                nj = hi_j - lo_j
+                bj = int(bcounts[j])
+                oj = int(bnd_offsets[j])
+                b2c_view = st["b2c"].data[:bj, :nj]
+                stream.copy_h2d(b2c_view, dist2_blocks[j][:bj, :], pinned=True)
                 stream.launch(
-                    "mp_c2b_bound", minplus_cost(spec, ni, bi, bj),
-                    reads=(c2b_view, bview), writes=(t1,),
+                    "extract_b2c", extract_cost(spec, bj, nj),
+                    reads=(b2c_view,), writes=(b2c_view,),
                 )
-                minplus_update(dest, t1, b2c_view)
-                stream.launch(
-                    "mp_bound_b2c", minplus_cost(spec, ni, bj, nj),
-                    reads=(t1, b2c_view), writes=(dest,),
-                )
-            if i == j:
-                np.minimum(dest, dist2_blocks[i], out=dest)
-                stream.annotate("min_diag", reads=(dest,), writes=(dest,))
-        if overlap:
-            copier.wait(stream.record(Event("strip-ready")))
-            copier.copy_d2h_async(host.data[lo_i:hi_i, :], strip, pinned=True)
-            if s + nbuf < strips_per_dev[d]:
-                drain_events[d][p] = copier.record(Event("strip-down"))
-        else:
-            stream.copy_d2h(host.data[lo_i:hi_i, :], strip, pinned=True)
+                dest = strip[:, lo_j:hi_j]
+                dest[...] = np.inf
+                stream.annotate("memset_out", writes=(dest,))
+                if bi and bj:
+                    bview = bounds[d].data[oi : oi + bi, oj : oj + bj]
+                    t1 = st["tmp"].data[:ni, :bj]
+                    t1[...] = np.inf
+                    stream.annotate("memset_tmp1", writes=(t1,))
+                    minplus_update(t1, c2b_view, bview)
+                    stream.launch(
+                        "mp_c2b_bound", minplus_cost(spec, ni, bi, bj),
+                        reads=(c2b_view, bview), writes=(t1,),
+                    )
+                    minplus_update(dest, t1, b2c_view)
+                    stream.launch(
+                        "mp_bound_b2c", minplus_cost(spec, ni, bj, nj),
+                        reads=(t1, b2c_view), writes=(dest,),
+                    )
+                if i == j:
+                    np.minimum(dest, dist2_blocks[i], out=dest)
+                    stream.annotate("min_diag", reads=(dest,), writes=(dest,))
+            if overlap:
+                copier.wait(stream.record(Event("strip-ready")))
+                copier.copy_d2h_async(host.data[lo_i:hi_i, :], strip, pinned=True)
+                if s + nbuf < strips_per_dev[d]:
+                    drain_events[d][p] = copier.record(Event("strip-down"))
+            else:
+                stream.copy_d2h(host.data[lo_i:hi_i, :], strip, pinned=True)
+            if ckpt is not None:
+                # host.data holds every drained strip (simulated copies move
+                # data at enqueue time), so the stage is consistent without a
+                # fleet sync — checkpointing keeps the timelines untouched.
+                ckpt.save("dist4", rows_done=i + 1, dist=np.asarray(host.data))
+                report.checkpoints_written += 1
 
-    elapsed = _barrier(devices)
-    host.flush()
-    for d, dev in enumerate(devices):
-        for arr in state[d].values():
-            arr.free()
-        for arr in out_bufs[d]:
-            arr.free()
-        bounds[d].free()
+        elapsed = _barrier(devices)
+        host.flush()
+        for d, dev in enumerate(devices):
+            for arr in state[d].values():
+                arr.free()
+            for arr in out_bufs[d]:
+                arr.free()
+            bounds[d].free()
 
-    per_device = [dev.timeline.busy_time("compute") for dev in devices]
-    return APSPResult(
-        algorithm=f"boundary-multi[{num_dev}]",
-        store=host,
-        simulated_seconds=elapsed,
-        perm=plan.perm,
-        inv_perm=plan.inv_perm,
-        stats={
-            "num_devices": num_dev,
-            "num_components": k,
-            "num_boundary": nb_total,
-            "overlap": overlap,
-            "per_device_compute": per_device,
-            "imbalance": max(per_device) / max(min(per_device), 1e-30),
-        },
-    )
+        per_device = [dev.timeline.busy_time("compute") for dev in devices]
+        merged = devices[0].fault_report
+        for dev in devices[1:]:
+            merged = merged.merged(dev.fault_report)
+        return APSPResult(
+            algorithm=f"boundary-multi[{num_dev}]",
+            store=host,
+            simulated_seconds=elapsed,
+            perm=plan.perm,
+            inv_perm=plan.inv_perm,
+            stats={
+                "num_devices": num_dev,
+                "num_components": k,
+                "num_boundary": nb_total,
+                "overlap": overlap,
+                "per_device_compute": per_device,
+                "imbalance": max(per_device) / max(min(per_device), 1e-30),
+            },
+            faults=merged,
+        )
 
 def emit_multi_ir(
     graph,

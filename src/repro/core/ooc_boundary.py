@@ -38,6 +38,7 @@ import numpy as np
 from repro.core.minplus import DIST_DTYPE, minplus_update
 from repro.core.result import APSPResult
 from repro.core.tiling import HostStore
+from repro.faults.checkpoint import CheckpointError, open_checkpoint
 from repro.gpu.device import Device, DeviceSpec
 from repro.gpu.errors import OutOfMemoryError
 from repro.gpu.kernels import extract_cost, fw_tile_cost, minplus_cost
@@ -247,11 +248,17 @@ def ooc_boundary(
     store_dir=None,
     seed: int = 0,
     engine=None,
+    checkpoint=None,
 ) -> APSPResult:
     """Solve APSP with the out-of-core boundary algorithm.
 
     ``engine`` overrides the process-wide kernel engine for the host-side
     numeric work (FW closures and the ``dist4`` min-plus chain).
+    ``checkpoint`` (a directory path or
+    :class:`~repro.faults.CheckpointStore`) saves per-component ``dist2``
+    blocks, the closed boundary matrix ``dist3``, and ``dist4`` output
+    progress at every flush boundary, resuming from whatever the store
+    already holds.
     """
     n = graph.num_vertices
     spec = device.spec
@@ -272,27 +279,54 @@ def ooc_boundary(
     host.data[...] = np.inf
 
     device.reset_clock()
+    ckpt = open_checkpoint(checkpoint, algorithm="boundary", graph=graph)
+    _bind_boundary_plan(ckpt, plan)
     compute = device.default_stream
     copier = device.create_stream("bound-copy") if overlap else compute
 
     with device.memory.cleanup_on_error():
         return _run_boundary(
             graph, device, compute, copier, host, plan, pg,
-            batch_transfers, overlap, engine,
+            batch_transfers, overlap, engine, ckpt=ckpt,
         )
 
 
-def _count_output_flushes(starts, k: int, cap: int) -> int:
+def _bind_boundary_plan(ckpt, plan: BoundaryPlan) -> None:
+    """Reject a checkpoint store whose stages assume a different plan.
+
+    Stage indices are only meaningful under one permutation/partition, so
+    resuming under a different seed or component count must fail loudly
+    rather than mix blocks from two orderings.
+    """
+    if ckpt is None:
+        return
+    state = ckpt.load("plan")
+    if state is None:
+        ckpt.save("plan", perm=plan.perm, comp_start=plan.comp_start)
+        return
+    if not (
+        np.array_equal(state["perm"], plan.perm)
+        and np.array_equal(state["comp_start"], plan.comp_start)
+    ):
+        raise CheckpointError(
+            "checkpoint was written under a different boundary plan "
+            "(permutation/partition mismatch)",
+            path=ckpt.path_for("plan"),
+        )
+
+
+def _count_output_flushes(starts, k: int, cap: int, *, start: int = 0) -> int:
     """Number of batched output flushes step 4 performs.
 
     Replays the fill loop of :func:`_run_boundary` without side effects so
     the driver (and its IR mirror) can elide ``strip-down`` records whose
     drain is never waited on again — a record with no consumer would trip
-    the happens-before dead-event check.
+    the happens-before dead-event check. ``start`` skips the block-rows a
+    checkpoint-resumed run does not replay.
     """
     flushes = 0
     buf_rows = 0
-    for i in range(k):
+    for i in range(start, k):
         buf_rows += int(starts[i + 1] - starts[i])
         next_ni = int(starts[min(i + 2, k)] - starts[min(i + 1, k)]) if i + 1 < k else 0
         if i + 1 >= k or buf_rows + next_ni > cap:
@@ -303,9 +337,18 @@ def _count_output_flushes(starts, k: int, cap: int) -> int:
 
 
 def _run_boundary(
-    graph, device, compute, copier, host, plan, pg, batch_transfers, overlap, engine
+    graph, device, compute, copier, host, plan, pg, batch_transfers, overlap, engine,
+    *, ckpt=None,
 ):
-    """Steps 2-4 of Algorithm 3 (see module docstring)."""
+    """Steps 2-4 of Algorithm 3 (see module docstring).
+
+    With ``ckpt`` set, each completed unit of work is saved — component
+    blocks as ``dist2-{i}``, the closed boundary matrix as ``dist3``,
+    output progress as ``dist4`` at every flush boundary — and whatever
+    the store already holds is restored instead of recomputed. Stages are
+    written in schedule order, so the present stages always form a prefix
+    of the schedule and the resumed suffix replays identically.
+    """
     n = graph.num_vertices
     spec = device.spec
     k = plan.num_components
@@ -319,7 +362,14 @@ def _run_boundary(
 
     # ---- step 2: per-component APSP (dist2) ---------------------------
     dist2_blocks: list[np.ndarray] = []
-    for i in range(k):
+    dist2_done = 0
+    if ckpt is not None:
+        while dist2_done < k and ckpt.has(f"dist2-{dist2_done}"):
+            state = ckpt.load(f"dist2-{dist2_done}")
+            dist2_blocks.append(np.asarray(state["block"], dtype=DIST_DTYPE))
+            device.fault_report.resumed += 1
+            dist2_done += 1
+    for i in range(dist2_done, k):
         lo, hi = int(starts[i]), int(starts[i + 1])
         ni = hi - lo
         sub = pg.subgraph(np.arange(lo, hi))
@@ -330,29 +380,43 @@ def _run_boundary(
             block = np.empty((ni, ni), dtype=DIST_DTYPE)
             compute.copy_d2h(block, tile, pinned=True)
         dist2_blocks.append(block)
+        if ckpt is not None:
+            ckpt.save(f"dist2-{i}", block=block)
+            device.fault_report.checkpoints_written += 1
 
     # ---- step 3: boundary graph closure (dist3) ------------------------
-    bound_host = np.full((nb_total, nb_total), np.inf, dtype=DIST_DTYPE)
-    np.fill_diagonal(bound_host, 0.0)
-    # virtual edges: same-component boundary-to-boundary dist2
-    for i in range(k):
-        bi = int(bcounts[i])
-        o = int(bnd_offsets[i])
-        bound_host[o : o + bi, o : o + bi] = dist2_blocks[i][:bi, :bi]
-    # cross edges: all cut edges connect boundary vertices of two components
-    src, dst, w = pg.edge_array()
-    comp_of = np.searchsorted(starts, np.arange(n), side="right") - 1
-    cross = comp_of[src] != comp_of[dst]
-    csrc, cdst, cw = src[cross], dst[cross], w[cross]
-    # internal id -> boundary index: offset within component + bnd offset
-    local = np.arange(n) - starts[comp_of]
-    bidx = bnd_offsets[comp_of] + local  # valid only for boundary vertices
-    np.minimum.at(bound_host, (bidx[csrc], bidx[cdst]), cw.astype(DIST_DTYPE))
+    bound_state = ckpt.load("dist3") if ckpt is not None else None
+    if bound_state is not None:
+        # restored matrix is already closed: upload only, no fw_bound
+        bound_host = np.asarray(bound_state["bound"], dtype=DIST_DTYPE)
+        device.fault_report.resumed += 1
+        bound = device.memory.alloc((nb_total, nb_total), DIST_DTYPE, name="bound")
+        compute.copy_h2d(bound, bound_host, pinned=True)
+    else:
+        bound_host = np.full((nb_total, nb_total), np.inf, dtype=DIST_DTYPE)
+        np.fill_diagonal(bound_host, 0.0)
+        # virtual edges: same-component boundary-to-boundary dist2
+        for i in range(k):
+            bi = int(bcounts[i])
+            o = int(bnd_offsets[i])
+            bound_host[o : o + bi, o : o + bi] = dist2_blocks[i][:bi, :bi]
+        # cross edges: all cut edges connect boundary vertices of two components
+        src, dst, w = pg.edge_array()
+        comp_of = np.searchsorted(starts, np.arange(n), side="right") - 1
+        cross = comp_of[src] != comp_of[dst]
+        csrc, cdst, cw = src[cross], dst[cross], w[cross]
+        # internal id -> boundary index: offset within component + bnd offset
+        local = np.arange(n) - starts[comp_of]
+        bidx = bnd_offsets[comp_of] + local  # valid only for boundary vertices
+        np.minimum.at(bound_host, (bidx[csrc], bidx[cdst]), cw.astype(DIST_DTYPE))
 
-    bound = device.memory.alloc((nb_total, nb_total), DIST_DTYPE, name="bound")
-    compute.copy_h2d(bound, bound_host, pinned=True)
-    engine.fw_inplace(bound.data)
-    compute.launch("fw_bound", fw_tile_cost(spec, nb_total), reads=(bound,), writes=(bound,))
+        bound = device.memory.alloc((nb_total, nb_total), DIST_DTYPE, name="bound")
+        compute.copy_h2d(bound, bound_host, pinned=True)
+        engine.fw_inplace(bound.data)
+        compute.launch("fw_bound", fw_tile_cost(spec, nb_total), reads=(bound,), writes=(bound,))
+        if ckpt is not None:
+            ckpt.save("dist3", bound=np.asarray(bound.data))
+            device.fault_report.checkpoints_written += 1
 
     # ---- step 4: dist4 via two successive min-plus products ------------
     nmax = plan.max_component
@@ -375,12 +439,22 @@ def _run_boundary(
         out_bufs = [device.memory.alloc((nmax, nmax), DIST_DTYPE, name="out")]
     drain_events: list[Event | None] = [None] * len(out_bufs)
 
+    rows_done = 0
+    if ckpt is not None:
+        state = ckpt.load("dist4")
+        if state is not None:
+            host.data[...] = state["dist"]
+            rows_done = int(state["rows_done"])
+            device.fault_report.resumed += 1
+
     buf_rows = 0  # filled rows in the active accumulation buffer
     buf_meta: list[tuple[int, int, int]] = []  # (host_lo, host_hi, buf_lo)
     active = 0
     flush_idx = 0
     total_flushes = (
-        _count_output_flushes(starts, k, plan.n_row * nmax) if batch_transfers else 0
+        _count_output_flushes(starts, k, plan.n_row * nmax, start=rows_done)
+        if batch_transfers
+        else 0
     )
 
     def flush(active_idx: int) -> None:
@@ -404,7 +478,7 @@ def _run_boundary(
         buf_rows = 0
         buf_meta = []
 
-    for i in range(k):
+    for i in range(rows_done, k):
         lo_i, hi_i = int(starts[i]), int(starts[i + 1])
         ni = hi_i - lo_i
         bi = int(bcounts[i])
@@ -461,6 +535,7 @@ def _run_boundary(
             if not batch_transfers:
                 # naive path: strided per-block copy into the host matrix
                 compute.copy_d2h_2d(host.data[lo_i:hi_i, lo_j:hi_j], dest, pinned=True)
+        at_flush_boundary = not batch_transfers
         if batch_transfers:
             buf_rows += ni
             # Flush when the next block-row would not fit.
@@ -470,6 +545,13 @@ def _run_boundary(
                 active = (active + 1) % len(out_bufs)
                 if drain_events[active] is not None:
                     compute.wait(drain_events[active])  # buffer still draining
+                at_flush_boundary = True
+        if ckpt is not None and at_flush_boundary:
+            # host.data holds every flushed block-row (simulated copies move
+            # data at enqueue time), so the stage is consistent without a
+            # device sync — checkpointing keeps the timeline untouched.
+            ckpt.save("dist4", rows_done=i + 1, dist=np.asarray(host.data))
+            device.fault_report.checkpoints_written += 1
 
     elapsed = device.synchronize()
     host.flush()
@@ -495,6 +577,7 @@ def _run_boundary(
             "kernel_backend": engine.describe(),
             **transfer_stats(device),
         },
+        faults=device.fault_report,
     )
 
 def emit_boundary_ir(
@@ -506,6 +589,7 @@ def emit_boundary_ir(
     overlap: bool = True,
     plan: BoundaryPlan | None = None,
     seed: int = 0,
+    resume: "tuple[int, bool, int] | None" = None,
 ):
     """Compile the boundary-algorithm schedule to a symbolic
     :class:`~repro.verifyplan.ir.PlanIR` without executing anything.
@@ -518,8 +602,18 @@ def emit_boundary_ir(
     event edges the driver uses. Host-side annotations (``memset_out``
     etc.) are marked ``annotate`` so the timing pass skips them, exactly
     as they occupy no slot on the dynamic timeline.
+
+    ``resume=(dist2_done, bound_done, rows_done)`` emits the schedule
+    suffix a checkpoint-resumed run replays: the first ``dist2_done``
+    component closures are skipped, ``bound_done`` replaces the boundary
+    closure with a plain re-upload of the restored matrix, and step 4
+    starts at block-row ``rows_done``. Audit resumed suffixes with
+    ``analyze_hb``/``audit_ir`` (they move fewer bytes than the full-run
+    paper bounds assume).
     """
     from repro.verifyplan.ir import IREmitter, Rect
+
+    dist2_done, bound_done, rows_done = resume if resume is not None else (0, False, 0)
 
     n = graph.num_vertices
     if plan is None:
@@ -537,7 +631,7 @@ def emit_boundary_ir(
 
     em = IREmitter("boundary", spec.name, spec.memory_bytes)
     # step 2: per-component APSP (dist2)
-    for i in range(k):
+    for i in range(dist2_done, k):
         ni = int(starts[i + 1] - starts[i])
         tile = em.alloc(f"comp{i}", (ni, ni))
         em.h2d(tile, key=("sub", i))
@@ -548,7 +642,8 @@ def emit_boundary_ir(
     # step 3: boundary graph closure (dist3); stays resident
     bound = em.alloc("bound", (nb_total, nb_total))
     em.h2d(bound, key=("bound",))
-    em.kernel("fw_bound", reads=(bound,), writes=(bound,))
+    if not bound_done:
+        em.kernel("fw_bound", reads=(bound,), writes=(bound,))
 
     # step 4: two min-plus products per block
     nmax = plan.max_component
@@ -573,7 +668,9 @@ def emit_boundary_ir(
     active = 0
     flush_idx = 0
     total_flushes = (
-        _count_output_flushes(starts, k, plan.n_row * nmax) if batch_transfers else 0
+        _count_output_flushes(starts, k, plan.n_row * nmax, start=rows_done)
+        if batch_transfers
+        else 0
     )
 
     def flush(active_idx: int) -> None:
@@ -599,7 +696,7 @@ def emit_boundary_ir(
         buf_meta = []
 
     row_base = 0
-    for i in range(k):
+    for i in range(rows_done, k):
         lo_i, hi_i = int(starts[i]), int(starts[i + 1])
         ni = hi_i - lo_i
         bi = int(bcounts[i])

@@ -32,6 +32,7 @@ import numpy as np
 from repro.core.minplus import DIST_DTYPE, minplus_update
 from repro.core.result import APSPResult
 from repro.core.tiling import BlockLayout, HostStore
+from repro.faults.checkpoint import CheckpointError, open_checkpoint
 from repro.gpu.device import Device, DeviceSpec
 from repro.gpu.kernels import fw_tile_cost, minplus_cost
 from repro.gpu.stream import Event
@@ -79,13 +80,18 @@ def ooc_floyd_warshall(
     store_mode: str = "ram",
     store_dir=None,
     engine=None,
+    checkpoint=None,
 ) -> APSPResult:
     """Solve APSP with the out-of-core blocked FW algorithm.
 
     ``simulated_seconds`` in the result is the device-model makespan of the
     full schedule (kernels + transfers, overlapped where requested).
     ``engine`` overrides the process-wide kernel engine for the host-side
-    numeric work.
+    numeric work. ``checkpoint`` (a directory path or
+    :class:`~repro.faults.CheckpointStore`) saves progress after every
+    outer iteration ``k`` and resumes from whatever the store already
+    holds — a killed run re-run with the same store produces distances
+    bit-identical to an uninterrupted one.
     """
     n = graph.num_vertices
     spec = device.spec
@@ -101,12 +107,27 @@ def ooc_floyd_warshall(
     bmax = layout.size(0)
 
     device.reset_clock()
+    ckpt = open_checkpoint(checkpoint, algorithm="floyd-warshall", graph=graph)
+    start_k = 0
+    if ckpt is not None:
+        state = ckpt.load("progress")
+        if state is not None:
+            if int(state["block_size"]) != block_size:
+                raise CheckpointError(
+                    f"checkpoint used block_size={int(state['block_size'])}, "
+                    f"this run plans {block_size}",
+                    path=ckpt.path_for("progress"),
+                )
+            host.data[...] = state["dist"]
+            start_k = int(state["k_done"])
+            device.fault_report.resumed += start_k
     compute = device.default_stream
     copier = device.create_stream("fw-copy") if overlap else compute
 
     with device.memory.cleanup_on_error():
         _run_fw_schedule(
-            device, compute, copier, host, layout, nd, bmax, spec, overlap, engine
+            device, compute, copier, host, layout, nd, bmax, spec, overlap, engine,
+            start_k=start_k, ckpt=ckpt, block_size=block_size,
         )
 
     elapsed = device.synchronize()
@@ -122,13 +143,21 @@ def ooc_floyd_warshall(
             "kernel_backend": engine.describe(),
             **transfer_stats(device),
         },
+        faults=device.fault_report,
     )
 
 
-def _run_fw_schedule(device, compute, copier, host, layout, nd, bmax, spec, overlap, engine):
-    """The three-stage tile schedule of Algorithm 1 (see module docstring)."""
+def _run_fw_schedule(device, compute, copier, host, layout, nd, bmax, spec, overlap,
+                     engine, *, start_k=0, ckpt=None, block_size=0):
+    """The three-stage tile schedule of Algorithm 1 (see module docstring).
+
+    ``start_k`` skips outer iterations a checkpoint already covers; each
+    iteration's state is self-contained (events and buffer rotation reset
+    per ``k``), so resuming at any ``k`` replays the identical schedule
+    suffix. ``ckpt`` saves a ``progress`` stage after every iteration.
+    """
     pinned = True  # staging buffers are pinned, as in the paper
-    for k in range(nd):
+    for k in range(start_k, nd):
         bk = layout.size(k)
         # ---- stage 1: diagonal block closure --------------------------
         diag = device.memory.alloc((bk, bk), DIST_DTYPE, name=f"diag{k}")
@@ -267,10 +296,20 @@ def _run_fw_schedule(device, compute, copier, host, layout, nd, bmax, spec, over
                         down_events[p] = copier.record(Event("down"))
         for arr in [col, *rows, *works]:
             arr.free()
+        if ckpt is not None:
+            # host.data already holds every block of iteration k (the
+            # simulated copies move data at enqueue time), so the stage is
+            # consistent without forcing a device sync — checkpointing a
+            # fault-free run leaves its timeline untouched.
+            ckpt.save(
+                "progress", k_done=k + 1, block_size=block_size,
+                dist=np.asarray(host.data),
+            )
+            device.fault_report.checkpoints_written += 1
 
 
 def emit_fw_ir(n: int, spec: DeviceSpec, *, block_size: int | None = None,
-               overlap: bool = True):
+               overlap: bool = True, start_k: int = 0):
     """Compile the blocked-FW schedule to a symbolic
     :class:`~repro.verifyplan.ir.PlanIR` without executing anything.
 
@@ -284,6 +323,12 @@ def emit_fw_ir(n: int, spec: DeviceSpec, *, block_size: int | None = None,
     threaded engine's wave grouping reorders ops within a wave but moves
     identical bytes, so one emission serves both engines for the byte
     analyses.
+
+    ``start_k > 0`` emits the schedule *suffix* a checkpoint-resumed run
+    replays — used to prove recovery paths are race- and hazard-free with
+    the same machinery as full runs (resumed suffixes move fewer bytes
+    than the paper bounds assume, so audit them with ``analyze_hb`` /
+    ``audit_ir`` rather than the full-run ``verify_plan``).
     """
     from repro.verifyplan.ir import IREmitter, Rect
 
@@ -293,7 +338,7 @@ def emit_fw_ir(n: int, spec: DeviceSpec, *, block_size: int | None = None,
     nd = layout.num_blocks
     bmax = layout.size(0)
     em = IREmitter("floyd-warshall", spec.name, spec.memory_bytes)
-    for k in range(nd):
+    for k in range(start_k, nd):
         bk = layout.size(k)
         # stage 1: diagonal block closure
         diag = em.alloc(f"diag{k}", (bk, bk))

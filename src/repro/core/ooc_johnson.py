@@ -28,6 +28,7 @@ import numpy as np
 from repro.core.minplus import DIST_DTYPE
 from repro.core.result import APSPResult
 from repro.core.tiling import HostStore
+from repro.faults.checkpoint import CheckpointError, open_checkpoint
 from repro.gpu.device import Device, DeviceSpec
 from repro.gpu.errors import OutOfMemoryError
 from repro.gpu.kernels import MsspWorkload, mssp_batch_cost
@@ -131,8 +132,14 @@ def ooc_johnson(
     overlap: bool = True,
     store_mode: str = "ram",
     store_dir=None,
+    checkpoint=None,
 ) -> APSPResult:
-    """Solve APSP with the out-of-core Johnson's algorithm."""
+    """Solve APSP with the out-of-core Johnson's algorithm.
+
+    ``checkpoint`` (a directory path or
+    :class:`~repro.faults.CheckpointStore`) saves progress after every
+    MSSP batch and resumes from whatever the store already holds.
+    """
     n = graph.num_vertices
     spec = device.spec
     nbuf = 2 if overlap else 1
@@ -144,6 +151,20 @@ def ooc_johnson(
     host = HostStore.empty(graph, mode=store_mode, directory=store_dir)
 
     device.reset_clock()
+    ckpt = open_checkpoint(checkpoint, algorithm="johnson", graph=graph)
+    start_b = 0
+    if ckpt is not None:
+        state = ckpt.load("progress")
+        if state is not None:
+            if int(state["batch_size"]) != bat:
+                raise CheckpointError(
+                    f"checkpoint used batch_size={int(state['batch_size'])}, "
+                    f"this run plans {bat}",
+                    path=ckpt.path_for("progress"),
+                )
+            host.data[...] = state["dist"]
+            start_b = int(state["batches_done"])
+            device.fault_report.resumed += start_b
     compute = device.default_stream
     copier = device.create_stream("johnson-copy") if overlap else compute
 
@@ -151,14 +172,21 @@ def ooc_johnson(
         return _run_johnson(
             graph, device, compute, copier, host, bat, delta,
             dynamic_parallelism, heavy_degree, queue_factor, overlap,
+            start_b=start_b, ckpt=ckpt,
         )
 
 
 def _run_johnson(
     graph, device, compute, copier, host, bat, delta,
     dynamic_parallelism, heavy_degree, queue_factor, overlap,
+    *, start_b=0, ckpt=None,
 ):
-    """The batched MSSP pipeline of Algorithm 2 (see module docstring)."""
+    """The batched MSSP pipeline of Algorithm 2 (see module docstring).
+
+    ``start_b`` skips batches a checkpoint already covers; batches are
+    independent SSSP groups, so the resumed suffix replays the identical
+    schedule tail (elision indices stay absolute).
+    """
     n = graph.num_vertices
     spec = device.spec
     nbuf = 2 if overlap else 1
@@ -200,7 +228,7 @@ def _run_johnson(
     csr_arrays = (
         (csr_indptr, csr_indices, csr_weights) if graph.num_edges else (csr_indptr,)
     )
-    for b in range(num_batches):
+    for b in range(start_b, num_batches):
         lo, hi = b * bat, min((b + 1) * bat, n)
         sources = np.arange(lo, hi, dtype=np.int64)
         p = b % nbuf
@@ -223,6 +251,15 @@ def _run_johnson(
                 down_events[p] = copier.record(Event("rows-down"))
         else:
             compute.copy_d2h(host.rows(lo, hi), rows_view, pinned=True)
+        if ckpt is not None:
+            # rows [0, hi) are already in host.data (simulated copies move
+            # data at enqueue time), so the stage is consistent without a
+            # device sync — checkpointing keeps the timeline untouched.
+            ckpt.save(
+                "progress", batches_done=b + 1, batch_size=bat,
+                dist=np.asarray(host.data),
+            )
+            device.fault_report.checkpoints_written += 1
 
     elapsed = device.synchronize()
     host.flush()
@@ -244,6 +281,7 @@ def _run_johnson(
             "overlap": overlap,
             **transfer_stats(device),
         },
+        faults=device.fault_report,
     )
 
 def collect_mssp_workloads(
@@ -310,6 +348,7 @@ def emit_johnson_ir(
     overlap: bool = True,
     workloads: "list[MsspWorkload] | None" = None,
     dynamic_parallelism: bool = True,
+    start_batch: int = 0,
 ):
     """Compile the batched-MSSP schedule to a symbolic
     :class:`~repro.verifyplan.ir.PlanIR` without executing anything.
@@ -322,6 +361,9 @@ def emit_johnson_ir(
     ``workloads`` (from :func:`collect_mssp_workloads`) is given, each
     ``mssp`` kernel carries the exact modelled cost the dynamic run
     would charge, enabling the symbolic timing pass.
+
+    ``start_batch > 0`` emits the suffix a checkpoint-resumed run
+    replays, for auditing recovery paths with ``analyze_hb``/``audit_ir``.
     """
     from repro.verifyplan.ir import IREmitter, Rect
 
@@ -356,7 +398,7 @@ def emit_johnson_ir(
     num_batches = (n + bat - 1) // bat
     copier = "johnson-copy" if overlap else "default"
     down_events: list = [None] * nbuf
-    for b in range(num_batches):
+    for b in range(start_batch, num_batches):
         lo, hi = b * bat, min((b + 1) * bat, n)
         p = b % nbuf
         rect = Rect(0, hi - lo, 0, n)

@@ -5,10 +5,14 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.tiling import HostStore
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.retry import FaultReport
 
 __all__ = ["APSPResult"]
 
@@ -23,6 +27,9 @@ class APSPResult:
     ``simulated_seconds`` is the device-model execution time (compute +
     transfers, as scheduled on the simulated timeline); ``stats`` carries
     per-algorithm diagnostics (batch counts, boundary sizes, workloads, …).
+    ``faults`` is the run's :class:`~repro.faults.FaultReport` ledger —
+    injected faults, retries, checkpoint stages resumed/written — when the
+    driver ran on a fault-instrumented or checkpointing device.
     """
 
     algorithm: str
@@ -31,6 +38,7 @@ class APSPResult:
     perm: np.ndarray | None = None  # internal id of external vertex v
     inv_perm: np.ndarray | None = None  # external id of internal vertex
     stats: dict = field(default_factory=dict)
+    faults: "FaultReport | None" = None
 
     @property
     def n(self) -> int:

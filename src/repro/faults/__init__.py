@@ -1,0 +1,42 @@
+"""Deterministic fault injection and recovery for the simulated substrate.
+
+The paper's out-of-core algorithms stream ``O(n_d · n²)`` bytes of distance
+blocks between host and device; on real hardware a single transient copy
+failure or device loss wastes the whole run. This package provides the
+chaos/recovery plane the drivers use to survive that:
+
+- :class:`~repro.faults.plan.FaultPlan` — a seedable, fully deterministic
+  plan of which H2D/D2H copies, kernel launches, or allocations raise
+  transient errors (attached via ``Device(faults=...)``);
+- :class:`~repro.faults.retry.RetryPolicy` — bounded retry with capped
+  exponential backoff, charged to the simulated clock;
+- :class:`~repro.faults.retry.FaultReport` — injected/retried/resumed
+  accounting attached to every :class:`~repro.core.result.APSPResult`;
+- :class:`~repro.faults.checkpoint.CheckpointStore` — atomic per-stage
+  checkpoints (FW rounds, Johnson batches, boundary stages) keyed to a
+  content hash of the graph, enabling kill-and-resume runs that are
+  bit-identical to fault-free ones.
+
+See ``docs/FAULT_TOLERANCE.md`` for the fault model and formats.
+"""
+
+from repro.faults.checkpoint import (
+    CheckpointError,
+    CheckpointStore,
+    graph_fingerprint,
+    open_checkpoint,
+)
+from repro.faults.plan import FAULT_SITES, FaultPlan, FaultSpec
+from repro.faults.retry import FaultReport, RetryPolicy
+
+__all__ = [
+    "FAULT_SITES",
+    "CheckpointError",
+    "CheckpointStore",
+    "FaultPlan",
+    "FaultReport",
+    "FaultSpec",
+    "RetryPolicy",
+    "graph_fingerprint",
+    "open_checkpoint",
+]

@@ -1,0 +1,169 @@
+"""Seedable, deterministic fault plans for the simulated GPU substrate.
+
+A :class:`FaultPlan` decides, per fault *site*, which attempt ordinals
+fail. The four sites mirror the guarded operations of the substrate:
+
+- ``"h2d"`` / ``"d2h"`` — host↔device copies (``Stream.copy_*``), raising
+  :class:`~repro.gpu.errors.TransferError`;
+- ``"kernel"`` — kernel launches (``Stream.launch``), raising
+  :class:`~repro.gpu.errors.KernelFaultError`;
+- ``"alloc"`` — device allocations (``DeviceMemory.alloc``), raising
+  :class:`~repro.gpu.errors.AllocFaultError`.
+
+Ordinals count *attempts*, not logical operations: a retry of a failed
+copy consumes the next ordinal at its site. This makes the worst case
+analysable — ``f`` planned faults can hit at most ``f`` consecutive
+attempts of one logical op, so any run whose fault count is below the
+retry budget (``max_attempts - 1``) is guaranteed to complete with
+results bit-identical to a fault-free run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.gpu.errors import (
+    AllocFaultError,
+    KernelFaultError,
+    TransferError,
+    TransientDeviceError,
+)
+
+__all__ = ["FAULT_SITES", "FaultPlan", "FaultSpec"]
+
+#: the guarded operation classes of the simulated substrate
+FAULT_SITES = ("h2d", "d2h", "kernel", "alloc")
+
+#: fraction of a transfer assumed delivered before an injected failure
+DEFAULT_PROGRESS = 0.5
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault: attempts ``[index, index + count)`` at ``site``.
+
+    ``count=1`` is a single transient blip; ``count=-1`` makes every
+    attempt from ``index`` on fail — permanent device loss, guaranteed to
+    exhaust any retry budget (used by the kill-and-resume tests and the
+    CI chaos sweep). ``progress`` is the delivered fraction charged for
+    aborted transfers.
+    """
+
+    site: str
+    index: int
+    count: int = 1
+    progress: float = DEFAULT_PROGRESS
+
+    def covers(self, ordinal: int) -> bool:
+        """Whether attempt ``ordinal`` at this spec's site fails."""
+        if ordinal < self.index:
+            return False
+        return self.count < 0 or ordinal < self.index + self.count
+
+
+class FaultPlan:
+    """A deterministic schedule of transient faults, attached to a device.
+
+    The plan also works as a pure *counter*: attach an empty plan and the
+    per-site attempt counts after a run (:attr:`op_counts`) tell you how
+    many guarded operations of each class the driver issues — which is how
+    the chaos tests target "first / middle / last" operations exactly.
+    """
+
+    def __init__(self, specs: Iterable[FaultSpec] = (), *, label: str = "") -> None:
+        self.specs = tuple(specs)
+        self.label = label
+        bad = sorted({s.site for s in self.specs} - set(FAULT_SITES))
+        if bad:
+            raise ValueError(f"unknown fault site(s) {bad}; choose from {FAULT_SITES}")
+        self._by_site: dict[str, tuple[FaultSpec, ...]] = {
+            site: tuple(s for s in self.specs if s.site == site)
+            for site in FAULT_SITES
+        }
+        self._counters: dict[str, int] = {site: 0 for site in FAULT_SITES}
+        self.num_injected = 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        num_faults: int,
+        *,
+        sites: Sequence[str] = FAULT_SITES,
+        horizon: int = 64,
+    ) -> "FaultPlan":
+        """A seeded plan of ``num_faults`` distinct single-attempt faults.
+
+        Fault positions are drawn without replacement from the grid
+        ``sites × range(horizon)``, so no two faults share an attempt
+        ordinal: ``num_faults`` below the retry budget can never exhaust
+        it. Fully deterministic in ``seed``.
+        """
+        sites = tuple(sites)
+        cells = [(s, o) for s in sites for o in range(max(1, horizon))]
+        rng = np.random.default_rng(seed)
+        picked = rng.choice(len(cells), size=min(num_faults, len(cells)), replace=False)
+        specs = [
+            FaultSpec(site=cells[int(i)][0], index=cells[int(i)][1])
+            for i in sorted(int(j) for j in picked)
+        ]
+        return cls(specs, label=f"random(seed={seed}, n={num_faults})")
+
+    @classmethod
+    def kill(cls, site: str = "h2d", index: int = 0) -> "FaultPlan":
+        """A plan that permanently fails ``site`` from attempt ``index`` on.
+
+        Models device loss: the retry budget is guaranteed to exhaust, the
+        driver raises, and a later run resumes from its checkpoints.
+        """
+        return cls(
+            [FaultSpec(site=site, index=index, count=-1)],
+            label=f"kill({site}@{index})",
+        )
+
+    # ------------------------------------------------------------------
+    # Runtime interface (called by Device.run_guarded)
+    # ------------------------------------------------------------------
+    def check(self, site: str, op: str) -> None:
+        """Account one attempt at ``site``; raise if the plan says it fails.
+
+        Raises the site's transient error class
+        (:class:`~repro.gpu.errors.TransientDeviceError` subclass).
+        """
+        ordinal = self._counters[site]
+        self._counters[site] = ordinal + 1
+        for spec in self._by_site[site]:
+            if spec.covers(ordinal):
+                self.num_injected += 1
+                raise self._make_error(site, op, ordinal, spec)
+
+    @staticmethod
+    def _make_error(
+        site: str, op: str, ordinal: int, spec: FaultSpec
+    ) -> TransientDeviceError:
+        if site in ("h2d", "d2h"):
+            return TransferError(site, op, ordinal, progress=spec.progress)
+        if site == "kernel":
+            return KernelFaultError(site, op, ordinal)
+        return AllocFaultError(site, op, ordinal)
+
+    @property
+    def op_counts(self) -> dict[str, int]:
+        """Attempts seen per site since the last :meth:`reset`."""
+        return dict(self._counters)
+
+    def reset(self) -> None:
+        """Zero the attempt counters (called by ``Device.reset_clock`` so
+        ordinals are relative to the current run)."""
+        for site in self._counters:
+            self._counters[site] = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        tag = self.label or f"{len(self.specs)} spec(s)"
+        return f"FaultPlan({tag})"

@@ -25,15 +25,20 @@ docstring for the rationale per constant). See also DESIGN.md §2.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable, TypeVar
 
+from repro.gpu.errors import TransientDeviceError
 from repro.gpu.memory import DeviceMemory
 from repro.gpu.stream import Stream
 from repro.gpu.timeline import Timeline
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.plan import FaultPlan
+    from repro.faults.retry import RetryPolicy
     from repro.sanitize.hazards import HazardReport
     from repro.sanitize.sanitizer import ScheduleSanitizer
+
+_T = TypeVar("_T")
 
 __all__ = ["Device", "DeviceSpec", "V100", "K80", "TEST_DEVICE"]
 
@@ -199,19 +204,39 @@ class Device:
     cross-stream races, use-after-free, and uninitialized device reads —
     the simulated analogue of ``compute-sanitizer --tool racecheck``.
     Collect findings with :meth:`hazard_report`.
+
+    With ``faults=`` set to a :class:`~repro.faults.FaultPlan`, every
+    guarded operation (copies, kernel launches, allocations) consults the
+    plan before executing; injected
+    :class:`~repro.gpu.errors.TransientDeviceError` failures are retried
+    under ``retry`` (a :class:`~repro.faults.RetryPolicy`) with capped
+    exponential backoff charged to the timeline's ``"host"`` engine.
+    :attr:`fault_report` tallies injections, retries and backoff.
     """
 
     def __init__(
-        self, spec: DeviceSpec, *, record_trace: bool = True, sanitize: bool = False
+        self,
+        spec: DeviceSpec,
+        *,
+        record_trace: bool = True,
+        sanitize: bool = False,
+        faults: "FaultPlan | None" = None,
+        retry: "RetryPolicy | None" = None,
     ) -> None:
+        from repro.faults.retry import FaultReport, RetryPolicy
+
         self.spec = spec
         self.sanitizer: ScheduleSanitizer | None = None
         if sanitize:
             from repro.sanitize.sanitizer import ScheduleSanitizer
 
             self.sanitizer = ScheduleSanitizer(spec.name)
+        self.faults = faults
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.fault_report = FaultReport()
         self.memory = DeviceMemory(spec.memory_bytes)
         self.memory.observer = self.sanitizer
+        self.memory.guard = self.run_guarded
         self.timeline = Timeline(record_trace=record_trace)
         self.host_ready = 0.0
         self._stream_counter = 0
@@ -251,13 +276,71 @@ class Device:
 
     def reset_clock(self) -> None:
         """Zero all clocks/traces (including every stream's) but keep memory
-        contents. Used between calibration runs and measured runs."""
+        contents. Used between calibration runs and measured runs. Also
+        starts a fresh :attr:`fault_report` and rewinds the fault plan's
+        attempt counters, so plan ordinals are relative to the current run."""
+        from repro.faults.retry import FaultReport
+
         self.timeline.reset()
         self.host_ready = 0.0
         for stream in self._streams:
             stream.ready_at = 0.0
         if self.sanitizer is not None:
             self.sanitizer.reset_schedule()
+        self.fault_report = FaultReport()
+        if self.faults is not None:
+            self.faults.reset()
+
+    # ------------------------------------------------------------------
+    # Fault injection and recovery
+    # ------------------------------------------------------------------
+    def run_guarded(
+        self,
+        site: str,
+        name: str,
+        body: "Callable[[], _T]",
+        on_fault: "Callable[[TransientDeviceError], None] | None" = None,
+    ) -> _T:
+        """Run ``body`` under the device's fault plan with bounded retry.
+
+        Each attempt first consults the plan (which may raise a
+        :class:`~repro.gpu.errors.TransientDeviceError` subclass). On a
+        fault, ``on_fault`` charges the aborted attempt's cost to the
+        timeline, then backoff per :attr:`retry` occupies the ``"host"``
+        engine before the next attempt; once ``retry.max_attempts`` is
+        spent the error propagates. With no fault plan this is exactly
+        ``body()`` — zero overhead on the fault-free path.
+        """
+        if self.faults is None:
+            return body()
+        attempt = 1
+        while True:
+            try:
+                self.faults.check(site, name)
+            except TransientDeviceError as exc:
+                self.fault_report.count_injected(site)
+                if on_fault is not None:
+                    on_fault(exc)
+                if attempt >= self.retry.max_attempts:
+                    self.fault_report.exhausted += 1
+                    raise
+                self.fault_report.retried += 1
+                self._charge_backoff(self.retry.delay(attempt), site=site, name=name)
+                attempt += 1
+                continue
+            return body()
+
+    def _charge_backoff(self, delay: float, *, site: str, name: str) -> None:
+        """Occupy the host for ``delay`` seconds of retry backoff."""
+        op = self.timeline.schedule(
+            "host",
+            self.host_ready,
+            delay,
+            stream="host",
+            name=f"backoff:{site}:{name}",
+        )
+        self.host_ready = op.end
+        self.fault_report.backoff_seconds += delay
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

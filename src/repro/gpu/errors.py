@@ -2,11 +2,65 @@
 
 from __future__ import annotations
 
-__all__ = ["DeviceError", "OutOfMemoryError"]
+__all__ = [
+    "AllocFaultError",
+    "DeviceError",
+    "KernelFaultError",
+    "OutOfMemoryError",
+    "TransferError",
+    "TransientDeviceError",
+]
 
 
 class DeviceError(RuntimeError):
     """Base class for simulated-device failures."""
+
+
+class TransientDeviceError(DeviceError):
+    """A *recoverable* device failure injected by a fault plan.
+
+    Transient errors model the failures real long-running GPU jobs see —
+    a PCIe copy that times out, a kernel killed by an ECC event, an
+    allocation that races a fragmented pool. They are retryable: the
+    device's bounded-retry layer (:meth:`repro.gpu.device.Device.run_guarded`)
+    re-attempts the operation with capped exponential backoff. Crucially
+    they are *not* :class:`OutOfMemoryError`, which reflects a planning
+    bug and must never be retried.
+    """
+
+    def __init__(self, site: str, op: str, ordinal: int, detail: str = "") -> None:
+        msg = f"injected transient {site} fault at attempt #{ordinal}"
+        if op:
+            msg += f" ({op})"
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
+        self.site = site
+        self.op = op
+        self.ordinal = ordinal
+
+
+class TransferError(TransientDeviceError):
+    """A host↔device copy failed mid-flight.
+
+    ``progress`` is the fraction of the payload that crossed the bus
+    before the failure; the aborted attempt is charged to the timeline at
+    that fraction so timing reports stay honest.
+    """
+
+    def __init__(
+        self, site: str, op: str, ordinal: int, *, progress: float = 0.0
+    ) -> None:
+        super().__init__(site, op, ordinal)
+        self.progress = progress
+
+
+class KernelFaultError(TransientDeviceError):
+    """A kernel launch was rejected or the kernel was killed mid-run."""
+
+
+class AllocFaultError(TransientDeviceError):
+    """A device allocation transiently failed (*not* a capacity OOM)."""
 
 
 class OutOfMemoryError(DeviceError):

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterator
+from typing import TYPE_CHECKING, Callable, Iterator
 
 import numpy as np
 
@@ -112,6 +112,10 @@ class DeviceMemory:
     used: int = 0
     peak: int = 0
     observer: "ScheduleSanitizer | None" = field(default=None, repr=False)
+    #: owning device's fault guard (``Device.run_guarded``); when set,
+    #: allocations route through it so an injected ``alloc`` fault can be
+    #: retried like a transient ``cudaMalloc`` failure
+    guard: "Callable | None" = field(default=None, repr=False)
     _live: dict[int, "DeviceArray"] = field(default_factory=dict, repr=False)
 
     def alloc(
@@ -130,19 +134,25 @@ class DeviceMemory:
             shape = (int(shape),)
         nbytes = int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize
         charge = nbytes if charged_bytes is None else int(charged_bytes)
-        if self.used + charge > self.capacity:
-            raise OutOfMemoryError(charge, self.free_bytes, self.capacity)
-        if fill is None:
-            data = np.empty(shape, dtype=dtype)
-        else:
-            data = np.full(shape, fill, dtype=dtype)
-        arr = DeviceArray(data, self, name=name, charged_bytes=charge)
-        self.used += charge
-        self.peak = max(self.peak, self.used)
-        self._live[id(arr)] = arr
-        if self.observer is not None:
-            self.observer.on_alloc(arr, prefilled=fill is not None)
-        return arr
+
+        def body() -> DeviceArray:
+            if self.used + charge > self.capacity:
+                raise OutOfMemoryError(charge, self.free_bytes, self.capacity)
+            if fill is None:
+                data = np.empty(shape, dtype=dtype)
+            else:
+                data = np.full(shape, fill, dtype=dtype)
+            arr = DeviceArray(data, self, name=name, charged_bytes=charge)
+            self.used += charge
+            self.peak = max(self.peak, self.used)
+            self._live[id(arr)] = arr
+            if self.observer is not None:
+                self.observer.on_alloc(arr, prefilled=fill is not None)
+            return arr
+
+        if self.guard is None:
+            return body()
+        return self.guard("alloc", name or "alloc", body)
 
     def upload(self, host: np.ndarray, *, name: str = "") -> DeviceArray:
         """Allocate and copy a host array's contents (no time accounting —

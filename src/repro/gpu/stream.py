@@ -29,7 +29,11 @@ from typing import TYPE_CHECKING, Iterable, Union
 import numpy as np
 
 from repro.gpu.memory import DeviceArray, HostBuffer
-from repro.gpu.transfer import copy_duration, copy_duration_2d
+from repro.gpu.transfer import (
+    aborted_copy_duration,
+    copy_duration,
+    copy_duration_2d,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.gpu.device import Device
@@ -99,15 +103,24 @@ class Stream:
         the kernel touches — ignored unless the device is sanitized.
         """
         spec = self.device.spec
-        self.device.host_ready += spec.kernel_launch_overhead
-        start_ready = max(self.ready_at, self.device.host_ready)
-        op = self.device.timeline.schedule(
-            "compute", start_ready, duration,
-            stream=self.name, name=name, flops=flops, nbytes=nbytes,
-        )
-        self.ready_at = op.end
+
+        def body() -> None:
+            self.device.host_ready += spec.kernel_launch_overhead
+            start_ready = max(self.ready_at, self.device.host_ready)
+            op = self.device.timeline.schedule(
+                "compute", start_ready, duration,
+                stream=self.name, name=name, flops=flops, nbytes=nbytes,
+            )
+            self.ready_at = op.end
+
+        self.device.run_guarded("kernel", name, body, on_fault=self._abort_launch)
         if self.device.sanitizer is not None:
             self.device.sanitizer.on_kernel(self, name, reads, writes)
+
+    def _abort_launch(self, exc) -> None:
+        """Charge one failed launch attempt: the overhead is spent, the
+        kernel never reaches the compute engine."""
+        self.device.host_ready += self.device.spec.kernel_launch_overhead
 
     def annotate(
         self,
@@ -144,6 +157,28 @@ class Stream:
         else:
             self.device.host_ready += spec.kernel_launch_overhead
 
+    def _abort_copy(self, engine: str, name: str, nbytes: int, pinned: bool):
+        """``on_fault`` handler for a guarded copy: the aborted attempt
+        occupies its copy engine for latency plus the delivered prefix
+        (``TransferError.progress``), charged with ``nbytes=0`` so byte
+        statistics count delivered data only. Detecting the failure
+        synchronises the host with the abort."""
+
+        def on_fault(exc) -> None:
+            fraction = float(getattr(exc, "progress", 0.0))
+            duration = aborted_copy_duration(
+                self.device.spec, nbytes, fraction, pinned=pinned
+            )
+            start_ready = max(self.ready_at, self.device.host_ready)
+            op = self.device.timeline.schedule(
+                engine, start_ready, duration,
+                stream=self.name, name=f"{name}!abort", nbytes=0,
+            )
+            self.ready_at = op.end
+            self.device.host_ready = max(self.device.host_ready, op.end)
+
+        return on_fault
+
     def _sanitize_copy(self, name: str, dst: Operand, src: Operand, *, sync: bool) -> None:
         if self.device.sanitizer is not None:
             self.device.sanitizer.on_copy(self, name, dst, src, sync=sync)
@@ -163,8 +198,14 @@ class Stream:
         to pageable, :class:`HostBuffer` carries its own flag).
         """
         data, pin = _as_host_array(src, pinned)
-        _as_device_array(dst)[...] = data
-        self._copy("h2d", name, data.nbytes, pin, sync=True)
+
+        def body() -> None:
+            _as_device_array(dst)[...] = data
+            self._copy("h2d", name, data.nbytes, pin, sync=True)
+
+        self.device.run_guarded(
+            "h2d", name, body, on_fault=self._abort_copy("h2d", name, data.nbytes, pin)
+        )
         self._sanitize_copy(name, dst, data, sync=True)
 
     def copy_h2d_async(
@@ -177,8 +218,14 @@ class Stream:
     ) -> None:
         """Asynchronous host→device copy; pinned sources get full speed."""
         data, pin = _as_host_array(src, pinned)
-        _as_device_array(dst)[...] = data
-        self._copy("h2d", name, data.nbytes, pin, sync=False)
+
+        def body() -> None:
+            _as_device_array(dst)[...] = data
+            self._copy("h2d", name, data.nbytes, pin, sync=False)
+
+        self.device.run_guarded(
+            "h2d", name, body, on_fault=self._abort_copy("h2d", name, data.nbytes, pin)
+        )
         self._sanitize_copy(name, dst, data, sync=False)
 
     def copy_d2h(
@@ -191,8 +238,14 @@ class Stream:
     ) -> None:
         """Synchronous device→host copy."""
         data, pin = _as_host_array(dst, pinned)
-        data[...] = _as_device_array(src)
-        self._copy("d2h", name, data.nbytes, pin, sync=True)
+
+        def body() -> None:
+            data[...] = _as_device_array(src)
+            self._copy("d2h", name, data.nbytes, pin, sync=True)
+
+        self.device.run_guarded(
+            "d2h", name, body, on_fault=self._abort_copy("d2h", name, data.nbytes, pin)
+        )
         self._sanitize_copy(name, data, src, sync=True)
 
     def copy_d2h_async(
@@ -205,8 +258,14 @@ class Stream:
     ) -> None:
         """Asynchronous device→host copy."""
         data, pin = _as_host_array(dst, pinned)
-        data[...] = _as_device_array(src)
-        self._copy("d2h", name, data.nbytes, pin, sync=False)
+
+        def body() -> None:
+            data[...] = _as_device_array(src)
+            self._copy("d2h", name, data.nbytes, pin, sync=False)
+
+        self.device.run_guarded(
+            "d2h", name, body, on_fault=self._abort_copy("d2h", name, data.nbytes, pin)
+        )
         self._sanitize_copy(name, data, src, sync=False)
 
     def copy_d2h_2d(
@@ -229,19 +288,27 @@ class Stream:
         data, pin = _as_host_array(dst, pinned)
         if data.ndim != 2:
             raise ValueError("copy_d2h_2d needs a 2-D destination")
-        data[...] = _as_device_array(src)
-        duration = copy_duration_2d(
-            self.device.spec, data.shape[0], data.shape[1] * data.itemsize, pinned=pin
+
+        def body() -> None:
+            data[...] = _as_device_array(src)
+            duration = copy_duration_2d(
+                self.device.spec, data.shape[0], data.shape[1] * data.itemsize,
+                pinned=pin,
+            )
+            start_ready = max(self.ready_at, self.device.host_ready)
+            op = self.device.timeline.schedule(
+                "d2h", start_ready, duration,
+                stream=self.name, name=name, nbytes=data.nbytes,
+            )
+            self.ready_at = op.end
+            if sync:
+                self.device.host_ready = max(self.device.host_ready, op.end)
+            else:
+                self.device.host_ready += self.device.spec.kernel_launch_overhead
+
+        self.device.run_guarded(
+            "d2h", name, body, on_fault=self._abort_copy("d2h", name, data.nbytes, pin)
         )
-        start_ready = max(self.ready_at, self.device.host_ready)
-        op = self.device.timeline.schedule(
-            "d2h", start_ready, duration, stream=self.name, name=name, nbytes=data.nbytes,
-        )
-        self.ready_at = op.end
-        if sync:
-            self.device.host_ready = max(self.device.host_ready, op.end)
-        else:
-            self.device.host_ready += self.device.spec.kernel_launch_overhead
         self._sanitize_copy(name, data, src, sync=sync)
 
     # ------------------------------------------------------------------

@@ -6,7 +6,10 @@ real GPU with dual copy engines:
 
 * ``"compute"`` — kernels from all streams serialise here,
 * ``"h2d"`` — host-to-device copies,
-* ``"d2h"`` — device-to-host copies.
+* ``"d2h"`` — device-to-host copies,
+* ``"host"`` — host-side stalls (retry backoff after injected transient
+  faults); empty on fault-free runs, so timing cross-validation against
+  the static plan verifier is unaffected.
 
 An operation issued on a stream starts when both its stream and its engine
 are free (``start = max(stream_ready, engine_ready)``), runs for its modelled
@@ -44,7 +47,7 @@ class TimelineOp:
 class Timeline:
     """Per-engine clocks plus a trace of every scheduled operation."""
 
-    engine_names: tuple[str, ...] = ("compute", "h2d", "d2h")
+    engine_names: tuple[str, ...] = ("compute", "h2d", "d2h", "host")
     record_trace: bool = True
     _engine_ready: dict[str, float] = field(default_factory=dict)
     ops: list[TimelineOp] = field(default_factory=list)

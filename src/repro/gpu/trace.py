@@ -59,6 +59,10 @@ def utilization_report(device: Device, *, top: int = 10) -> UtilizationReport:
     per_name: dict[str, float] = defaultdict(float)
     for engine in tl.engine_names:
         ops = tl.engine_ops(engine)
+        if not ops and engine == "host":
+            # the host engine only carries retry backoff; keep fault-free
+            # reports to the three device engines
+            continue
         busy = sum(op.duration for op in ops)
         total_busy += busy
         engines.append(

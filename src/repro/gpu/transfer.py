@@ -17,7 +17,7 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover
     from repro.gpu.device import DeviceSpec
 
-__all__ = ["copy_duration", "copy_duration_2d"]
+__all__ = ["aborted_copy_duration", "copy_duration", "copy_duration_2d"]
 
 
 def copy_duration(spec: "DeviceSpec", nbytes: int, *, pinned: bool = True) -> float:
@@ -28,6 +28,26 @@ def copy_duration(spec: "DeviceSpec", nbytes: int, *, pinned: bool = True) -> fl
     if not pinned:
         throughput *= spec.pageable_factor
     return spec.transfer_latency + nbytes / throughput
+
+
+def aborted_copy_duration(
+    spec: "DeviceSpec", nbytes: int, fraction: float, *, pinned: bool = True
+) -> float:
+    """Modelled duration of a copy that failed partway through.
+
+    An injected :class:`~repro.gpu.errors.TransferError` carries the
+    fraction of the payload delivered before the fault; the aborted
+    attempt still occupies its copy engine for the setup latency plus the
+    bandwidth time of the delivered prefix. Charged with ``nbytes=0`` on
+    the timeline so byte statistics count delivered data only.
+    """
+    if nbytes < 0:
+        raise ValueError("nbytes must be non-negative")
+    fraction = min(1.0, max(0.0, fraction))
+    throughput = spec.transfer_throughput
+    if not pinned:
+        throughput *= spec.pageable_factor
+    return spec.transfer_latency + fraction * nbytes / throughput
 
 
 def copy_duration_2d(

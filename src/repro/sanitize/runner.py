@@ -30,13 +30,18 @@ def sanitize_driver(
     *,
     num_devices: int = 2,
     engine=None,
+    faults=None,
+    retry=None,
     **driver_kwargs,
 ) -> tuple[HazardReport, "APSPResult"]:
     """Run driver ``name`` under ``Device(sanitize=True)``.
 
     Returns ``(report, result)``; for ``multi-gpu`` the report is the merge
     of every device's individual report. Extra keyword arguments are passed
-    through to the driver (e.g. ``overlap=False``).
+    through to the driver (e.g. ``overlap=False``). ``faults``/``retry``
+    instrument the sanitized device(s) with a
+    :class:`~repro.faults.FaultPlan`, proving the retry/abort recovery
+    paths hazard-free (for ``multi-gpu`` the plan is attached to device 0).
     """
     from repro.gpu.device import Device
 
@@ -45,14 +50,17 @@ def sanitize_driver(
     if name == "multi-gpu":
         from repro.core.multi_gpu import ooc_boundary_multi
 
-        devices = [Device(spec, sanitize=True) for _ in range(max(1, num_devices))]
+        devices = [
+            Device(spec, sanitize=True, faults=faults if d == 0 else None, retry=retry)
+            for d in range(max(1, num_devices))
+        ]
         result = ooc_boundary_multi(graph, devices, **driver_kwargs)
         report = devices[0].hazard_report()
         for dev in devices[1:]:
             report = report.merged(dev.hazard_report())
         return report, result
 
-    device = Device(spec, sanitize=True)
+    device = Device(spec, sanitize=True, faults=faults, retry=retry)
     if name == "fw":
         from repro.core.ooc_fw import ooc_floyd_warshall
 

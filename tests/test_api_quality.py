@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.bench",
     "repro.core",
     "repro.cpumodel",
+    "repro.faults",
     "repro.gpu",
     "repro.graphs",
     "repro.partition",

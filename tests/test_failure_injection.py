@@ -36,6 +36,7 @@ class TestNoLeakOnFailure:
             # batch so large the output rows cannot fit
             ooc_johnson(g, device, batch_size=200)
         assert device.memory.used == 0
+        assert device.memory.num_live == 0
 
     def test_boundary_oom_leaves_device_clean(self):
         device = Device(V100.scaled(1 / 64))
@@ -49,6 +50,7 @@ class TestNoLeakOnFailure:
         with pytest.raises(OutOfMemoryError):
             ooc_boundary(g, device, plan=bad)
         assert device.memory.used == 0
+        assert device.memory.num_live == 0
 
     def test_incore_oom_leaves_device_clean(self):
         device = Device(TEST_DEVICE)
