@@ -8,6 +8,7 @@ Commands
 ``suite``         list the paper's evaluation-graph registry
 ``devices``       list the device presets and their constants
 ``bench-kernels`` wall-clock sweep of the min-plus kernel backends
+``tune-kernels``  autotune the kernel for this machine, persist the winner
 ``bench-transfers`` record/check the static transfer-volume baseline
 ``sanitize``      run the schedule sanitizer over the out-of-core drivers
 ``verify-plan``   statically verify the OOC execution plans (no execution)
@@ -15,8 +16,9 @@ Commands
 ``lint``          run the repository AST contract checker
 
 Exit codes (``sanitize``, ``verify-plan``, ``check-schedule``,
-``bench-transfers --check``, ``lint``): 0 — clean/verified; 1 — hazards,
-findings, failed bounds, or baseline drift; 2 — usage error (argparse).
+``bench-transfers --check``, ``tune-kernels --check``, ``lint``): 0 —
+clean/verified; 1 — hazards, findings, failed bounds, or baseline drift;
+2 — usage error (argparse).
 
 Every ``--json`` payload carries a top-level ``schema_version`` field
 (:data:`SCHEMA_VERSION`) so downstream consumers can detect format
@@ -204,10 +206,28 @@ def cmd_select(args) -> int:
 
     graph = _load_graph(args)
     spec = _device_spec(args)
+    timing_calibration = None
+    if args.calibrated:
+        if not args.analytic:
+            raise SystemExit("--calibrated requires --analytic")
+        from repro.verifyplan.timing import TimingCalibration
+
+        timing_calibration = TimingCalibration.from_bench()
+        if timing_calibration.minplus_rate is None and not args.json:
+            print("no measured kernel rate found; run `repro tune-kernels` first")
+        elif not args.json:
+            print(
+                f"pricing min-plus off the measured kernel: "
+                f"{timing_calibration.minplus_rate / 1e9:.2f} Gop/s"
+            )
     if not args.json and not args.analytic:
         print("calibrating cost models...")
     selector = Selector(
-        spec, density_scale=args.scale, seed=0, analytic=args.analytic
+        spec,
+        density_scale=args.scale,
+        seed=0,
+        analytic=args.analytic,
+        timing_calibration=timing_calibration,
     )
     report = selector.select(graph, device=Device(spec))
     if args.json:
@@ -314,6 +334,54 @@ def cmd_bench_kernels(args) -> int:
     if any(r["identical"] is False for r in rows):
         print("ERROR: a backend diverged from the reference result", file=sys.stderr)
         return 1
+    return 0
+
+
+def cmd_tune_kernels(args) -> int:
+    from repro.bench.kernels import (
+        bench_kernels_path,
+        check_regression,
+        record_tuned,
+        tune_kernels,
+    )
+    from repro.bench.runner import format_table
+
+    try:
+        tiles = tuple(int(t) for t in args.tiles.split(","))
+    except ValueError:
+        raise SystemExit("--tiles takes comma-separated integers")
+    result = tune_kernels(args.size, tiles, repeats=args.repeats, seed=args.seed)
+    table_rows = [
+        {
+            "backend": r["backend"],
+            "config": ",".join(f"{k}={v}" for k, v in r["options"].items()) or "-",
+            "flavor": r["flavor"],
+            "seconds": r["seconds"],
+            "Gop/s": r["gops"],
+            "speedup": r["speedup"],
+            "identical": "yes" if r["identical"] else "NO",
+        }
+        for r in result["rows"]
+    ]
+    print(format_table(table_rows))
+    winner = result["winner"]
+    print(f"\nfingerprint: {result['fingerprint']}")
+    print(
+        f"winner: {winner['backend']} ({winner['flavor']}) "
+        f"{winner['gops']:.2f} Gop/s at n={winner['n']} "
+        f"({winner['speedup']:.2f}× reference)"
+    )
+    if args.check:
+        ok, msg = check_regression(result, tolerance=args.tolerance)
+        print(f"regression gate: {msg}")
+        if not ok:
+            print("ERROR: tuned kernel rate regressed past the gate", file=sys.stderr)
+            return 1
+    if not args.no_save:
+        path = record_tuned(result)
+        print(f"recorded tuned winner in {path}")
+    else:
+        print(f"(--no-save: not written to {bench_kernels_path()})")
     return 0
 
 
@@ -524,6 +592,9 @@ def main(argv=None) -> int:
     p.add_argument("--analytic", action="store_true",
                    help="rank candidates by the symbolic schedule-DAG "
                         "critical path instead of calibration/sampling runs")
+    p.add_argument("--calibrated", action="store_true",
+                   help="with --analytic: price min-plus off the autotuned "
+                        "kernel rate in BENCH_kernels.json (repro tune-kernels)")
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(fn=cmd_select)
 
@@ -549,6 +620,25 @@ def main(argv=None) -> int:
     p.add_argument("--no-save", action="store_true",
                    help="print only; skip writing BENCH_kernels.json")
     p.set_defaults(fn=cmd_bench_kernels)
+
+    p = sub.add_parser(
+        "tune-kernels",
+        help="autotune the min-plus kernel for this machine and persist "
+             "the winner (fingerprint-keyed) in BENCH_kernels.json")
+    p.add_argument("--size", type=int, default=1024,
+                   help="problem size n for the n³ tuning product")
+    p.add_argument("--tiles", default="128,192,256,384",
+                   help="comma-separated tile sizes to search")
+    p.add_argument("--repeats", type=int, default=2, help="timing repeats (best-of)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--check", action="store_true",
+                   help="fail if the winner regresses >tolerance below the "
+                        "committed baseline for this machine's fingerprint class")
+    p.add_argument("--tolerance", type=float, default=0.20,
+                   help="allowed fractional Gop/s drop for --check (default 0.20)")
+    p.add_argument("--no-save", action="store_true",
+                   help="print only; do not record the winner")
+    p.set_defaults(fn=cmd_tune_kernels)
 
     p = sub.add_parser("sanitize",
                        help="race/hazard-check the simulated schedules of the drivers")

@@ -29,11 +29,17 @@ import abc
 import numpy as np
 
 __all__ = [
+    "INT32_INF",
     "KernelBackend",
     "finite_column_indices",
+    "float16_update",
+    "int32_rank1_update",
     "numpy_fw_inplace",
     "rank1_update",
 ]
+
+#: sentinel playing the role of ``+inf`` in the int32 semiring
+INT32_INF = np.int32(np.iinfo(np.int32).max)
 
 
 def finite_column_indices(a: np.ndarray) -> np.ndarray | None:
@@ -72,6 +78,42 @@ def rank1_update(
             return c
     for k in range(nk):
         np.minimum(c, a[:, k : k + 1] + b[k : k + 1, :], out=c)
+    return c
+
+
+def int32_rank1_update(c: np.ndarray, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Reference int32 min-plus: :data:`INT32_INF` sentinel, saturating add.
+
+    The numpy oracle the compiled int32 kernels must match **exactly** —
+    the semiring is integral, so unlike float16 there is no tolerance:
+    sums go through int64 and clamp to the sentinel instead of wrapping.
+    """
+    for k in range(a.shape[1]):
+        wide = a[:, k : k + 1].astype(np.int64) + b[k : k + 1, :].astype(np.int64)
+        cand = np.minimum(wide, np.int64(INT32_INF)).astype(np.int32)
+        np.minimum(c, cand, out=c)
+    return c
+
+
+def float16_update(
+    c: np.ndarray,
+    a: np.ndarray,
+    b: np.ndarray,
+    update=rank1_update,
+) -> np.ndarray:
+    """float16 min-plus computed through float32, rounded once at the end.
+
+    Candidates are formed in float32 (``update`` may be any accelerated
+    float32 backend method — all are bit-identical) and the accumulator
+    rounds back to float16 on the way out. Relative error vs an exact
+    semiring is bounded by one float16 rounding step (2^-11 ≈ 4.9e-4) of
+    the final value; see ``docs/PERFORMANCE.md``.
+    """
+    c32 = np.ascontiguousarray(c, dtype=np.float32)
+    a32 = np.ascontiguousarray(a, dtype=np.float32)
+    b32 = np.ascontiguousarray(b, dtype=np.float32)
+    update(c32, a32, b32)
+    c[...] = c32.astype(np.float16)
     return c
 
 
@@ -114,6 +156,21 @@ class KernelBackend(abc.ABC):
     def fw_inplace(self, dist: np.ndarray) -> np.ndarray:
         """Floyd–Warshall closure of a square tile, in place."""
         return numpy_fw_inplace(dist)
+
+    def update_i32(self, c: np.ndarray, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Exact int32 semiring update (:data:`INT32_INF` = ``+inf``).
+
+        Default is the numpy oracle; compiled backends override with a
+        saturating C kernel. Must match :func:`int32_rank1_update`
+        bit-for-bit (the semiring is integral — no tolerance).
+        """
+        return int32_rank1_update(c, a, b)
+
+    def update_f16(self, c: np.ndarray, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """float16 semiring update, computed through this backend's
+        float32 kernel and rounded once (documented tolerance: one
+        float16 rounding step of the float32 result)."""
+        return float16_update(c, a, b, update=self.update)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         flavor = f" ({self.flavor})" if self.flavor != self.name else ""

@@ -7,18 +7,50 @@ Flavor resolution order (overridable with ``REPRO_JIT_FLAVOR``):
    system C compiler (``gcc``/``cc``/``clang``) into a per-user cache
    directory and loaded through :mod:`ctypes`. No build-time dependency:
    machines without any compiler simply skip this flavor. The ``.so`` is
-   keyed by a hash of the source and compiler, so later processes pay only
-   a ``dlopen``;
-3. ``fallback`` — delegate to :class:`~repro.core.backends.tiled.TiledBackend`
+   keyed by a hash of the source, compiler, and resolved flag set, so
+   later processes pay only a ``dlopen``;
+3. ``cc-omp`` — the same C kernels with their OpenMP column-panel entry
+   point, fanning one min-plus product across ``threads`` cores. Only
+   selectable when the translation unit was built with OpenMP
+   (``-fopenmp``); otherwise it degrades to ``cc``;
+4. ``fallback`` — delegate to :class:`~repro.core.backends.tiled.TiledBackend`
    (pure numpy), so requesting ``jit`` is always safe.
 
-Both compiled flavors implement the same loop nest: ``k``-and-``j`` tiled,
-with an early ``isinf(A[i, k])`` skip, candidate-compare inner loop. On the
-library's distance domain (``[0, +inf]``, zero diagonals) this is
-bit-identical to the numpy rank-1 formulation — ``min`` is order-independent
-and float32 ``a + b`` rounds identically in all three. Setting
-``REPRO_JIT=off`` forces the fallback (used by the CI leg that exercises
-the degradation path).
+Compile flags are **probed**, not assumed: ``-march=native``, ``-fopenmp``
+and ``-fopenmp-simd`` are each test-compiled first and dropped individually
+when the compiler rejects them; if the final compile still fails, one retry
+with the degraded ``-O3``-only set runs before giving up. A machine with a
+compiler therefore never silently loses the cc flavor to a flag quirk
+(:func:`cc_build_info` reports what was actually used — the autotuner's
+machine fingerprint is derived from it).
+
+The C side implements two semantically distinct min-plus entry points:
+
+* a **register-blocked fast path** (2 output rows × 4 inner ``k`` per
+  step, ``#pragma omp simd`` inner loops) used when ``C`` is disjoint
+  from ``A``/``B`` — min is order-independent and every candidate
+  ``a + b`` is the identical float32 sum, so reassociating the min
+  accumulation is bit-exact;
+* a **sequential-k path** (SIMD but no unrolling) used when ``C`` aliases
+  an operand — blocked FW's stage-2 updates pass ``update(T, diag, T)``
+  and ``update(T, T, diag)``, whose results depend on the in-place update
+  order; this path preserves the exact per-row ``k``-sequential semantics
+  of the original kernel (and of the engine-tested drivers).
+
+On the library's distance domain (``[0, +inf]``, zero diagonals) both are
+bit-identical to the numpy rank-1 formulation. ``fw_inplace`` additionally
+offers Lund & Smith's multi-stage decomposition (``fw_block``): stage-1
+closure of a cache-sized diagonal block, panel updates, then rank-2k
+updates of the remainder — mapping the L1/L2/register tiers; it is exact on
+integer-weight distance matrices (the library's domain) and off by default.
+Setting ``REPRO_JIT=off`` forces the fallback (used by the CI leg that
+exercises the degradation path).
+
+A reduced-precision semiring rides the same interface:
+:meth:`JITBackend.update_i32` runs an exact saturating int32 min-plus in C
+(sentinel ``INT32_INF``), and :meth:`KernelBackend.update_f16` (base-class
+implementation) computes through float32 and rounds once — see
+``docs/PERFORMANCE.md`` for the documented tolerance.
 """
 
 from __future__ import annotations
@@ -29,29 +61,68 @@ import os
 import shutil
 import subprocess
 import tempfile
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
-from repro.core.backends.base import KernelBackend
+from repro.core.backends.base import KernelBackend, int32_rank1_update
 from repro.core.backends.tiled import TiledBackend
 
-__all__ = ["JITBackend", "cc_compiler", "load_cc_kernels"]
+__all__ = [
+    "CCBuildInfo",
+    "JITBackend",
+    "cc_build_info",
+    "cc_compiler",
+    "load_cc_kernels",
+]
 
 _C_SOURCE = r"""
 #include <math.h>
+#include <stdint.h>
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
 
 typedef long long i64;
 
-/* In-place C = min(C, A (min,+) B).  Shapes: C bi x bj, A bi x bk, B bk x bj.
- * cs/as/bs are row strides in ELEMENTS (unit stride along the last axis).
- * k and j are tiled so the B sub-block stays cache-resident across the i
- * sweep; all-inf A entries short-circuit a full row of work. */
-void mp_update_f32(float *c, const float *a, const float *b,
-                   i64 bi, i64 bk, i64 bj,
-                   i64 cs, i64 as, i64 bs, i64 tile)
+/* 1 when the translation unit was built with -fopenmp (threads exist),
+ * 0 otherwise (including -fopenmp-simd-only builds, which vectorize the
+ * simd pragmas but link no runtime). */
+int repro_openmp(void)
 {
-    if (tile <= 0) tile = 128;
+#if defined(_OPENMP)
+    return 1;
+#else
+    return 0;
+#endif
+}
+
+int repro_max_threads(void)
+{
+#if defined(_OPENMP)
+    return omp_get_max_threads();
+#else
+    return 1;
+#endif
+}
+
+/* ------------------------------------------------------------------ *
+ * float32 min-plus: C = min(C, A (min,+) B), shapes C bi x bj,
+ * A bi x bk, B bk x bj; cs/as/bs are row strides in ELEMENTS (unit
+ * stride along the last axis).
+ * ------------------------------------------------------------------ */
+
+/* Sequential-k path: per output row, pivots applied strictly in order
+ * (the original kernel's semantics — required when C aliases A or B,
+ * e.g. blocked FW stage-2 panel updates). Inner loop is elementwise in
+ * j, so `omp simd` is safe even under full C==A / C==B aliasing. */
+void mp_update_f32_seq(float *c, const float *a, const float *b,
+                       i64 bi, i64 bk, i64 bj,
+                       i64 cs, i64 as, i64 bs, i64 tile)
+{
+    if (tile <= 0) tile = 256;
     for (i64 k0 = 0; k0 < bk; k0 += tile) {
         i64 k1 = k0 + tile < bk ? k0 + tile : bk;
         for (i64 j0 = 0; j0 < bj; j0 += tile) {
@@ -63,9 +134,10 @@ void mp_update_f32(float *c, const float *a, const float *b,
                     float aik = arow[k];
                     if (isinf(aik)) continue;
                     const float *brow = b + k * bs + j0;
+                    #pragma omp simd
                     for (i64 j = 0; j < len; j++) {
                         float cand = aik + brow[j];
-                        if (cand < crow[j]) crow[j] = cand;
+                        crow[j] = cand < crow[j] ? cand : crow[j];
                     }
                 }
             }
@@ -73,27 +145,273 @@ void mp_update_f32(float *c, const float *a, const float *b,
     }
 }
 
-/* In-place Floyd-Warshall closure of an n x n tile with row stride s.
- * Equivalent to n rank-1 min-updates on matrices with non-negative
- * weights and a zero diagonal (the library's distance domain). */
+/* Register-blocked fast path: 2 output rows x 4 pivots per step. Each
+ * B row load is reused by both output rows and each C row is loaded and
+ * stored once per 4 pivots. Candidates are the same float32 sums as the
+ * reference; min is order-independent, so the reassociation is
+ * bit-exact. REQUIRES C disjoint from A and B (callers route aliased
+ * operands to mp_update_f32_seq). All-inf pivot groups short-circuit;
+ * a lone inf pivot contributes only +inf candidates, which never win. */
+void mp_update_f32(float *c, const float *a, const float *b,
+                   i64 bi, i64 bk, i64 bj,
+                   i64 cs, i64 as, i64 bs, i64 tile)
+{
+    if (tile <= 0) tile = 256;
+    for (i64 k0 = 0; k0 < bk; k0 += tile) {
+        i64 k1 = k0 + tile < bk ? k0 + tile : bk;
+        for (i64 j0 = 0; j0 < bj; j0 += tile) {
+            i64 len = (j0 + tile < bj ? j0 + tile : bj) - j0;
+            i64 i = 0;
+            for (; i + 2 <= bi; i += 2) {
+                float *c0r = c + i * cs + j0;
+                float *c1r = c0r + cs;
+                const float *a0r = a + i * as;
+                const float *a1r = a0r + as;
+                i64 k = k0;
+                for (; k + 4 <= k1; k += 4) {
+                    float a00 = a0r[k], a01 = a0r[k+1], a02 = a0r[k+2], a03 = a0r[k+3];
+                    float a10 = a1r[k], a11 = a1r[k+1], a12 = a1r[k+2], a13 = a1r[k+3];
+                    if (isinf(a00) && isinf(a01) && isinf(a02) && isinf(a03) &&
+                        isinf(a10) && isinf(a11) && isinf(a12) && isinf(a13))
+                        continue;
+                    const float *b0 = b + k * bs + j0;
+                    const float *b1 = b0 + bs, *b2 = b1 + bs, *b3 = b2 + bs;
+                    #pragma omp simd
+                    for (i64 j = 0; j < len; j++) {
+                        float w0 = b0[j], w1 = b1[j], w2 = b2[j], w3 = b3[j];
+                        float v0 = c0r[j], v1 = c1r[j];
+                        float t;
+                        t = a00 + w0; v0 = t < v0 ? t : v0;
+                        t = a01 + w1; v0 = t < v0 ? t : v0;
+                        t = a02 + w2; v0 = t < v0 ? t : v0;
+                        t = a03 + w3; v0 = t < v0 ? t : v0;
+                        t = a10 + w0; v1 = t < v1 ? t : v1;
+                        t = a11 + w1; v1 = t < v1 ? t : v1;
+                        t = a12 + w2; v1 = t < v1 ? t : v1;
+                        t = a13 + w3; v1 = t < v1 ? t : v1;
+                        c0r[j] = v0; c1r[j] = v1;
+                    }
+                }
+                for (; k < k1; k++) {
+                    const float *brow = b + k * bs + j0;
+                    float aik0 = a0r[k], aik1 = a1r[k];
+                    if (!isinf(aik0)) {
+                        #pragma omp simd
+                        for (i64 j = 0; j < len; j++) {
+                            float cand = aik0 + brow[j];
+                            c0r[j] = cand < c0r[j] ? cand : c0r[j];
+                        }
+                    }
+                    if (!isinf(aik1)) {
+                        #pragma omp simd
+                        for (i64 j = 0; j < len; j++) {
+                            float cand = aik1 + brow[j];
+                            c1r[j] = cand < c1r[j] ? cand : c1r[j];
+                        }
+                    }
+                }
+            }
+            for (; i < bi; i++) {
+                float *crow = c + i * cs + j0;
+                const float *arow = a + i * as;
+                for (i64 k = k0; k < k1; k++) {
+                    float aik = arow[k];
+                    if (isinf(aik)) continue;
+                    const float *brow = b + k * bs + j0;
+                    #pragma omp simd
+                    for (i64 j = 0; j < len; j++) {
+                        float cand = aik + brow[j];
+                        crow[j] = cand < crow[j] ? cand : crow[j];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/* OpenMP column-panel fan-out of either serial kernel (seq != 0 picks
+ * the sequential-k path). Every output element depends only on its own
+ * column of C/B plus read-only A, so partitioning columns across
+ * threads is bit-exact — including under the aliased stage-2 patterns,
+ * where each thread's writes stay inside its own column panel. Falls
+ * back to the serial kernel when built without OpenMP. */
+void mp_update_f32_omp(float *c, const float *a, const float *b,
+                       i64 bi, i64 bk, i64 bj,
+                       i64 cs, i64 as, i64 bs, i64 tile,
+                       i64 threads, i64 seq)
+{
+#if defined(_OPENMP)
+    i64 max_panels = bj / 64;
+    if (threads > max_panels) threads = max_panels;
+    if (threads >= 2) {
+        #pragma omp parallel for schedule(static) num_threads((int)threads)
+        for (i64 t = 0; t < threads; t++) {
+            i64 lo = bj * t / threads;
+            i64 hi = bj * (t + 1) / threads;
+            if (hi > lo) {
+                if (seq)
+                    mp_update_f32_seq(c + lo, a, b + lo, bi, bk, hi - lo,
+                                      cs, as, bs, tile);
+                else
+                    mp_update_f32(c + lo, a, b + lo, bi, bk, hi - lo,
+                                  cs, as, bs, tile);
+            }
+        }
+        return;
+    }
+#endif
+    if (seq)
+        mp_update_f32_seq(c, a, b, bi, bk, bj, cs, as, bs, tile);
+    else
+        mp_update_f32(c, a, b, bi, bk, bj, cs, as, bs, tile);
+}
+
+/* ------------------------------------------------------------------ *
+ * Floyd-Warshall closure of an n x n tile with row stride s.
+ * ------------------------------------------------------------------ */
+
+/* Register-blocked stage-1 kernel: per pivot, 4 output rows share each
+ * krow load and the inner loop vectorizes. Equivalent to n rank-1
+ * min-updates on matrices with non-negative weights and a zero
+ * diagonal (the library's distance domain): the pivot row never
+ * changes at its own pivot, so fusing rows is bit-exact. */
 void fw_inplace_f32(float *d, i64 n, i64 s)
 {
     for (i64 k = 0; k < n; k++) {
         const float *krow = d + k * s;
-        for (i64 i = 0; i < n; i++) {
+        i64 i = 0;
+        for (; i + 4 <= n; i += 4) {
+            float *r0 = d + i * s, *r1 = r0 + s, *r2 = r1 + s, *r3 = r2 + s;
+            float d0 = r0[k], d1 = r1[k], d2 = r2[k], d3 = r3[k];
+            if (isinf(d0) && isinf(d1) && isinf(d2) && isinf(d3))
+                continue;
+            #pragma omp simd
+            for (i64 j = 0; j < n; j++) {
+                float kj = krow[j];
+                float t;
+                t = d0 + kj; r0[j] = t < r0[j] ? t : r0[j];
+                t = d1 + kj; r1[j] = t < r1[j] ? t : r1[j];
+                t = d2 + kj; r2[j] = t < r2[j] ? t : r2[j];
+                t = d3 + kj; r3[j] = t < r3[j] ? t : r3[j];
+            }
+        }
+        for (; i < n; i++) {
             float dik = d[i * s + k];
             if (isinf(dik)) continue;
             float *irow = d + i * s;
+            #pragma omp simd
             for (i64 j = 0; j < n; j++) {
                 float cand = dik + krow[j];
-                if (cand < irow[j]) irow[j] = cand;
+                irow[j] = cand < irow[j] ? cand : irow[j];
+            }
+        }
+    }
+}
+
+/* Multi-stage blocked FW (Lund & Smith): close a blk x blk diagonal
+ * block with the register-blocked stage-1 kernel, update the four
+ * row/column panels against the closed diagonal (aliased in-place
+ * updates -> sequential-k kernel), then rank-blk-update the four
+ * remaining quadrants with the fast kernel (fully disjoint). Stage
+ * order mirrors repro.core.blocked_fw.blocked_floyd_warshall, to which
+ * it is bit-identical on integer-weight distance matrices. */
+void fw_blocked_f32(float *d, i64 n, i64 s, i64 blk, i64 tile)
+{
+    if (blk <= 0 || blk >= n) {
+        fw_inplace_f32(d, n, s);
+        return;
+    }
+    for (i64 k0 = 0; k0 < n; k0 += blk) {
+        i64 k1 = k0 + blk < n ? k0 + blk : n;
+        i64 nb = k1 - k0;
+        float *diag = d + k0 * s + k0;
+        fw_inplace_f32(diag, nb, s);
+        /* stage 2: row panels (C == B) */
+        if (k0 > 0)
+            mp_update_f32_seq(d + k0 * s, diag, d + k0 * s,
+                              nb, nb, k0, s, s, s, tile);
+        if (k1 < n)
+            mp_update_f32_seq(d + k0 * s + k1, diag, d + k0 * s + k1,
+                              nb, nb, n - k1, s, s, s, tile);
+        /* stage 2: column panels (C == A) */
+        if (k0 > 0)
+            mp_update_f32_seq(d + k0, d + k0, diag,
+                              k0, nb, nb, s, s, s, tile);
+        if (k1 < n)
+            mp_update_f32_seq(d + k1 * s + k0, d + k1 * s + k0, diag,
+                              n - k1, nb, nb, s, s, s, tile);
+        /* stage 3: remaining quadrants (disjoint) */
+        if (k0 > 0)
+            mp_update_f32(d, d + k0, d + k0 * s,
+                          k0, nb, k0, s, s, s, tile);
+        if (k0 > 0 && k1 < n)
+            mp_update_f32(d + k1, d + k0, d + k0 * s + k1,
+                          k0, nb, n - k1, s, s, s, tile);
+        if (k1 < n && k0 > 0)
+            mp_update_f32(d + k1 * s, d + k1 * s + k0, d + k0 * s,
+                          n - k1, nb, k0, s, s, s, tile);
+        if (k1 < n)
+            mp_update_f32(d + k1 * s + k1, d + k1 * s + k0, d + k0 * s + k1,
+                          n - k1, nb, n - k1, s, s, s, tile);
+    }
+}
+
+/* ------------------------------------------------------------------ *
+ * int32 semiring: exact min-plus with INT32_MAX as +inf, saturating
+ * addition via a 64-bit intermediate. One candidate at a time — the
+ * reduced-precision path trades peak rate for half the memory traffic
+ * of float64 and exactness over float32 beyond 2^24.
+ * ------------------------------------------------------------------ */
+void mp_update_i32(int32_t *c, const int32_t *a, const int32_t *b,
+                   i64 bi, i64 bk, i64 bj,
+                   i64 cs, i64 as, i64 bs, i64 tile)
+{
+    const int32_t INF = INT32_MAX;
+    if (tile <= 0) tile = 256;
+    for (i64 k0 = 0; k0 < bk; k0 += tile) {
+        i64 k1 = k0 + tile < bk ? k0 + tile : bk;
+        for (i64 j0 = 0; j0 < bj; j0 += tile) {
+            i64 len = (j0 + tile < bj ? j0 + tile : bj) - j0;
+            for (i64 i = 0; i < bi; i++) {
+                int32_t *crow = c + i * cs + j0;
+                const int32_t *arow = a + i * as;
+                for (i64 k = k0; k < k1; k++) {
+                    int32_t aik = arow[k];
+                    if (aik == INF) continue;
+                    const int32_t *brow = b + k * bs + j0;
+                    #pragma omp simd
+                    for (i64 j = 0; j < len; j++) {
+                        i64 wide = (i64)aik + (i64)brow[j];
+                        int32_t cand = wide >= (i64)INF ? INF : (int32_t)wide;
+                        crow[j] = cand < crow[j] ? cand : crow[j];
+                    }
+                }
             }
         }
     }
 }
 """
 
-_CFLAGS = ["-O3", "-march=native", "-funroll-loops", "-shared", "-fPIC"]
+#: flags always passed; probed extras are added per machine
+_BASE_CFLAGS = ["-O3", "-funroll-loops", "-shared", "-fPIC"]
+
+#: last-resort flag set when the assembled set still fails to compile
+_DEGRADED_CFLAGS = ["-O3", "-shared", "-fPIC"]
+
+
+@dataclass(frozen=True)
+class CCBuildInfo:
+    """What the cc flavor was actually built with on this machine."""
+
+    compiler: str
+    version: str
+    flags: tuple[str, ...]
+    openmp: bool
+
+    @property
+    def fingerprint_key(self) -> str:
+        """Stable ``compiler-version|flags`` string for machine keying."""
+        return f"{Path(self.compiler).name}-{self.version}|{','.join(self.flags)}"
 
 
 def cc_compiler() -> str | None:
@@ -117,26 +435,122 @@ def _cache_dir() -> Path:
     return Path(home) / "repro-jit"
 
 
+def _flag_works(compiler: str, flag: str, tmp: str) -> bool:
+    """Test-compile a trivial TU with ``flag``; False on any rejection."""
+    src = Path(tmp) / "probe.c"
+    if not src.exists():
+        src.write_text("int repro_probe(void) { return 0; }\n")
+    out = Path(tmp) / f"probe-{abs(hash(flag)) % 10**8}.so"
+    try:
+        proc = subprocess.run(
+            [compiler, flag, "-shared", "-fPIC", "-o", str(out), str(src)],
+            capture_output=True,
+            timeout=60,
+        )
+    except Exception:
+        return False
+    return proc.returncode == 0
+
+
+def _resolve_flags(compiler: str) -> tuple[list[str], bool]:
+    """Probe optional flags; returns ``(flags, openmp_linked)``.
+
+    ``-march=native`` is dropped when rejected (satellite fix: it used to
+    be passed unconditionally, losing the whole cc flavor on compilers
+    without it). OpenMP degrades ``-fopenmp`` → ``-fopenmp-simd`` (SIMD
+    pragmas honoured, no thread runtime) → nothing.
+    """
+    flags = list(_BASE_CFLAGS)
+    openmp = False
+    with tempfile.TemporaryDirectory() as tmp:
+        if _flag_works(compiler, "-march=native", tmp):
+            flags.insert(1, "-march=native")
+        if _flag_works(compiler, "-fopenmp", tmp):
+            flags.append("-fopenmp")
+            openmp = True
+        elif _flag_works(compiler, "-fopenmp-simd", tmp):
+            flags.append("-fopenmp-simd")
+    return flags, openmp
+
+
+def _cc_version(compiler: str) -> str:
+    try:
+        proc = subprocess.run(
+            [compiler, "-dumpversion"], capture_output=True, timeout=30
+        )
+        if proc.returncode == 0:
+            return proc.stdout.decode().strip() or "unknown"
+    except Exception:
+        pass
+    return "unknown"
+
+
 class _CCKernels:
     """ctypes bindings to the compiled shared object."""
 
-    def __init__(self, lib: ctypes.CDLL) -> None:
+    def __init__(self, lib: ctypes.CDLL, build: CCBuildInfo) -> None:
+        self.build = build
         self.mp_update = lib.mp_update_f32
         self.mp_update.argtypes = [ctypes.c_void_p] * 3 + [ctypes.c_longlong] * 7
         self.mp_update.restype = None
+        self.mp_update_seq = lib.mp_update_f32_seq
+        self.mp_update_seq.argtypes = [ctypes.c_void_p] * 3 + [ctypes.c_longlong] * 7
+        self.mp_update_seq.restype = None
+        self.mp_update_omp = lib.mp_update_f32_omp
+        self.mp_update_omp.argtypes = [ctypes.c_void_p] * 3 + [ctypes.c_longlong] * 9
+        self.mp_update_omp.restype = None
+        self.mp_update_i32 = lib.mp_update_i32
+        self.mp_update_i32.argtypes = [ctypes.c_void_p] * 3 + [ctypes.c_longlong] * 7
+        self.mp_update_i32.restype = None
         self.fw_inplace = lib.fw_inplace_f32
         self.fw_inplace.argtypes = [ctypes.c_void_p] + [ctypes.c_longlong] * 2
         self.fw_inplace.restype = None
+        self.fw_blocked = lib.fw_blocked_f32
+        self.fw_blocked.argtypes = [ctypes.c_void_p] + [ctypes.c_longlong] * 4
+        self.fw_blocked.restype = None
+        self.openmp = bool(lib.repro_openmp())
+        lib.repro_max_threads.restype = ctypes.c_int
+        self.max_threads = int(lib.repro_max_threads())
 
 
 _CC_KERNELS: _CCKernels | None | bool = None  # None = untried, False = failed
 
 
+def _compile_and_load(compiler: str, flags: list[str], openmp: bool) -> _CCKernels:
+    key = hashlib.sha256(
+        (_C_SOURCE + compiler + " ".join(flags)).encode()
+    ).hexdigest()[:16]
+    cache = _cache_dir()
+    cache.mkdir(parents=True, exist_ok=True)
+    so_path = cache / f"minplus-{key}.so"
+    if not so_path.exists():
+        with tempfile.TemporaryDirectory(dir=cache) as tmp:
+            src = Path(tmp) / "minplus.c"
+            src.write_text(_C_SOURCE)
+            out = Path(tmp) / "minplus.so"
+            proc = subprocess.run(
+                [compiler, *flags, "-o", str(out), str(src)],
+                capture_output=True,
+                timeout=120,
+            )
+            if proc.returncode != 0:
+                raise OSError(proc.stderr.decode(errors="replace")[:2000])
+            os.replace(out, so_path)  # atomic publish into the cache
+    build = CCBuildInfo(
+        compiler=compiler,
+        version=_cc_version(compiler),
+        flags=tuple(flags),
+        openmp=openmp,
+    )
+    return _CCKernels(ctypes.CDLL(str(so_path)), build)
+
+
 def load_cc_kernels() -> _CCKernels | None:
     """Compile (once, cached on disk) and load the C kernels.
 
-    Returns ``None`` when no compiler is present or compilation fails —
-    callers degrade to the numpy fallback. Never raises.
+    Returns ``None`` when no compiler is present or every compile attempt
+    (probed flags, then the degraded ``-O3``-only set) fails — callers
+    degrade to the numpy fallback. Never raises.
     """
     global _CC_KERNELS
     if _CC_KERNELS is not None:
@@ -146,30 +560,36 @@ def load_cc_kernels() -> _CCKernels | None:
     if compiler is None:
         return None
     try:
-        key = hashlib.sha256(
-            (_C_SOURCE + compiler + " ".join(_CFLAGS)).encode()
-        ).hexdigest()[:16]
-        cache = _cache_dir()
-        cache.mkdir(parents=True, exist_ok=True)
-        so_path = cache / f"minplus-{key}.so"
-        if not so_path.exists():
-            with tempfile.TemporaryDirectory(dir=cache) as tmp:
-                src = Path(tmp) / "minplus.c"
-                src.write_text(_C_SOURCE)
-                out = Path(tmp) / "minplus.so"
-                proc = subprocess.run(
-                    [compiler, *_CFLAGS, "-o", str(out), str(src)],
-                    capture_output=True,
-                    timeout=120,
-                )
-                if proc.returncode != 0:
-                    return None
-                os.replace(out, so_path)  # atomic publish into the cache
-        _CC_KERNELS = _CCKernels(ctypes.CDLL(str(so_path)))
+        flags, openmp = _resolve_flags(compiler)
     except Exception:
-        _CC_KERNELS = False
-        return None
-    return _CC_KERNELS
+        flags, openmp = list(_BASE_CFLAGS), False
+    for attempt_flags, attempt_omp in (
+        (flags, openmp),
+        (_DEGRADED_CFLAGS, False),
+    ):
+        try:
+            _CC_KERNELS = _compile_and_load(compiler, list(attempt_flags), attempt_omp)
+            return _CC_KERNELS
+        except Exception:
+            _CC_KERNELS = False
+    return None
+
+
+def cc_build_info() -> CCBuildInfo | None:
+    """Build provenance of the loaded cc kernels (``None`` if unavailable)."""
+    kernels = load_cc_kernels()
+    return kernels.build if kernels else None
+
+
+def _default_threads() -> int:
+    """Thread count for the cc-omp flavor (``REPRO_JIT_THREADS`` wins)."""
+    env = os.environ.get("REPRO_JIT_THREADS")
+    if env:
+        return max(1, int(env))
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 
 def _load_numba_kernels():
@@ -225,10 +645,17 @@ class JITBackend(KernelBackend):
     """numba/compiled-C kernels, degrading gracefully to the tiled backend."""
 
     name = "jit"
-    summary = "JIT kernel: numba if present, else compiled C, else tiled numpy"
+    summary = "JIT kernel: numba if present, else vectorized C (serial or OpenMP), else tiled numpy"
 
-    def __init__(self, flavor: str | None = None, tile: int = 128) -> None:
+    def __init__(
+        self,
+        flavor: str | None = None,
+        tile: int = 256,
+        threads: int | None = None,
+        fw_block: int | None = None,
+    ) -> None:
         self.tile = tile
+        self.fw_block = fw_block
         self._numba = None
         self._cc = None
         self._fallback = TiledBackend()
@@ -237,23 +664,31 @@ class JITBackend(KernelBackend):
             requested = "fallback"
         if requested in ("auto", "numba"):
             self._numba = _load_numba_kernels()
-        if self._numba is None and requested in ("auto", "cc"):
+        if self._numba is None and requested in ("auto", "cc", "cc-omp"):
             self._cc = load_cc_kernels()
         if requested == "numba" and self._numba is None:
             self._cc = load_cc_kernels()  # numba asked for but absent: degrade
-        self._flavor = (
-            "numba" if self._numba else "cc" if self._cc else "fallback"
-        )
+        want_omp = requested == "cc-omp"
+        self.threads = 1
+        if self._cc is not None and want_omp and self._cc.openmp:
+            self.threads = max(1, threads if threads is not None else _default_threads())
+        if self._numba:
+            self._flavor = "numba"
+        elif self._cc:
+            self._flavor = "cc-omp" if (want_omp and self.threads > 1) else "cc"
+        else:
+            self._flavor = "fallback"
 
     @property
     def flavor(self) -> str:
-        """Which implementation answered: ``numba``, ``cc``, or ``fallback``."""
+        """Implementation that answered: ``numba``, ``cc``, ``cc-omp``,
+        or ``fallback``."""
         return self._flavor
 
     @property
     def compiled(self) -> bool:
         """True when a compiled (non-numpy) flavor is active."""
-        return self._flavor in ("numba", "cc")
+        return self._flavor in ("numba", "cc", "cc-omp")
 
     @staticmethod
     def _row_stride(arr: np.ndarray) -> int:
@@ -261,29 +696,73 @@ class JITBackend(KernelBackend):
             raise ValueError("jit backend needs unit stride along the last axis")
         return arr.strides[0] // arr.itemsize
 
+    @staticmethod
+    def _aliased(c: np.ndarray, a: np.ndarray, b: np.ndarray) -> bool:
+        """May writing ``c`` be observed through ``a`` or ``b``?
+
+        Conservative bounds check (``np.may_share_memory``): blocked FW's
+        stage-2 updates pass ``update(T, diag, T)`` / ``update(T, T,
+        diag)``, whose results depend on the in-place pivot order — those
+        take the sequential-k kernel; disjoint operands take the
+        register-blocked fast path.
+        """
+        return bool(np.may_share_memory(c, a) or np.may_share_memory(c, b))
+
     def update(self, c: np.ndarray, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """In-place ``C = min(C, A ⊗ B)`` via the active JIT flavor."""
         if self._flavor == "numba":
             return self._numba[0](c, a, b, self.tile)
-        if self._flavor == "cc":
+        if self._cc is not None:
             bi, bj = c.shape
             bk = a.shape[1]
-            self._cc.mp_update(
+            seq = self._aliased(c, a, b)
+            args = (
+                c.ctypes.data, a.ctypes.data, b.ctypes.data,
+                bi, bk, bj,
+                self._row_stride(c), self._row_stride(a), self._row_stride(b),
+                self.tile,
+            )
+            if self._flavor == "cc-omp":
+                self._cc.mp_update_omp(*args, self.threads, int(seq))
+            elif seq:
+                self._cc.mp_update_seq(*args)
+            else:
+                self._cc.mp_update(*args)
+            return c
+        return self._fallback.update(c, a, b)
+
+    def fw_inplace(self, dist: np.ndarray) -> np.ndarray:
+        """Floyd–Warshall closure via the active JIT flavor.
+
+        With ``fw_block`` set (autotuned machines), matrices larger than
+        the block run the multi-stage blocked kernel — exact on the
+        library's integer-weight distance domain; otherwise the
+        register-blocked plain kernel, bit-identical on any input.
+        """
+        if self._flavor == "numba":
+            return self._numba[1](dist)
+        if self._cc is not None:
+            n = dist.shape[0]
+            stride = self._row_stride(dist)
+            if self.fw_block and n > self.fw_block:
+                self._cc.fw_blocked(
+                    dist.ctypes.data, n, stride, self.fw_block, self.tile
+                )
+            else:
+                self._cc.fw_inplace(dist.ctypes.data, n, stride)
+            return dist
+        return self._fallback.fw_inplace(dist)
+
+    def update_i32(self, c: np.ndarray, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Exact saturating int32 min-plus (C kernel when available)."""
+        if self._cc is not None and self._flavor in ("cc", "cc-omp"):
+            bi, bj = c.shape
+            bk = a.shape[1]
+            self._cc.mp_update_i32(
                 c.ctypes.data, a.ctypes.data, b.ctypes.data,
                 bi, bk, bj,
                 self._row_stride(c), self._row_stride(a), self._row_stride(b),
                 self.tile,
             )
             return c
-        return self._fallback.update(c, a, b)
-
-    def fw_inplace(self, dist: np.ndarray) -> np.ndarray:
-        """Floyd–Warshall closure via the active JIT flavor."""
-        if self._flavor == "numba":
-            return self._numba[1](dist)
-        if self._flavor == "cc":
-            self._cc.fw_inplace(
-                dist.ctypes.data, dist.shape[0], self._row_stride(dist)
-            )
-            return dist
-        return self._fallback.fw_inplace(dist)
+        return int32_rank1_update(c, a, b)

@@ -1,0 +1,61 @@
+"""Opt-in calibration of the CPU model from the autotuned kernel rate.
+
+The presets in :mod:`repro.cpumodel.model` carry *paper-band* rates —
+back-calculated so the simulated baselines land in the published speedup
+bands — and the default selector/baseline paths must keep them, or the
+reproduction's Table/Figure bands drift. This module is the explicit
+bridge to *this* machine instead: :func:`measured_cpu` swaps a preset's
+``fw_rate`` for the autotuned min-plus winner recorded by
+``python -m repro tune-kernels`` (the same number
+:class:`~repro.verifyplan.timing.TimingCalibration` prices analytic
+selection with), so SuperFW-style ``n³`` estimates predict local host
+wall-clock rather than the paper's hardware.
+
+Nothing imports this module by default — calibration is a caller choice,
+exactly like ``select --analytic --calibrated``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from pathlib import Path
+
+from repro.cpumodel.model import CpuSpec
+
+__all__ = ["measured_cpu", "measured_fw_rate"]
+
+
+def measured_fw_rate(
+    spec: CpuSpec, kernels_path: Path | str | None = None
+) -> float | None:
+    """Per-core min-plus rate implied by this machine's tuned winner.
+
+    The tuned Gop/s is a whole-machine figure (the winner may be a
+    threaded config), so it is divided across the spec's cores to fit the
+    :class:`CpuSpec` convention of per-core ``fw_rate``. ``None`` when no
+    winner is recorded for this machine's fingerprint.
+    """
+    try:
+        from repro.bench.kernels import tuned_minplus_gops
+
+        gops = tuned_minplus_gops(kernels_path)
+    except Exception:
+        return None
+    if not gops:
+        return None
+    return gops * 1e9 / max(1, spec.cores)
+
+
+def measured_cpu(
+    spec: CpuSpec, kernels_path: Path | str | None = None
+) -> CpuSpec:
+    """``spec`` with ``fw_rate`` replaced by the measured kernel rate.
+
+    Returns ``spec`` unchanged (same object) when the machine has no
+    tuned winner, so callers can apply it unconditionally and still get
+    the paper-band model on untuned machines.
+    """
+    rate = measured_fw_rate(spec, kernels_path)
+    if rate is None:
+        return spec
+    return replace(spec, name=f"{spec.name}+measured", fw_rate=rate)

@@ -403,11 +403,14 @@ class TimingCalibration:
     """Optional rate overrides for the timing pass.
 
     ``from_bench`` derives them from the measured sweeps checked into the
-    repo: the best host min-plus rate in ``BENCH_kernels.json`` replaces
-    the simulated ``minplus_rate`` (so the DAG predicts host wall-clock),
-    and ``BENCH_transfers.json`` is cross-checked to exist as the
-    transfer-volume baseline the DAG's copy set must match. With no
-    calibration the pass targets the simulated device exactly.
+    repo: the **autotuned winner** for this machine's fingerprint in
+    ``BENCH_kernels.json`` (``python -m repro tune-kernels``) replaces the
+    simulated ``minplus_rate`` (so the DAG predicts host wall-clock off
+    the kernel that will actually run); with no tuned entry, the best
+    bit-identical sweep row is the fallback. ``BENCH_transfers.json`` is
+    cross-checked to exist as the transfer-volume baseline the DAG's copy
+    set must match. With no calibration the pass targets the simulated
+    device exactly.
     """
 
     minplus_rate: float | None = None
@@ -427,6 +430,16 @@ class TimingCalibration:
         kernels_path = Path(kernels_path) if kernels_path else root / "BENCH_kernels.json"
         if transfers_path is not None and not Path(transfers_path).exists():
             raise FileNotFoundError(transfers_path)
+        # the autotuned winner for this machine's fingerprint wins: it is
+        # the rate of the kernel config the engine will actually select
+        try:
+            from repro.bench.kernels import tuned_minplus_gops
+
+            tuned = tuned_minplus_gops(kernels_path)
+        except Exception:
+            tuned = None
+        if tuned:
+            return cls(minplus_rate=tuned * 1e9)
         best_gops = 0.0
         if kernels_path.exists():
             payload = json.loads(kernels_path.read_text())

@@ -237,6 +237,146 @@ def test_jit_off_falls_back(monkeypatch):
     assert np.array_equal(got, naive_update(c, a, b))
 
 
+# ----------------------------------------------------------------------
+# Compiled-C flavors: simd fast path, OpenMP fan-out, reduced precision
+# ----------------------------------------------------------------------
+HAVE_CC = JITBackend(flavor="cc").flavor == "cc"
+
+cc_only = pytest.mark.skipif(
+    not HAVE_CC, reason="no C compiler available for the cc flavor"
+)
+
+
+@cc_only
+@pytest.mark.parametrize("flavor", ["cc", "cc-omp"])
+@pytest.mark.parametrize("shape", SHAPES)
+@pytest.mark.parametrize("inf_frac", [0.0, 0.3])
+def test_cc_flavor_bit_identical(flavor, shape, inf_frac):
+    c, a, b = random_tiles(shape, inf_frac, seed=hash((flavor, shape)) % 2**32)
+    expected = naive_update(c, a, b)
+    got = c.copy()
+    JITBackend(flavor=flavor, threads=3).update(got, a, b)
+    assert np.array_equal(got, expected)
+
+
+@cc_only
+@settings(max_examples=40, deadline=None)
+@given(
+    bi=st.integers(1, 24),
+    bk=st.integers(1, 24),
+    bj=st.integers(1, 24),
+    pad=st.integers(0, 7),
+    tile=st.sampled_from([3, 7, 64, 256]),
+    inf_frac=st.sampled_from([0.0, 0.2, 0.9]),
+    seed=st.integers(0, 2**16),
+)
+def test_cc_flavors_agree_on_strided_views(bi, bk, bj, pad, tile, inf_frac, seed):
+    """Property: the register-blocked and OpenMP kernels are bit-identical
+    to the naive loop on *views* with arbitrary row strides (tile views of
+    a larger matrix), across tile sizes that exercise the unroll tails."""
+    c, a, b = random_tiles((bi, bk, bj), inf_frac, seed)
+
+    def padded(m):
+        rows, cols = m.shape
+        store = np.full((rows, cols + pad), np.inf, dtype=DIST_DTYPE)
+        store[:, :cols] = m
+        return store[:, :cols]  # unit last stride, row stride cols+pad
+
+    expected = naive_update(c, a, b)
+    for flavor, threads in (("cc", None), ("cc-omp", 2)):
+        got = padded(c)
+        JITBackend(flavor=flavor, tile=tile, threads=threads).update(
+            got, padded(a), padded(b)
+        )
+        assert np.array_equal(got, expected), flavor
+
+
+@cc_only
+def test_cc_inf_column_fast_path():
+    """Dead (all-inf) A columns are skipped by the unrolled kernel group
+    check without changing the result."""
+    c, a, b = random_tiles((31, 19, 23), inf_frac=0.0, seed=3)
+    a[:, ::2] = np.inf
+    got = c.copy()
+    JITBackend(flavor="cc").update(got, a, b)
+    assert np.array_equal(got, naive_update(c, a, b))
+
+
+@cc_only
+def test_cc_omp_degrades_without_threads(monkeypatch):
+    """cc-omp on a 1-thread budget resolves to the serial cc flavor."""
+    monkeypatch.setenv("REPRO_JIT_THREADS", "1")
+    backend = JITBackend(flavor="cc-omp")
+    assert backend.flavor == "cc" and backend.threads == 1
+
+
+@cc_only
+@pytest.mark.parametrize("fw_block", [32, 48])
+def test_cc_blocked_fw_matches_plain(fw_block):
+    """Multi-stage blocked FW (opt-in fw_block) is exact on the library's
+    integer-weight distance domain, for any block size."""
+    rng = np.random.default_rng(23)
+    d = rng.integers(1, 80, (143, 143)).astype(DIST_DTYPE)
+    d[rng.random((143, 143)) < 0.5] = np.inf
+    np.fill_diagonal(d, 0.0)
+    expected = numpy_fw_inplace(d.copy())
+    got = JITBackend(fw_block=fw_block).fw_inplace(d.copy())
+    assert np.array_equal(got, expected)
+
+
+# ----------------------------------------------------------------------
+# Reduced-precision semiring (int32 exact, float16 toleranced)
+# ----------------------------------------------------------------------
+def test_int32_semiring_matches_oracle():
+    """int32 min-plus is exact: INT32_INF sentinel, saturating add.
+
+    Values near INT32_MAX exercise the saturation clamp — a wrapping
+    implementation would produce negative candidates and corrupt mins.
+    """
+    from repro.core.backends.base import INT32_INF, int32_rank1_update
+
+    rng = np.random.default_rng(41)
+    n = 33
+    big = np.int64(INT32_INF)
+
+    def mat():
+        m = rng.integers(0, big, (n, n), dtype=np.int64)
+        m[rng.random((n, n)) < 0.3] = big  # sentinel entries
+        return m.astype(np.int32)
+
+    a, b, c = mat(), mat(), mat()
+    expected = int32_rank1_update(c.copy(), a, b)
+    for backend in (JITBackend(), create_backend("reference")):
+        got = backend.update_i32(c.copy(), a, b)
+        assert np.array_equal(got, expected), backend
+    got = KernelEngine("jit").update_i32(c.copy(), a, b)
+    assert np.array_equal(got, expected)
+    assert expected.max() <= INT32_INF and expected.min() >= 0
+
+
+def test_float16_semiring_documented_tolerance():
+    """float16 update == float32 result rounded once to float16 (the
+    documented tolerance — one float16 rounding step, rel err ≤ 2^-11)."""
+    rng = np.random.default_rng(43)
+    n = 21
+    a16 = (rng.random((n, n)) * 100).astype(np.float16)
+    b16 = (rng.random((n, n)) * 100).astype(np.float16)
+    c16 = (rng.random((n, n)) * 100).astype(np.float16)
+    a16[rng.random((n, n)) < 0.2] = np.inf
+    expected32 = naive_update(
+        c16.astype(np.float32), a16.astype(np.float32), b16.astype(np.float32)
+    )
+    for backend in (JITBackend(), create_backend("reference")):
+        got = backend.update_f16(c16.copy(), a16, b16)
+        assert got.dtype == np.float16
+        assert np.array_equal(got, expected32.astype(np.float16)), backend
+        finite = np.isfinite(expected32)
+        rel = np.abs(got[finite].astype(np.float32) - expected32[finite])
+        assert (rel <= np.abs(expected32[finite]) * 2.0**-10).all()
+    got = KernelEngine("jit").update_f16(c16.copy(), a16, b16)
+    assert np.array_equal(got, expected32.astype(np.float16))
+
+
 def test_threaded_matches_serial_inner():
     backend = ThreadedBackend(workers=3)
     c, a, b = random_tiles((40, 30, 500), inf_frac=0.2, seed=31)
@@ -246,13 +386,34 @@ def test_threaded_matches_serial_inner():
     assert backend.flavor.startswith("threaded(") and backend.workers == 3
 
 
-def test_calibration_smoke():
+def test_calibration_smoke(monkeypatch, tmp_path):
+    # point the tuned-winner store at a missing file so "auto" exercises
+    # the live micro-calibration path regardless of the committed winner
+    monkeypatch.setenv("REPRO_BENCH_KERNELS", str(tmp_path / "missing.json"))
     result = calibrate(shape=(48, 48, 48))
     assert {r["backend"] for r in result.rows} == set(BACKENDS)
     assert result.best in BACKENDS
     assert all(r["seconds"] >= 0 and r["gops"] >= 0 for r in result.rows)
     eng = KernelEngine("auto")
     assert eng.calibration is not None and eng.name == eng.calibration.best
+
+
+def test_calibration_demotes_tiled(monkeypatch, tmp_path):
+    """Satellite: tiled can never win auto-calibration over a measured
+    alternative, and the result says why."""
+    from repro.core.engine import CalibrationResult
+
+    result = CalibrationResult(shape=(4, 4, 4))
+    result.add("tiled", "tiled", 0.001)       # fastest on paper...
+    result.add("reference", "reference", 0.002)
+    assert result.best == "reference"          # ...but demoted
+    only_tiled = CalibrationResult(shape=(4, 4, 4))
+    only_tiled.add("tiled", "tiled", 0.001)
+    assert only_tiled.best == "tiled"          # sole survivor still allowed
+    monkeypatch.setenv("REPRO_BENCH_KERNELS", str(tmp_path / "missing.json"))
+    live = calibrate(shape=(32, 32, 32))
+    assert any("demoted" in note for note in live.notes)
+    assert live.best != "tiled"
 
 
 def test_registry_contents():
