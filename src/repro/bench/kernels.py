@@ -299,14 +299,26 @@ def tune_kernels(
 
     Every config is timed on the same ``n³`` product (best of ``repeats``)
     and bit-checked against the reference backend — only bit-identical
-    configs can win. The returned dict carries ``fingerprint``, ``rows``,
-    and ``winner`` (``backend``/``options``/``flavor``/``gops``) ready for
+    configs can win. Before anything native runs, the C kernel templates
+    must pass the :mod:`repro.verifykernel` static proofs — a kernel the
+    analyzer cannot prove in-bounds and alias-safe is never priced, let
+    alone recorded as a winner (the result carries the verification
+    verdict under ``"verification"``). The returned dict carries
+    ``fingerprint``, ``rows``, and ``winner``
+    (``backend``/``options``/``flavor``/``gops``) ready for
     :func:`record_tuned`.
     """
+    from repro.verifykernel import static_findings
+
     try:
         cpus = len(os.sched_getaffinity(0))
     except AttributeError:  # pragma: no cover - non-Linux
         cpus = os.cpu_count() or 1
+    findings = static_findings()
+    verification = {
+        "ok": not findings,
+        "findings": [f.describe() for f in findings],
+    }
     rng = np.random.default_rng(seed)
     a = (rng.random((n, n), dtype=DIST_DTYPE) * 100).astype(DIST_DTYPE)
     b = (rng.random((n, n), dtype=DIST_DTYPE) * 100).astype(DIST_DTYPE)
@@ -318,8 +330,17 @@ def tune_kernels(
     ref.update(ref_c, a, b)
     ref_seconds = perf_counter() - t0
 
+    candidates = _tune_candidates(tiles, cpus)
+    if not verification["ok"]:
+        # refuse every natively-compiled candidate: unproven C kernels
+        # are not priced, the tuner falls back to the managed backends
+        candidates = [
+            (name, options)
+            for name, options in candidates
+            if not (name == "jit" and options.get("flavor") in ("cc", "cc-omp"))
+        ]
     rows: list[dict] = []
-    for name, options in _tune_candidates(tiles, cpus):
+    for name, options in candidates:
         backend = create_backend(name, **options)
         backend.update(
             np.full((32, 32), np.inf, dtype=DIST_DTYPE),
@@ -356,6 +377,7 @@ def tune_kernels(
         "fingerprint": machine_fingerprint(),
         "machine": machine_info(),
         "n": n,
+        "verification": verification,
         "rows": rows,
         "winner": {
             "backend": winner_row["backend"],

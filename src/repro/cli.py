@@ -14,11 +14,12 @@ Commands
 ``verify-plan``   statically verify the OOC execution plans (no execution)
 ``check-schedule`` happens-before + symbolic critical-path check of the plans
 ``lint``          run the repository AST contract checker
+``verify-kernels`` static bounds/alias proofs + sanitizer legs for the JIT C kernels
 
 Exit codes (``sanitize``, ``verify-plan``, ``check-schedule``,
-``bench-transfers --check``, ``tune-kernels --check``, ``lint``): 0 —
-clean/verified; 1 — hazards, findings, failed bounds, or baseline drift;
-2 — usage error (argparse).
+``bench-transfers --check``, ``tune-kernels --check``, ``lint``,
+``verify-kernels``): 0 — clean/verified; 1 — hazards, findings, failed
+bounds, or baseline drift; 2 — usage error (argparse).
 
 Every ``--json`` payload carries a top-level ``schema_version`` field
 (:data:`SCHEMA_VERSION`) so downstream consumers can detect format
@@ -514,17 +515,85 @@ def cmd_bench_transfers(args) -> int:
 
 
 def cmd_lint(args) -> int:
+    import json as _json
     from pathlib import Path
 
     from repro.sanitize import format_violations, lint_paths
 
     paths = [Path(p) for p in args.paths] or [Path("src")]
     violations = lint_paths(paths)
+    if args.json:
+        print(_json.dumps(
+            {
+                "schema_version": SCHEMA_VERSION,
+                "ok": not violations,
+                "count": len(violations),
+                "violations": [
+                    {
+                        "rule": v.rule, "name": v.name, "file": v.file,
+                        "line": v.line, "col": v.col, "message": v.message,
+                    }
+                    for v in violations
+                ],
+            },
+            indent=2,
+        ))
+        return 1 if violations else 0
     if violations:
         print(format_violations(violations))
         print(f"{len(violations)} violation(s)", file=sys.stderr)
         return 1
     return 0
+
+
+def cmd_verify_kernels(args) -> int:
+    import json as _json
+
+    from repro.verifykernel import verify_kernels
+
+    modes: tuple[str, ...] = ()
+    if args.sanitize == "all":
+        modes = ("asan", "ubsan", "tsan")
+    elif args.sanitize != "none":
+        modes = (args.sanitize,)
+    ver = verify_kernels(sanitize=modes, defects=args.defects, fast=not args.full)
+    strict_failures: list[str] = []
+    if args.strict:
+        for leg in ver.sanitizers:
+            if not leg.available:
+                strict_failures.append(f"sanitizer leg {leg.mode} unavailable")
+        for d in ver.defects:
+            if d.dynamic is None:
+                strict_failures.append(
+                    f"defect {d.defect.name}: dynamic leg unavailable"
+                )
+    ok = ver.ok and not strict_failures
+    if args.json:
+        payload = {"schema_version": SCHEMA_VERSION, **ver.to_dict()}
+        payload["ok"] = ok
+        payload["strict_failures"] = strict_failures
+        print(_json.dumps(payload, indent=2))
+        return 0 if ok else 1
+    print(f"verify-kernels: {len(ver.findings)} static finding(s) on shipped kernels")
+    for f in ver.findings:
+        print(f"  {f.describe()}")
+    for leg in ver.sanitizers:
+        if not leg.available:
+            print(f"  [{leg.mode}] unavailable — {leg.detail}")
+        else:
+            status = "clean" if leg.clean else (
+                "FAULTED" if leg.faulted else "DIVERGED"
+            )
+            print(f"  [{leg.mode}] {status} (exit {leg.returncode})")
+    for d in ver.defects:
+        dyn = ("skipped" if d.dynamic is None
+               else ("caught" if d.dynamic.caught else "MISSED"))
+        sta = "caught" if d.static_caught else "MISSED"
+        print(f"  defect {d.defect.name}: static {sta}, dynamic {dyn}")
+    for msg in strict_failures:
+        print(f"  strict: {msg}")
+    print("verify-kernels: " + ("PASS" if ok else "FAIL"))
+    return 0 if ok else 1
 
 
 def cmd_report(args) -> int:
@@ -699,7 +768,29 @@ def main(argv=None) -> int:
     p = sub.add_parser("lint", help="AST contract checks for this repository")
     p.add_argument("paths", nargs="*", default=["src"],
                    help="files or directories to lint (default: src)")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(fn=cmd_lint)
+
+    p = sub.add_parser(
+        "verify-kernels",
+        help="prove the JIT C kernels memory- and alias-safe: static "
+             "bounds/alias/dispatch analysis plus optional sanitizer legs",
+    )
+    p.add_argument("--sanitize", default="none",
+                   choices=["none", "asan", "ubsan", "tsan", "all"],
+                   help="also replay the kernel matrix under instrumented "
+                        "builds (default: static analysis only)")
+    p.add_argument("--defects", action="store_true",
+                   help="cross-validate: every seeded defect must be caught "
+                        "both statically and dynamically")
+    p.add_argument("--strict", action="store_true",
+                   help="fail when a requested sanitizer leg is unavailable "
+                        "instead of skipping it")
+    p.add_argument("--full", action="store_true",
+                   help="full matrix (more sizes/threads) instead of the "
+                        "fast subset")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(fn=cmd_verify_kernels)
 
     p = sub.add_parser("report", help="render benchmarks/results/*.json to RESULTS.md")
     p.add_argument("--stdout", action="store_true", help="print instead of writing")

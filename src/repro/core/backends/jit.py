@@ -24,6 +24,26 @@ compiler therefore never silently loses the cc flavor to a flag quirk
 (:func:`cc_build_info` reports what was actually used — the autotuner's
 machine fingerprint is derived from it).
 
+The C source is not an opaque string: it is assembled from
+:data:`KERNEL_TEMPLATES`, one :class:`KernelTemplate` per C entry point,
+each declaring its array extents (rows/cols/row-stride per pointer
+parameter) and its aliasing contract. :mod:`repro.verifykernel` parses
+the per-kernel sources and statically proves every subscript within the
+declared extents, the OpenMP panels disjoint, and the Python dispatch
+below consistent with each kernel's derived alias tolerance — run
+``python -m repro verify-kernels``.
+
+**Sanitizer-instrumented builds** ride the same pipeline: pass
+``sanitize="asan" | "ubsan" | "tsan"`` to :func:`load_cc_kernels` /
+:func:`compile_cc_so` (or set ``REPRO_JIT_SANITIZE``) and the probed flag
+set grows the matching ``-fsanitize=...`` group. A toolchain without the
+sanitizer degrades to a plain build — honestly reported in
+``CCBuildInfo.sanitize``/``CCBuildInfo.degraded``, never silently. Note
+ASan/TSan instrumented objects cannot be ``dlopen``-ed into an ordinary
+process: the verification harness (:mod:`repro.verifykernel.sanitizers`)
+runs them in a subprocess with the runtime preloaded
+(:func:`sanitizer_runtime`).
+
 The C side implements two semantically distinct min-plus entry points:
 
 * a **register-blocked fast path** (2 output rows × 4 inner ``k`` per
@@ -36,6 +56,12 @@ The C side implements two semantically distinct min-plus entry points:
   and ``update(T, T, diag)``, whose results depend on the in-place update
   order; this path preserves the exact per-row ``k``-sequential semantics
   of the original kernel (and of the engine-tested drivers).
+
+Aliased operands never fan out across OpenMP panels: in the ``C==A``
+stage-2 pattern every panel thread reads the *whole* of ``A`` while the
+other threads write their ``C`` panels — a cross-panel read/write race.
+Both the C entry point and the Python dispatch route ``seq`` operands to
+the serial sequential-k kernel (the verification layer checks both).
 
 On the library's distance domain (``[0, +inf]``, zero diagonals) both are
 bit-identical to the numpy rank-1 formulation. ``fw_inplace`` additionally
@@ -55,14 +81,16 @@ implementation) computes through float32 and rounds once — see
 
 from __future__ import annotations
 
+import contextlib
 import ctypes
 import hashlib
 import os
 import shutil
 import subprocess
 import tempfile
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Iterator
 
 import numpy as np
 
@@ -72,12 +100,20 @@ from repro.core.backends.tiled import TiledBackend
 __all__ = [
     "CCBuildInfo",
     "JITBackend",
+    "KERNEL_TEMPLATES",
+    "KernelTemplate",
+    "SANITIZER_FLAGS",
     "cc_build_info",
     "cc_compiler",
+    "compile_cc_so",
+    "kernel_source",
     "load_cc_kernels",
+    "sanitizer_runtime",
 ]
 
-_C_SOURCE = r"""
+#: shared translation-unit prologue: headers, the ``i64`` alias, and the
+#: two build-introspection helpers (no array accesses — not analyzed)
+_C_PRELUDE = r"""
 #include <math.h>
 #include <stdint.h>
 
@@ -107,13 +143,44 @@ int repro_max_threads(void)
     return 1;
 #endif
 }
+"""
 
-/* ------------------------------------------------------------------ *
- * float32 min-plus: C = min(C, A (min,+) B), shapes C bi x bj,
- * A bi x bk, B bk x bj; cs/as/bs are row strides in ELEMENTS (unit
- * stride along the last axis).
- * ------------------------------------------------------------------ */
 
+@dataclass(frozen=True)
+class KernelTemplate:
+    """One C entry point plus the contract the verifier proves it against.
+
+    ``arrays`` maps each pointer parameter to its declared 2-D extent —
+    ``{"rows": ..., "cols": ..., "stride": ..., "mode": "r"|"w"|"rw"}``
+    with rows/cols/stride given as parameter-expression strings (the row
+    stride is in *elements*, unit stride along the last axis). Every
+    subscript the kernel executes must decompose into a row index in
+    ``[0, rows)`` and a column offset in ``[0, cols)`` — the static
+    bounds proof in :mod:`repro.verifykernel.bounds`.
+
+    ``alias_class`` is the *declared* aliasing contract, cross-checked
+    against the tolerance :mod:`repro.verifykernel.alias` derives from
+    the body:
+
+    * ``"disjoint"`` — written arrays must not overlap read arrays
+      (register-blocked pivot groups read ahead of their writes);
+    * ``"k-sequential"`` — tolerates the row-aliased ``C==A`` / ``C==B``
+      stage-2 patterns (strict per-row pivot order, one pivot at a time);
+    * ``"inplace-fw"`` — the in-place FW recurrence (correct on the
+      zero-diagonal distance domain);
+    * ``"router"`` — dispatches to other kernels; inherits their classes.
+    """
+
+    name: str
+    source: str
+    arrays: dict[str, dict[str, str]]
+    alias_class: str
+    calls: tuple[str, ...] = ()
+    parallel: bool = False
+    scalars: tuple[str, ...] = field(default=())
+
+
+_MP_SEQ_SOURCE = r"""
 /* Sequential-k path: per output row, pivots applied strictly in order
  * (the original kernel's semantics — required when C aliases A or B,
  * e.g. blocked FW stage-2 panel updates). Inner loop is elementwise in
@@ -144,7 +211,9 @@ void mp_update_f32_seq(float *c, const float *a, const float *b,
         }
     }
 }
+"""
 
+_MP_FAST_SOURCE = r"""
 /* Register-blocked fast path: 2 output rows x 4 pivots per step. Each
  * B row load is reused by both output rows and each C row is loaded and
  * stored once per 4 pivots. Candidates are the same float32 sums as the
@@ -228,18 +297,27 @@ void mp_update_f32(float *c, const float *a, const float *b,
         }
     }
 }
+"""
 
-/* OpenMP column-panel fan-out of either serial kernel (seq != 0 picks
- * the sequential-k path). Every output element depends only on its own
- * column of C/B plus read-only A, so partitioning columns across
- * threads is bit-exact — including under the aliased stage-2 patterns,
- * where each thread's writes stay inside its own column panel. Falls
- * back to the serial kernel when built without OpenMP. */
+_MP_OMP_SOURCE = r"""
+/* OpenMP column-panel fan-out of the register-blocked fast kernel.
+ * Every output element depends only on its own column of C/B plus
+ * read-only A, so partitioning columns across threads is bit-exact —
+ * for DISJOINT operands. Aliased (seq) operands never fan out: under
+ * the C==A stage-2 pattern each panel thread reads the whole of A
+ * while other threads write their C panels — a cross-panel race — so
+ * seq != 0 takes the serial sequential-k kernel (the Python dispatch
+ * routes the same way; repro.verifykernel checks both layers). Falls
+ * back to the serial fast kernel when built without OpenMP. */
 void mp_update_f32_omp(float *c, const float *a, const float *b,
                        i64 bi, i64 bk, i64 bj,
                        i64 cs, i64 as, i64 bs, i64 tile,
                        i64 threads, i64 seq)
 {
+    if (seq) {
+        mp_update_f32_seq(c, a, b, bi, bk, bj, cs, as, bs, tile);
+        return;
+    }
 #if defined(_OPENMP)
     i64 max_panels = bj / 64;
     if (threads > max_panels) threads = max_panels;
@@ -249,27 +327,18 @@ void mp_update_f32_omp(float *c, const float *a, const float *b,
             i64 lo = bj * t / threads;
             i64 hi = bj * (t + 1) / threads;
             if (hi > lo) {
-                if (seq)
-                    mp_update_f32_seq(c + lo, a, b + lo, bi, bk, hi - lo,
-                                      cs, as, bs, tile);
-                else
-                    mp_update_f32(c + lo, a, b + lo, bi, bk, hi - lo,
-                                  cs, as, bs, tile);
+                mp_update_f32(c + lo, a, b + lo, bi, bk, hi - lo,
+                              cs, as, bs, tile);
             }
         }
         return;
     }
 #endif
-    if (seq)
-        mp_update_f32_seq(c, a, b, bi, bk, bj, cs, as, bs, tile);
-    else
-        mp_update_f32(c, a, b, bi, bk, bj, cs, as, bs, tile);
+    mp_update_f32(c, a, b, bi, bk, bj, cs, as, bs, tile);
 }
+"""
 
-/* ------------------------------------------------------------------ *
- * Floyd-Warshall closure of an n x n tile with row stride s.
- * ------------------------------------------------------------------ */
-
+_FW_INPLACE_SOURCE = r"""
 /* Register-blocked stage-1 kernel: per pivot, 4 output rows share each
  * krow load and the inner loop vectorizes. Equivalent to n rank-1
  * min-updates on matrices with non-negative weights and a zero
@@ -307,7 +376,9 @@ void fw_inplace_f32(float *d, i64 n, i64 s)
         }
     }
 }
+"""
 
+_FW_BLOCKED_SOURCE = r"""
 /* Multi-stage blocked FW (Lund & Smith): close a blk x blk diagonal
  * block with the register-blocked stage-1 kernel, update the four
  * row/column panels against the closed diagonal (aliased in-place
@@ -355,13 +426,13 @@ void fw_blocked_f32(float *d, i64 n, i64 s, i64 blk, i64 tile)
                           n - k1, nb, n - k1, s, s, s, tile);
     }
 }
+"""
 
-/* ------------------------------------------------------------------ *
- * int32 semiring: exact min-plus with INT32_MAX as +inf, saturating
+_MP_I32_SOURCE = r"""
+/* int32 semiring: exact min-plus with INT32_MAX as +inf, saturating
  * addition via a 64-bit intermediate. One candidate at a time — the
  * reduced-precision path trades peak rate for half the memory traffic
- * of float64 and exactness over float32 beyond 2^24.
- * ------------------------------------------------------------------ */
+ * of float64 and exactness over float32 beyond 2^24. */
 void mp_update_i32(int32_t *c, const int32_t *a, const int32_t *b,
                    i64 bi, i64 bk, i64 bj,
                    i64 cs, i64 as, i64 bs, i64 tile)
@@ -392,21 +463,118 @@ void mp_update_i32(int32_t *c, const int32_t *a, const int32_t *b,
 }
 """
 
+#: the min-plus operand contract shared by all three mp_update kernels
+_MP_ARRAYS: dict[str, dict[str, str]] = {
+    "c": {"rows": "bi", "cols": "bj", "stride": "cs", "mode": "rw"},
+    "a": {"rows": "bi", "cols": "bk", "stride": "as", "mode": "r"},
+    "b": {"rows": "bk", "cols": "bj", "stride": "bs", "mode": "r"},
+}
+
+#: every C entry point, in translation-unit order, with its contract —
+#: repro.verifykernel parses these sources and proves them safe
+KERNEL_TEMPLATES: tuple[KernelTemplate, ...] = (
+    KernelTemplate(
+        name="mp_update_f32_seq",
+        source=_MP_SEQ_SOURCE,
+        arrays=_MP_ARRAYS,
+        alias_class="k-sequential",
+    ),
+    KernelTemplate(
+        name="mp_update_f32",
+        source=_MP_FAST_SOURCE,
+        arrays=_MP_ARRAYS,
+        alias_class="disjoint",
+    ),
+    KernelTemplate(
+        name="mp_update_f32_omp",
+        source=_MP_OMP_SOURCE,
+        arrays=_MP_ARRAYS,
+        alias_class="router",
+        calls=("mp_update_f32_seq", "mp_update_f32"),
+        parallel=True,
+        scalars=("threads", "seq"),
+    ),
+    KernelTemplate(
+        name="fw_inplace_f32",
+        source=_FW_INPLACE_SOURCE,
+        arrays={"d": {"rows": "n", "cols": "n", "stride": "s", "mode": "rw"}},
+        alias_class="inplace-fw",
+    ),
+    KernelTemplate(
+        name="fw_blocked_f32",
+        source=_FW_BLOCKED_SOURCE,
+        arrays={"d": {"rows": "n", "cols": "n", "stride": "s", "mode": "rw"}},
+        alias_class="inplace-fw",
+        calls=("fw_inplace_f32", "mp_update_f32_seq", "mp_update_f32"),
+        scalars=("blk", "tile"),
+    ),
+    KernelTemplate(
+        name="mp_update_i32",
+        source=_MP_I32_SOURCE,
+        arrays=_MP_ARRAYS,
+        alias_class="k-sequential",
+    ),
+)
+
+
+def kernel_source(
+    overrides: dict[str, str] | None = None,
+    *,
+    prelude: bool = True,
+) -> str:
+    """Assemble the C translation unit from the kernel templates.
+
+    ``overrides`` substitutes individual kernel sources by name — the
+    seeded-defect suite uses this to build intentionally broken variants
+    without string-surgery on the whole unit.
+    """
+    parts = [_C_PRELUDE] if prelude else []
+    for template in KERNEL_TEMPLATES:
+        parts.append((overrides or {}).get(template.name, template.source))
+    return "\n".join(parts)
+
+
+#: assembled translation unit (kept for cache-key hashing)
+_C_SOURCE = kernel_source()
+
 #: flags always passed; probed extras are added per machine
 _BASE_CFLAGS = ["-O3", "-funroll-loops", "-shared", "-fPIC"]
 
 #: last-resort flag set when the assembled set still fails to compile
 _DEGRADED_CFLAGS = ["-O3", "-shared", "-fPIC"]
 
+#: probed flag groups per sanitizer mode; the first flag is the probe
+SANITIZER_FLAGS: dict[str, tuple[str, ...]] = {
+    "asan": ("-fsanitize=address", "-fno-omit-frame-pointer", "-g"),
+    "ubsan": ("-fsanitize=undefined", "-fno-sanitize-recover=all", "-g"),
+    "tsan": ("-fsanitize=thread", "-g"),
+}
+
+#: runtime shared object to LD_PRELOAD per sanitizer mode
+_SANITIZER_RUNTIMES = {
+    "asan": "libasan.so",
+    "ubsan": "libubsan.so",
+    "tsan": "libtsan.so",
+}
+
 
 @dataclass(frozen=True)
 class CCBuildInfo:
-    """What the cc flavor was actually built with on this machine."""
+    """What the cc flavor was actually built with on this machine.
+
+    ``sanitize`` is the instrumentation that actually went into the
+    build (``None`` for a plain build); ``degraded`` lists every request
+    the toolchain could not honour (e.g. ``"sanitize:asan"`` when
+    ``-fsanitize=address`` was rejected and the build fell back to
+    plain) — the honesty contract the fallback-chain tests assert.
+    """
 
     compiler: str
     version: str
     flags: tuple[str, ...]
     openmp: bool
+    sanitize: str | None = None
+    degraded: tuple[str, ...] = ()
 
     @property
     def fingerprint_key(self) -> str:
@@ -423,6 +591,45 @@ def cc_compiler() -> str | None:
         if path:
             return path
     return None
+
+
+def sanitizer_runtime(mode: str, compiler: str | None = None) -> str | None:
+    """Path of the sanitizer runtime to ``LD_PRELOAD``, or ``None``.
+
+    Instrumented shared objects cannot be ``dlopen``-ed into an
+    uninstrumented interpreter unless the runtime is already loaded;
+    the harness preloads the library this resolves.
+    """
+    compiler = compiler or cc_compiler()
+    if compiler is None:
+        return None
+    lib = _SANITIZER_RUNTIMES.get(mode)
+    if lib is None:
+        return None
+    try:
+        proc = subprocess.run(
+            [compiler, f"-print-file-name={lib}"], capture_output=True, timeout=30
+        )
+    except Exception:
+        return None
+    path = proc.stdout.decode().strip()
+    if proc.returncode != 0 or os.sep not in path or not Path(path).exists():
+        return None
+    return path
+
+
+def _normalize_sanitize(sanitize: str | None) -> str | None:
+    """Resolve a sanitize request (``None`` = consult ``REPRO_JIT_SANITIZE``)."""
+    if sanitize is None:
+        sanitize = os.environ.get("REPRO_JIT_SANITIZE", "")
+    sanitize = sanitize.strip().lower()
+    if sanitize in ("", "0", "off", "none", "no"):
+        return None
+    if sanitize not in SANITIZER_FLAGS:
+        raise ValueError(
+            f"unknown sanitizer {sanitize!r}; choose from {sorted(SANITIZER_FLAGS)}"
+        )
+    return sanitize
 
 
 def _cache_dir() -> Path:
@@ -452,25 +659,37 @@ def _flag_works(compiler: str, flag: str, tmp: str) -> bool:
     return proc.returncode == 0
 
 
-def _resolve_flags(compiler: str) -> tuple[list[str], bool]:
-    """Probe optional flags; returns ``(flags, openmp_linked)``.
+def _resolve_flags(
+    compiler: str, sanitize: str | None = None
+) -> tuple[list[str], bool, str | None, tuple[str, ...]]:
+    """Probe optional flags; returns ``(flags, openmp, sanitize, degraded)``.
 
     ``-march=native`` is dropped when rejected (satellite fix: it used to
     be passed unconditionally, losing the whole cc flavor on compilers
     without it). OpenMP degrades ``-fopenmp`` → ``-fopenmp-simd`` (SIMD
-    pragmas honoured, no thread runtime) → nothing.
+    pragmas honoured, no thread runtime) → nothing. A requested
+    sanitizer whose probe flag the compiler rejects degrades to a plain
+    build, recorded in ``degraded`` — never a hard failure.
     """
     flags = list(_BASE_CFLAGS)
     openmp = False
+    degraded: list[str] = []
     with tempfile.TemporaryDirectory() as tmp:
+        if sanitize:
+            group = SANITIZER_FLAGS[sanitize]
+            if _flag_works(compiler, group[0], tmp):
+                flags = [*group, *flags]
+            else:
+                degraded.append(f"sanitize:{sanitize}")
+                sanitize = None
         if _flag_works(compiler, "-march=native", tmp):
-            flags.insert(1, "-march=native")
+            flags.insert(flags.index("-O3"), "-march=native")
         if _flag_works(compiler, "-fopenmp", tmp):
             flags.append("-fopenmp")
             openmp = True
         elif _flag_works(compiler, "-fopenmp-simd", tmp):
             flags.append("-fopenmp-simd")
-    return flags, openmp
+    return flags, openmp, sanitize, tuple(degraded)
 
 
 def _cc_version(compiler: str) -> str:
@@ -485,8 +704,37 @@ def _cc_version(compiler: str) -> str:
     return "unknown"
 
 
+@contextlib.contextmanager
+def _build_lock(so_path: Path) -> Iterator[None]:
+    """Exclusive advisory lock serialising compiles of one ``.so``.
+
+    Parallel pytest workers (or any concurrent processes) that miss the
+    cache simultaneously would otherwise all spawn compilers; the loser
+    could also observe a half-written object were the publish not
+    atomic. Belt and braces: the flock serialises builders (second one
+    finds the published file and skips), and ``os.replace`` keeps the
+    publish atomic for lock-less readers on platforms without fcntl.
+    """
+    try:
+        import fcntl
+    except ImportError:  # pragma: no cover - non-POSIX
+        yield
+        return
+    lock_path = so_path.with_suffix(so_path.suffix + ".lock")
+    with open(lock_path, "w") as fh:
+        fcntl.flock(fh, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(fh, fcntl.LOCK_UN)
+
+
 class _CCKernels:
-    """ctypes bindings to the compiled shared object."""
+    """ctypes bindings to the compiled shared object.
+
+    Every bound entry point declares ``argtypes``/``restype`` — the FFI
+    contract lint (RPR008) holds this module to it.
+    """
 
     def __init__(self, lib: ctypes.CDLL, build: CCBuildInfo) -> None:
         self.build = build
@@ -508,76 +756,145 @@ class _CCKernels:
         self.fw_blocked = lib.fw_blocked_f32
         self.fw_blocked.argtypes = [ctypes.c_void_p] + [ctypes.c_longlong] * 4
         self.fw_blocked.restype = None
-        self.openmp = bool(lib.repro_openmp())
-        lib.repro_max_threads.restype = ctypes.c_int
-        self.max_threads = int(lib.repro_max_threads())
+        self._openmp_probe = lib.repro_openmp
+        self._openmp_probe.argtypes = []
+        self._openmp_probe.restype = ctypes.c_int
+        self.openmp = bool(self._openmp_probe())
+        self._max_threads_probe = lib.repro_max_threads
+        self._max_threads_probe.argtypes = []
+        self._max_threads_probe.restype = ctypes.c_int
+        self.max_threads = int(self._max_threads_probe())
 
 
-_CC_KERNELS: _CCKernels | None | bool = None  # None = untried, False = failed
+#: per-sanitize-mode cache: missing = untried, False = failed
+_CC_KERNELS: dict[str | None, "_CCKernels | bool"] = {}
 
 
-def _compile_and_load(compiler: str, flags: list[str], openmp: bool) -> _CCKernels:
+def compile_cc_so(
+    compiler: str,
+    flags: list[str],
+    openmp: bool,
+    *,
+    sanitize: str | None = None,
+    degraded: tuple[str, ...] = (),
+    source: str | None = None,
+    cache_dir: Path | None = None,
+) -> tuple[Path, CCBuildInfo]:
+    """Compile the kernel TU into the cache; returns ``(path, build info)``.
+
+    Publishing is atomic (``os.replace``) and compiles are serialised by
+    an advisory file lock, so concurrent processes race neither on the
+    compiler nor on a half-written object. Does **not** ``dlopen`` — the
+    sanitizer harness compiles instrumented objects here and loads them
+    only inside a runtime-preloaded subprocess.
+    """
+    src_text = source if source is not None else _C_SOURCE
     key = hashlib.sha256(
-        (_C_SOURCE + compiler + " ".join(flags)).encode()
+        (src_text + compiler + " ".join(flags)).encode()
     ).hexdigest()[:16]
-    cache = _cache_dir()
+    cache = cache_dir or _cache_dir()
     cache.mkdir(parents=True, exist_ok=True)
     so_path = cache / f"minplus-{key}.so"
     if not so_path.exists():
-        with tempfile.TemporaryDirectory(dir=cache) as tmp:
-            src = Path(tmp) / "minplus.c"
-            src.write_text(_C_SOURCE)
-            out = Path(tmp) / "minplus.so"
-            proc = subprocess.run(
-                [compiler, *flags, "-o", str(out), str(src)],
-                capture_output=True,
-                timeout=120,
-            )
-            if proc.returncode != 0:
-                raise OSError(proc.stderr.decode(errors="replace")[:2000])
-            os.replace(out, so_path)  # atomic publish into the cache
+        with _build_lock(so_path):
+            if not so_path.exists():  # the lock's previous holder built it
+                with tempfile.TemporaryDirectory(dir=cache) as tmp:
+                    src = Path(tmp) / "minplus.c"
+                    src.write_text(src_text)
+                    out = Path(tmp) / "minplus.so"
+                    proc = subprocess.run(
+                        [compiler, *flags, "-o", str(out), str(src)],
+                        capture_output=True,
+                        timeout=120,
+                    )
+                    if proc.returncode != 0:
+                        raise OSError(proc.stderr.decode(errors="replace")[:2000])
+                    os.replace(out, so_path)  # atomic publish into the cache
     build = CCBuildInfo(
         compiler=compiler,
         version=_cc_version(compiler),
         flags=tuple(flags),
         openmp=openmp,
+        sanitize=sanitize,
+        degraded=degraded,
+    )
+    return so_path, build
+
+
+def _compile_and_load(
+    compiler: str,
+    flags: list[str],
+    openmp: bool,
+    *,
+    sanitize: str | None = None,
+    degraded: tuple[str, ...] = (),
+) -> _CCKernels:
+    so_path, build = compile_cc_so(
+        compiler, flags, openmp, sanitize=sanitize, degraded=degraded
     )
     return _CCKernels(ctypes.CDLL(str(so_path)), build)
 
 
-def load_cc_kernels() -> _CCKernels | None:
+def load_cc_kernels(sanitize: str | None = None) -> _CCKernels | None:
     """Compile (once, cached on disk) and load the C kernels.
 
-    Returns ``None`` when no compiler is present or every compile attempt
+    ``sanitize`` selects an instrumented build (``"asan"``, ``"ubsan"``,
+    ``"tsan"``; default consults ``REPRO_JIT_SANITIZE``). Returns
+    ``None`` when no compiler is present or every compile attempt
     (probed flags, then the degraded ``-O3``-only set) fails — callers
-    degrade to the numpy fallback. Never raises.
+    degrade to the numpy fallback. Never raises on toolchain gaps: a
+    rejected sanitizer flag degrades to a plain build, reported in
+    ``CCBuildInfo.degraded``. ASan/TSan objects only load inside a
+    process with the matching runtime preloaded (:func:`sanitizer_runtime`).
     """
-    global _CC_KERNELS
-    if _CC_KERNELS is not None:
-        return _CC_KERNELS or None
-    _CC_KERNELS = False
+    mode = _normalize_sanitize(sanitize)
+    if mode in ("asan", "tsan"):
+        # dlopen of an ASan/TSan object into a process without the
+        # runtime hard-aborts the interpreter ("runtime does not come
+        # first in initial library list") — refuse with a recoverable
+        # error instead; repro.verifykernel.matrixrun sets the preload.
+        preload = os.environ.get("LD_PRELOAD", "")
+        if f"lib{mode}" not in preload:
+            raise RuntimeError(
+                f"{mode}-instrumented kernels need the sanitizer runtime "
+                f"preloaded: relaunch with LD_PRELOAD={sanitizer_runtime(mode)}"
+            )
+    cached = _CC_KERNELS.get(mode, None)
+    if cached is not None:
+        return cached if isinstance(cached, _CCKernels) else None
+    _CC_KERNELS[mode] = False
     compiler = cc_compiler()
     if compiler is None:
         return None
     try:
-        flags, openmp = _resolve_flags(compiler)
+        flags, openmp, got_mode, degraded = _resolve_flags(compiler, mode)
     except Exception:
-        flags, openmp = list(_BASE_CFLAGS), False
-    for attempt_flags, attempt_omp in (
-        (flags, openmp),
-        (_DEGRADED_CFLAGS, False),
+        flags, openmp, got_mode, degraded = list(_BASE_CFLAGS), False, None, ()
+        if mode:
+            degraded = (f"sanitize:{mode}",)
+    for attempt_flags, attempt_omp, attempt_mode, attempt_degraded in (
+        (flags, openmp, got_mode, degraded),
+        (_DEGRADED_CFLAGS, False, None,
+         degraded + ((f"sanitize:{mode}",) if mode and got_mode else ())),
     ):
         try:
-            _CC_KERNELS = _compile_and_load(compiler, list(attempt_flags), attempt_omp)
-            return _CC_KERNELS
+            kernels = _compile_and_load(
+                compiler,
+                list(attempt_flags),
+                attempt_omp,
+                sanitize=attempt_mode,
+                degraded=tuple(dict.fromkeys(attempt_degraded)),
+            )
+            _CC_KERNELS[mode] = kernels
+            return kernels
         except Exception:
-            _CC_KERNELS = False
+            _CC_KERNELS[mode] = False
     return None
 
 
-def cc_build_info() -> CCBuildInfo | None:
+def cc_build_info(sanitize: str | None = None) -> CCBuildInfo | None:
     """Build provenance of the loaded cc kernels (``None`` if unavailable)."""
-    kernels = load_cc_kernels()
+    kernels = load_cc_kernels(sanitize)
     return kernels.build if kernels else None
 
 
@@ -691,7 +1008,17 @@ class JITBackend(KernelBackend):
         return self._flavor in ("numba", "cc", "cc-omp")
 
     @staticmethod
-    def _row_stride(arr: np.ndarray) -> int:
+    def _checked_operand(arr: np.ndarray, dtype: type) -> int:
+        """FFI operand guard: dtype + unit inner stride, returns row stride.
+
+        Every ndarray handed to a C entry point passes through here
+        first — the statically-evident contiguity/dtype guard the FFI
+        lint (RPR009) requires at ``.ctypes.data`` call sites.
+        """
+        if arr.dtype != dtype:
+            raise TypeError(
+                f"jit backend needs {np.dtype(dtype).name} operands, got {arr.dtype}"
+            )
         if arr.strides[1] != arr.itemsize:
             raise ValueError("jit backend needs unit stride along the last axis")
         return arr.strides[0] // arr.itemsize
@@ -719,13 +1046,19 @@ class JITBackend(KernelBackend):
             args = (
                 c.ctypes.data, a.ctypes.data, b.ctypes.data,
                 bi, bk, bj,
-                self._row_stride(c), self._row_stride(a), self._row_stride(b),
+                self._checked_operand(c, np.float32),
+                self._checked_operand(a, np.float32),
+                self._checked_operand(b, np.float32),
                 self.tile,
             )
-            if self._flavor == "cc-omp":
-                self._cc.mp_update_omp(*args, self.threads, int(seq))
-            elif seq:
+            # aliased operands are order-dependent: they stay on the
+            # serial sequential-k kernel and never fan out across OpenMP
+            # panels (the C entry point routes identically; verified by
+            # `repro verify-kernels`)
+            if seq:
                 self._cc.mp_update_seq(*args)
+            elif self._flavor == "cc-omp":
+                self._cc.mp_update_omp(*args, self.threads, 0)
             else:
                 self._cc.mp_update(*args)
             return c
@@ -743,7 +1076,7 @@ class JITBackend(KernelBackend):
             return self._numba[1](dist)
         if self._cc is not None:
             n = dist.shape[0]
-            stride = self._row_stride(dist)
+            stride = self._checked_operand(dist, np.float32)
             if self.fw_block and n > self.fw_block:
                 self._cc.fw_blocked(
                     dist.ctypes.data, n, stride, self.fw_block, self.tile
@@ -761,7 +1094,9 @@ class JITBackend(KernelBackend):
             self._cc.mp_update_i32(
                 c.ctypes.data, a.ctypes.data, b.ctypes.data,
                 bi, bk, bj,
-                self._row_stride(c), self._row_stride(a), self._row_stride(b),
+                self._checked_operand(c, np.int32),
+                self._checked_operand(a, np.int32),
+                self._checked_operand(b, np.int32),
                 self.tile,
             )
             return c

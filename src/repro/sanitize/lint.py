@@ -34,6 +34,18 @@ RPR007  dead-event           a ``.record(...)`` whose event no reachable
                              nothing: either leftover scaffolding or a dropped
                              synchronisation edge (the source-level twin of the
                              plan verifier's dead-event check)
+RPR008  ffi-contract         every function reference taken from a
+                             ``ctypes.CDLL`` handle must declare **both**
+                             ``argtypes`` and ``restype`` somewhere in the
+                             module; an undeclared C entry point defaults to
+                             int-sized marshalling and corrupts 64-bit
+                             pointers/strides silently
+RPR009  unchecked-ndarray-ffi a raw ``arr.ctypes.data`` pointer handed to a C
+                             call site needs a statically-evident dtype +
+                             contiguity guard on ``arr`` in the same function
+                             (``_checked_operand``/``ascontiguousarray``/
+                             ``np.require``) — the C kernels assume unit inner
+                             stride and a specific element width
 ======= ==================== =====================================================
 
 Run over paths with :func:`lint_paths`; each finding is a
@@ -59,6 +71,8 @@ RULES: dict[str, tuple[str, str]] = {
     "RPR005": ("missing-all", "public module defines public names but no __all__"),
     "RPR006": ("untracked-launch", "stream.launch() without reads=/writes= operand sets"),
     "RPR007": ("dead-event", "record() whose event no reachable wait() consumes"),
+    "RPR008": ("ffi-contract", "CDLL function used without declared argtypes/restype"),
+    "RPR009": ("unchecked-ndarray-ffi", "ndarray pointer reaches C without dtype/contiguity guard"),
 }
 
 #: engine entry points whose operands RPR002 inspects
@@ -306,6 +320,170 @@ def _check_dead_events(tree: ast.Module, checker: _Checker) -> None:
             )
 
 
+def _dotted(node: ast.AST) -> str | None:
+    """Render a Name/Attribute chain as ``a.b.c`` (None when not a chain)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _is_cdll_ctor(node: ast.AST) -> bool:
+    """``ctypes.CDLL(...)`` / ``CDLL(...)`` / ``ctypes.cdll.LoadLibrary(...)``."""
+    if not isinstance(node, ast.Call):
+        return False
+    name = _dotted(node.func)
+    return name in ("CDLL", "ctypes.CDLL", "cdll.LoadLibrary", "ctypes.cdll.LoadLibrary")
+
+
+def _is_cdll_annotation(node: ast.AST | None) -> bool:
+    return node is not None and _dotted(node) in ("CDLL", "ctypes.CDLL")
+
+
+def _check_ffi_contracts(tree: ast.Module, checker: _Checker) -> None:
+    """RPR008 — module-wide: CDLL function refs need argtypes *and* restype.
+
+    Tracks CDLL handles (``lib = ctypes.CDLL(...)`` and parameters
+    annotated ``ctypes.CDLL``), the function references taken from them
+    (``self.f = lib.foo``), and the contract assignments
+    (``self.f.argtypes = …`` / ``.restype = …``). A reference — or a
+    direct ``lib.foo(...)`` call — with either half of the contract
+    missing module-wide is flagged.
+    """
+    cdll_names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            value = node.value
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            if value is not None and _is_cdll_ctor(value):
+                for t in targets:
+                    name = _dotted(t)
+                    if name is not None:
+                        cdll_names.add(name)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for arg in node.args.args + node.args.kwonlyargs:
+                if _is_cdll_annotation(arg.annotation):
+                    cdll_names.add(arg.arg)
+    if not cdll_names:
+        return
+    # refs: dotted target -> (line, col, C symbol); declared: target -> halves
+    refs: dict[str, tuple[int, int, str]] = {}
+    declared: dict[str, set[str]] = {}
+    direct_calls: list[tuple[str, ast.Call]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            value = node.value
+            if (
+                isinstance(value, ast.Attribute)
+                and _dotted(value.value) in cdll_names
+            ):
+                for t in node.targets:
+                    name = _dotted(t)
+                    if name is not None:
+                        refs.setdefault(name, (node.lineno, node.col_offset, value.attr))
+            for t in node.targets:
+                if isinstance(t, ast.Attribute) and t.attr in ("argtypes", "restype"):
+                    owner = _dotted(t.value)
+                    if owner is not None:
+                        declared.setdefault(owner, set()).add(t.attr)
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            owner = _dotted(node.func.value)
+            if owner in cdll_names:
+                direct_calls.append((f"{owner}.{node.func.attr}", node))
+    for target, (line, col, symbol) in refs.items():
+        missing = {"argtypes", "restype"} - declared.get(target, set())
+        if missing:
+            checker.violations.append(
+                Violation(
+                    rule="RPR008", name=RULES["RPR008"][0],
+                    file=str(checker.path), line=line, col=col,
+                    message=f"C function {symbol!r} bound to {target} without "
+                    f"{' or '.join(sorted(missing))}; an undeclared FFI "
+                    "contract truncates 64-bit pointers/strides",
+                )
+            )
+    for qualified, call in direct_calls:
+        if {"argtypes", "restype"} - declared.get(qualified, set()):
+            checker._flag(
+                "RPR008", call,
+                f"direct call through {qualified} without declared "
+                "argtypes/restype",
+            )
+
+
+_NDARRAY_GUARDS = {"_checked_operand", "ascontiguousarray", "require"}
+
+
+def _check_ndarray_ffi(tree: ast.Module, checker: _Checker) -> None:
+    """RPR009 — per function: ``x.ctypes.data`` call args need a guard on x.
+
+    Every ``x.ctypes.data`` occurrence counts as a raw pointer escaping
+    to C (directly as a call argument, or packed into an args tuple).
+    The guard must be statically evident in the same function: ``x``
+    passed to ``_checked_operand``/``np.ascontiguousarray``/
+    ``np.require`` (any of which pins dtype and layout before the raw
+    pointer crosses the FFI boundary).
+    """
+    funcs = [
+        n for n in ast.walk(tree)
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+    ]
+    covered: set[ast.AST] = set()
+    for fn in funcs:
+        for inner in ast.walk(fn):
+            if inner is not fn and isinstance(
+                inner, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                covered.add(inner)
+    for fn in funcs:
+        if fn in covered:
+            continue  # nested defs are walked with their own scope below
+        _check_ndarray_ffi_scope(fn, checker)
+
+
+def _check_ndarray_ffi_scope(fn: ast.AST, checker: _Checker) -> None:
+    guarded: set[str] = set()
+    raw_uses: list[tuple[str, ast.Attribute]] = []
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call):
+            callee = node.func
+            cname = callee.attr if isinstance(callee, ast.Attribute) else (
+                callee.id if isinstance(callee, ast.Name) else None
+            )
+            if cname in _NDARRAY_GUARDS:
+                for arg in node.args:
+                    if isinstance(arg, ast.Name):
+                        guarded.add(arg.id)
+        use = _raw_pointer_use(node)
+        if use is not None:
+            raw_uses.append(use)
+    for owner, node in raw_uses:
+        if owner not in guarded:
+            checker._flag(
+                "RPR009", node,
+                f"{owner}.ctypes.data crosses the FFI boundary without a "
+                f"dtype/contiguity guard on {owner!r} in this function "
+                "(route it through _checked_operand or np.ascontiguousarray)",
+            )
+
+
+def _raw_pointer_use(node: ast.AST) -> tuple[str, ast.Attribute] | None:
+    """Match ``<name>.ctypes.data`` and return (name, node)."""
+    if (
+        isinstance(node, ast.Attribute)
+        and node.attr == "data"
+        and isinstance(node.value, ast.Attribute)
+        and node.value.attr == "ctypes"
+        and isinstance(node.value.value, ast.Name)
+    ):
+        return node.value.value.id, node
+    return None
+
+
 def _module_public_names(tree: ast.Module) -> list[str]:
     """Top-level public defs/classes/assignments (imports excluded)."""
     names: list[str] = []
@@ -359,6 +537,9 @@ def lint_file(path: Path, root: Path | None = None) -> list[Violation]:
     violations = checker.violations
     # RPR007 needs module-wide wait()-reachability, not a single-node view
     _check_dead_events(tree, checker)
+    # RPR008/RPR009 — module-wide FFI contract + per-function operand guards
+    _check_ffi_contracts(tree, checker)
+    _check_ndarray_ffi(tree, checker)
     # RPR005 is module-shaped, not node-shaped
     module_name = path.stem
     exempt = module_name.startswith("_") and module_name != "__init__"

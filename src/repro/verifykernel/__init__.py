@@ -1,0 +1,39 @@
+"""Static + dynamic verification of the JIT-compiled C min-plus kernels.
+
+Submodules: :mod:`cparse` (restricted-C parser for the kernel
+templates), :mod:`bounds` (symbolic affine bounds prover and abstract
+interpreter), :mod:`alias` (alias-class derivation, OpenMP panel
+disjointness, Python dispatch cross-check), :mod:`defects` (seeded-bug
+registry), :mod:`sanitizers` (ASan/UBSan/TSan harness),
+:mod:`matrixrun` (the instrumented-process kernel test matrix), and
+:mod:`report` (the ``repro verify-kernels`` pipeline).
+"""
+
+from repro.verifykernel.bounds import Finding
+from repro.verifykernel.defects import DEFECTS, SeededDefect
+from repro.verifykernel.report import (
+    SCHEMA_VERSION,
+    DefectResult,
+    KernelVerification,
+    static_findings,
+    verify_kernels,
+)
+from repro.verifykernel.sanitizers import (
+    SanitizerRunResult,
+    run_matrix,
+    sanitizer_available,
+)
+
+__all__ = [
+    "DEFECTS",
+    "SCHEMA_VERSION",
+    "DefectResult",
+    "Finding",
+    "KernelVerification",
+    "SanitizerRunResult",
+    "SeededDefect",
+    "run_matrix",
+    "sanitizer_available",
+    "static_findings",
+    "verify_kernels",
+]

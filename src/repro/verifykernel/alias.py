@@ -1,0 +1,458 @@
+"""Alias-tolerance derivation and parallel-disjointness proofs.
+
+Three analyses on top of the bounds interpreter:
+
+1. **Pivot-group classification** — derive, from the kernel body itself,
+   which ``(c, a, b)`` alias patterns each min-plus kernel tolerates.
+   The discriminator is the *pivot group width*: how many distinct
+   ``k`` offsets of ``A`` a kernel reads per innermost update of ``C``.
+   Width 1 means pivots are consumed strictly one at a time, preserving
+   the per-row sequential-``k`` semantics that makes the row-aliased
+   stage-2 patterns (``C==A``, ``C==B`` on the zero-diagonal distance
+   domain) exact. Width > 1 (the register-blocked kernel pre-loads a
+   4-pivot group before writing) is only sound for disjoint operands —
+   a pivot loaded before an aliased write would go stale. The derived
+   class is cross-checked against the template's declared
+   ``alias_class``; a mismatch is a finding on whichever side is wrong.
+
+2. **OpenMP panel disjointness** — for every write region issued inside
+   a ``parallel for`` frame over ``t``, prove no overlap with the same
+   (or any sibling) region at iteration ``t + 1 + d`` for every
+   ``d >= 0``. Adjacent panels ``[bj·t/threads, bj·(t+1)/threads)``
+   share exactly their boundary, which the prover's same-denominator
+   floor-division rule discharges; a widened panel breaks it.
+
+3. **Router/self-alias soundness** — every call site whose instantiated
+   regions may overlap (written region vs a read region of the same
+   array) must target a callee whose derived class tolerates that
+   pattern (``k-sequential`` / ``inplace-fw``, never ``disjoint``), and
+   in the ``cc-omp`` router no path on which ``seq`` may be nonzero may
+   reach a parallel frame or a ``disjoint``-class callee. Together with
+   :func:`check_python_dispatch` — which statically checks that
+   ``JITBackend.update`` derives ``seq`` from ``_aliased`` and routes
+   truthy ``seq`` to the sequential twin — this closes the alias
+   contract across the Python/C boundary.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.verifykernel import cparse
+from repro.verifykernel.bounds import (
+    CallSite,
+    Finding,
+    KernelAnalysis,
+    LoopSym,
+    Poly,
+    Region,
+    Sym,
+    _atom_poly,
+    _substitute_atom,
+    call_regions,
+    decompose_offset,
+    prove_ge0,
+)
+
+__all__ = [
+    "check_call_aliasing",
+    "check_parallel_disjointness",
+    "check_python_dispatch",
+    "derive_alias_class",
+]
+
+#: alias classes that tolerate overlapping operand regions
+_TOLERANT = {"k-sequential", "inplace-fw"}
+
+
+# ---------------------------------------------------------------------------
+# 1. pivot-group classification
+# ---------------------------------------------------------------------------
+def derive_alias_class(analysis: KernelAnalysis, template) -> tuple[str, list[Finding]]:
+    """Derive the alias tolerance of one kernel from its access pattern."""
+    findings: list[Finding] = []
+    arrays: dict[str, dict[str, str]] = template.arrays
+    if not analysis.accesses and analysis.calls:
+        # pure dispatcher: tolerance comes from per-call checks
+        derived = "router" if template.name.endswith("_omp") else "inplace-fw"
+        return derived, findings
+    rw = [name for name, spec in arrays.items() if spec["mode"] != "r"]
+    if len(arrays) == 1 and rw:
+        derived = _classify_inplace(analysis, rw[0], arrays[rw[0]]["stride"])
+    else:
+        derived = _classify_minplus(analysis, arrays)
+    if derived != template.alias_class:
+        findings.append(
+            Finding(
+                "alias",
+                analysis.name,
+                analysis.fn.line,
+                f"derived alias class {derived!r} contradicts declared "
+                f"{template.alias_class!r}",
+            )
+        )
+    return derived, findings
+
+
+def _classify_minplus(
+    analysis: KernelAnalysis, arrays: dict[str, dict[str, str]]
+) -> str:
+    """Width of the widest pivot group read from ``a`` per loop instance."""
+    width = 1
+    for name, spec in arrays.items():
+        if spec["mode"] != "r":
+            continue
+        per_loop: dict[LoopSym, set[Poly]] = {}
+        for acc in analysis.accesses:
+            if acc.array != name or acc.write:
+                continue
+            decomp = decompose_offset(acc.offset, spec["stride"])
+            if decomp is None:
+                continue
+            row, col = decomp
+            for part in (row, col):
+                for atom in part.atoms():
+                    if isinstance(atom, LoopSym):
+                        per_loop.setdefault(atom, set()).add(part)
+        for exprs in per_loop.values():
+            width = max(width, len(exprs))
+    return "disjoint" if width > 1 else "k-sequential"
+
+
+def _classify_inplace(analysis: KernelAnalysis, array: str, stride: str) -> str:
+    """In-place FW shape: the outermost (pivot) loop indexes reads on both
+    the row and the column axis while never indexing write rows."""
+    pivot_rows = False
+    pivot_cols = False
+    write_rows_clean = True
+    for acc in analysis.accesses:
+        if acc.array != array or not acc.frames:
+            continue
+        pivot = acc.frames[0].atom
+        decomp = decompose_offset(acc.offset, stride)
+        if decomp is None:
+            continue
+        row, col = decomp
+        if acc.write:
+            if row.contains(pivot):
+                write_rows_clean = False
+        else:
+            pivot_rows = pivot_rows or row.contains(pivot)
+            pivot_cols = pivot_cols or col.contains(pivot)
+    if pivot_rows and pivot_cols and write_rows_clean:
+        return "inplace-fw"
+    return "disjoint"
+
+
+# ---------------------------------------------------------------------------
+# 2. parallel panel disjointness
+# ---------------------------------------------------------------------------
+def _regions_of_call(
+    call: CallSite, templates_by_name: dict, parsed_by_name: dict, caller_arrays, name
+) -> list[Region]:
+    tpl = templates_by_name.get(call.name)
+    fn = parsed_by_name.get(call.name)
+    if tpl is None or fn is None:
+        return []
+    regions, _ = call_regions(call, fn.params, tpl.arrays, caller_arrays, name)
+    return [r for _, r in regions]
+
+
+def check_parallel_disjointness(
+    analysis: KernelAnalysis,
+    template,
+    templates_by_name: dict,
+    parsed_by_name: dict,
+) -> list[Finding]:
+    """Prove pairwise-disjoint write sets across parallel loop iterations."""
+    findings: list[Finding] = []
+    # collect (parallel atom, written region, line) from calls and writes
+    items: list[tuple[LoopSym, Region, int]] = []
+    for call in analysis.calls:
+        par = [f for f in call.frames if f.parallel]
+        if not par:
+            continue
+        atom = par[-1].atom
+        for region in _regions_of_call(
+            call, templates_by_name, parsed_by_name, template.arrays, analysis.name
+        ):
+            if region.write:
+                items.append((atom, region, call.line))
+    for acc in analysis.accesses:
+        par = [f for f in acc.frames if f.parallel]
+        if not (par and acc.write):
+            continue
+        spec = template.arrays.get(acc.array)
+        if spec is None:
+            continue
+        decomp = decompose_offset(acc.offset, spec["stride"])
+        if decomp is None:
+            continue
+        row, col = decomp
+        items.append(
+            (par[-1].atom, Region(acc.array, row, row, col, col, True), acc.line)
+        )
+    for i, (atom, r1, line1) in enumerate(items):
+        for atom2, r2, _line2 in items[i:]:
+            if atom != atom2 or r1.array != r2.array:
+                continue
+            if not _disjoint_under_shift(r1, r2, atom):
+                findings.append(
+                    Finding(
+                        "panels",
+                        analysis.name,
+                        line1,
+                        f"cannot prove parallel iterations write disjoint "
+                        f"regions of {r1.array!r} (panel overlap)",
+                    )
+                )
+    return findings
+
+
+def _disjoint_under_shift(r1: Region, r2: Region, atom: LoopSym) -> bool:
+    """Regions at iterations ``t`` and ``t + 1 + d`` never overlap."""
+    gap = _atom_poly(Sym(f"__shift_{atom.name}"))  # fresh nonnegative d
+    shifted_t = _atom_poly(atom) + gap + 1
+
+    def shift(p: Poly) -> Poly:
+        return _substitute_atom(p, atom, shifted_t)
+
+    # disjoint if row intervals or column intervals cannot meet, in
+    # either order of the two iterations
+    later_r2 = prove_ge0(shift(r2.row_lo) - r1.row_hi - 1) or prove_ge0(
+        shift(r2.col_lo) - r1.col_hi - 1
+    )
+    later_r1 = prove_ge0(shift(r1.row_lo) - r2.row_hi - 1) or prove_ge0(
+        shift(r1.col_lo) - r2.col_hi - 1
+    )
+    return later_r2 and later_r1
+
+
+# ---------------------------------------------------------------------------
+# 3. call-site alias soundness + router seq discipline
+# ---------------------------------------------------------------------------
+def _facts_pin_zero(facts: tuple[Poly, ...], name: str) -> bool:
+    """Do the path facts force parameter ``name`` to zero?"""
+    upper = _atom_poly(Sym(name)) * -1  # "-name >= 0" means name <= 0
+    return any(f == upper for f in facts)
+
+
+def check_call_aliasing(
+    analysis: KernelAnalysis,
+    template,
+    templates_by_name: dict,
+    parsed_by_name: dict,
+    derived_classes: dict[str, str],
+) -> list[Finding]:
+    """Overlapping call regions must target alias-tolerant callees, and
+    the ``seq`` flag must never fan out across a parallel frame."""
+    findings: list[Finding] = []
+    has_seq = any(
+        p.name == "seq" and not p.pointer for p in analysis.fn.params
+    )
+    for call in analysis.calls:
+        callee_class = derived_classes.get(call.name, "disjoint")
+        regions = _regions_of_call(
+            call, templates_by_name, parsed_by_name, template.arrays, analysis.name
+        )
+        written = [r for r in regions if r.write]
+        read = [r for r in regions if not r.write]
+        overlapping = False
+        for w in written:
+            for r in read:
+                if w.array != r.array:
+                    continue
+                if w == r:
+                    # the callee's own rw array seen through both modes
+                    continue
+                if not _rect_disjoint(w, r, call.facts):
+                    overlapping = True
+        if overlapping and callee_class not in _TOLERANT:
+            findings.append(
+                Finding(
+                    "alias",
+                    analysis.name,
+                    call.line,
+                    f"possibly-overlapping operand regions passed to "
+                    f"{call.name!r}, which requires disjoint operands",
+                )
+            )
+        if has_seq:
+            in_parallel = any(f.parallel for f in call.frames)
+            seq_zero = _facts_pin_zero(call.facts, "seq")
+            if in_parallel and not seq_zero:
+                findings.append(
+                    Finding(
+                        "alias",
+                        analysis.name,
+                        call.line,
+                        "aliased (seq) operands may fan out across the "
+                        "parallel region — cross-panel read/write race",
+                    )
+                )
+            elif callee_class == "disjoint" and not seq_zero:
+                findings.append(
+                    Finding(
+                        "alias",
+                        analysis.name,
+                        call.line,
+                        f"path may reach disjoint-only kernel {call.name!r} "
+                        f"with seq != 0 (unsound alias routing)",
+                    )
+                )
+    return findings
+
+
+def _rect_disjoint(a: Region, b: Region, facts: tuple[Poly, ...]) -> bool:
+    """Same-iteration rectangles disjoint on the row or column axis."""
+    return (
+        prove_ge0(b.row_lo - a.row_hi - 1, facts)
+        or prove_ge0(a.row_lo - b.row_hi - 1, facts)
+        or prove_ge0(b.col_lo - a.col_hi - 1, facts)
+        or prove_ge0(a.col_lo - b.col_hi - 1, facts)
+    )
+
+
+# ---------------------------------------------------------------------------
+# 4. Python dispatch cross-check
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class _DispatchCall:
+    entry: str  # mp_update_seq | mp_update | mp_update_omp
+    seq_state: str  # "true" | "false" | "unknown"
+    line: int
+    omp_seq_arg: int | None  # literal last arg of mp_update_omp, if constant
+
+
+def check_python_dispatch(source: str, filename: str = "jit.py") -> list[Finding]:
+    """Statically check ``JITBackend.update``'s alias routing.
+
+    Requirements: ``seq`` is derived from a ``self._aliased(c, a, b)``
+    call (not a constant), truthy ``seq`` reaches only the sequential-k
+    entry point, and the fast/OpenMP entry points are reachable only
+    with ``seq`` statically falsy (the OpenMP call must also pass a
+    literal ``0`` for its C-side ``seq`` flag).
+    """
+    findings: list[Finding] = []
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [Finding("dispatch", filename, exc.lineno or 0, f"unparsable: {exc}")]
+    update_fn = None
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == "JITBackend":
+            for item in node.body:
+                if isinstance(item, ast.FunctionDef) and item.name == "update":
+                    update_fn = item
+    if update_fn is None:
+        return [Finding("dispatch", filename, 0, "JITBackend.update not found")]
+
+    seq_from_aliased = False
+    seq_constant: object = None
+    for node in ast.walk(update_fn):
+        if isinstance(node, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "seq" for t in node.targets
+        ):
+            value = node.value
+            if (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Attribute)
+                and value.func.attr == "_aliased"
+            ):
+                seq_from_aliased = True
+            elif isinstance(value, ast.Constant):
+                seq_constant = value.value
+    if not seq_from_aliased:
+        findings.append(
+            Finding(
+                "dispatch",
+                filename,
+                update_fn.lineno,
+                "seq is not derived from _aliased(c, a, b)"
+                + (f" (constant {seq_constant!r})" if seq_constant is not None else ""),
+            )
+        )
+
+    calls: list[_DispatchCall] = []
+
+    def walk(stmts: list[ast.stmt], seq_state: str) -> None:
+        for stmt in stmts:
+            for node in ast.walk(stmt) if not isinstance(stmt, ast.If) else []:
+                _collect_call(node, seq_state, calls)
+            if isinstance(stmt, ast.If):
+                test = stmt.test
+                if isinstance(test, ast.Name) and test.id == "seq":
+                    walk(stmt.body, "true")
+                    walk(stmt.orelse, "false")
+                elif (
+                    isinstance(test, ast.UnaryOp)
+                    and isinstance(test.op, ast.Not)
+                    and isinstance(test.operand, ast.Name)
+                    and test.operand.id == "seq"
+                ):
+                    walk(stmt.body, "false")
+                    walk(stmt.orelse, "true")
+                else:
+                    for node in ast.walk(test):
+                        _collect_call(node, seq_state, calls)
+                    walk(stmt.body, seq_state)
+                    walk(stmt.orelse, seq_state)
+
+    def _collect_call(node: ast.AST, seq_state: str, out: list[_DispatchCall]) -> None:
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            return
+        if node.func.attr not in ("mp_update_seq", "mp_update", "mp_update_omp"):
+            return
+        omp_seq = None
+        if node.func.attr == "mp_update_omp" and node.args:
+            last = node.args[-1]
+            if isinstance(last, ast.Constant) and isinstance(last.value, int):
+                omp_seq = last.value
+        out.append(_DispatchCall(node.func.attr, seq_state, node.lineno, omp_seq))
+
+    walk(update_fn.body, "unknown")
+
+    seq_calls = [c for c in calls if c.entry == "mp_update_seq"]
+    fast_calls = [c for c in calls if c.entry in ("mp_update", "mp_update_omp")]
+    if not any(c.seq_state == "true" for c in seq_calls):
+        findings.append(
+            Finding(
+                "dispatch",
+                filename,
+                update_fn.lineno,
+                "no path routes truthy seq to the sequential-k kernel",
+            )
+        )
+    for c in fast_calls:
+        if c.seq_state != "false":
+            findings.append(
+                Finding(
+                    "dispatch",
+                    filename,
+                    c.line,
+                    f"{c.entry} reachable without a statically-false seq guard",
+                )
+            )
+        if c.entry == "mp_update_omp" and c.omp_seq_arg not in (0,):
+            findings.append(
+                Finding(
+                    "dispatch",
+                    filename,
+                    c.line,
+                    "mp_update_omp must pass a literal 0 seq flag on the "
+                    "disjoint path",
+                )
+            )
+    for c in seq_calls:
+        if c.seq_state == "false":
+            findings.append(
+                Finding(
+                    "dispatch",
+                    filename,
+                    c.line,
+                    "sequential-k kernel called where seq is statically false "
+                    "(swapped branches?)",
+                )
+            )
+    return findings

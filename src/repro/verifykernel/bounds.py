@@ -1,0 +1,1319 @@
+"""Symbolic bounds proofs for the JIT kernel templates.
+
+Interprets each parsed kernel (:mod:`repro.verifykernel.cparse`) over a
+symbolic domain and proves every array subscript in bounds — across the
+main register-blocked tiles, the remainder loops, and the OpenMP panel
+decomposition — for *all* nonnegative values of the size/stride
+parameters, not just the shapes a test happens to run.
+
+The value domain is a canonical polynomial over nonnegative atoms:
+parameters (``bi``, ``cs``, …), per-loop-instance variables, and three
+opaque-but-monotone operators that C index math introduces —
+``Min``/``Max`` (from ternaries and the clamp pattern
+``if (a > b) a = b;``) and ``Div`` (C integer division of nonnegatives,
+e.g. the OpenMP panel boundaries ``bj * t / threads``). Loop variables
+are eliminated innermost-first by monotone endpoint substitution
+(``Div`` is nondecreasing in its numerator and nonincreasing in its
+denominator; ``Min``/``Max`` are nondecreasing in their arguments), then
+:func:`prove_ge0` discharges the comparison with case splits over
+``Min``/``Max`` (an atom pointwise *equals* one of its arguments),
+floor-division relaxations (``b·Div(a,b)`` lies in ``[a−b+1, a]``), and
+branch facts gathered from guards (``if (blk <= 0 || blk >= n) return;``
+refines ``1 ≤ blk ≤ n−1`` on the fall-through path).
+
+Every access must decompose as ``base + row·stride + col`` against the
+array's declared stride symbol with ``0 ≤ row < rows`` and
+``0 ≤ col < cols`` — the *strong* per-row contract. This is strictly
+stronger than what ASan can observe: a subscript that walks out of its
+logical row but lands inside the allocation (the classic strided-view
+bug) fails the proof here while never touching a redzone.
+
+Call sites are checked interprocedurally by summary: the callee's
+declared access region is instantiated with the actual arguments
+(pointer bases decomposed against the caller's stride) and proven to lie
+inside the caller's own declared extents — this is what validates the
+blocked-FW stage calls with their ``d + k0*s + k0`` diagonal offsets.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+
+from repro.verifykernel import cparse
+from repro.verifykernel.cparse import (
+    Assign,
+    Bin,
+    Block,
+    Call,
+    Cast,
+    Continue,
+    CParseError,
+    Decl,
+    For,
+    FuncDef,
+    If,
+    Index,
+    Num,
+    Return,
+    Ternary,
+    Unary,
+    Var,
+)
+
+__all__ = [
+    "Access",
+    "CallSite",
+    "Finding",
+    "KernelAnalysis",
+    "LoopFrame",
+    "Poly",
+    "Region",
+    "analyze_kernel",
+    "check_kernel_bounds",
+    "eliminate",
+    "prove_ge0",
+    "prove_le",
+]
+
+_uid_counter = itertools.count(1)
+
+
+# ---------------------------------------------------------------------------
+# Atoms and canonical polynomials
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Sym:
+    """A nonnegative kernel parameter."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class LoopSym:
+    """One loop instance's induction variable (unique per loop entry)."""
+
+    name: str
+    uid: int
+
+    def __repr__(self) -> str:
+        return f"{self.name}#{self.uid}"
+
+
+@dataclass(frozen=True)
+class MinAtom:
+    args: tuple["Poly", ...]
+
+    def __repr__(self) -> str:
+        return f"min({', '.join(map(repr, self.args))})"
+
+
+@dataclass(frozen=True)
+class MaxAtom:
+    args: tuple["Poly", ...]
+
+    def __repr__(self) -> str:
+        return f"max({', '.join(map(repr, self.args))})"
+
+
+@dataclass(frozen=True)
+class DivAtom:
+    """C integer division ``num / den`` of nonnegatives, ``den >= 1``."""
+
+    num: "Poly"
+    den: "Poly"
+
+    def __repr__(self) -> str:
+        return f"({self.num!r})//({self.den!r})"
+
+
+Atom = Sym | LoopSym | MinAtom | MaxAtom | DivAtom
+
+#: a monomial: sorted ((atom, exponent), ...)
+Mono = tuple[tuple[Atom, int], ...]
+
+
+@dataclass(frozen=True)
+class Poly:
+    """Canonical sum of integer-coefficient monomials over atoms."""
+
+    terms: tuple[tuple[Mono, int], ...]
+
+    def __repr__(self) -> str:
+        if not self.terms:
+            return "0"
+        parts = []
+        for mono, coeff in self.terms:
+            factors = "*".join(
+                repr(a) if e == 1 else f"{a!r}^{e}" for a, e in mono
+            )
+            parts.append(f"{coeff}*{factors}" if factors else str(coeff))
+        return " + ".join(parts)
+
+    def __add__(self, other: "Poly | int") -> "Poly":
+        other = _as_poly(other)
+        merged = dict(self.terms)
+        for mono, coeff in other.terms:
+            merged[mono] = merged.get(mono, 0) + coeff
+        return _from_dict(merged)
+
+    def __sub__(self, other: "Poly | int") -> "Poly":
+        return self + _as_poly(other) * -1
+
+    def __mul__(self, other: "Poly | int") -> "Poly":
+        other = _as_poly(other)
+        out: dict[Mono, int] = {}
+        for m1, c1 in self.terms:
+            for m2, c2 in other.terms:
+                exps: dict[Atom, int] = {}
+                for a, e in m1 + m2:
+                    exps[a] = exps.get(a, 0) + e
+                mono = tuple(sorted(exps.items(), key=lambda kv: repr(kv[0])))
+                out[mono] = out.get(mono, 0) + c1 * c2
+        return _from_dict(out)
+
+    @property
+    def const_value(self) -> int | None:
+        """The integer value when constant, else ``None``."""
+        if not self.terms:
+            return 0
+        if len(self.terms) == 1 and self.terms[0][0] == ():
+            return self.terms[0][1]
+        return None
+
+    def atoms(self) -> set[Atom]:
+        return {a for mono, _ in self.terms for a, _ in mono}
+
+    def contains(self, sym: Atom) -> bool:
+        def in_atom(a: Atom) -> bool:
+            if a == sym:
+                return True
+            if isinstance(a, (MinAtom, MaxAtom)):
+                return any(arg.contains(sym) for arg in a.args)
+            if isinstance(a, DivAtom):
+                return a.num.contains(sym) or a.den.contains(sym)
+            return False
+
+        return any(in_atom(a) for mono, _ in self.terms for a, _ in mono)
+
+
+def _from_dict(terms: dict[Mono, int]) -> Poly:
+    items = tuple(
+        sorted(
+            ((m, c) for m, c in terms.items() if c != 0),
+            key=lambda mc: repr(mc[0]),
+        )
+    )
+    return Poly(items)
+
+
+def _as_poly(value: "Poly | int") -> Poly:
+    if isinstance(value, Poly):
+        return value
+    return Poly((((), value),)) if value else Poly(())
+
+
+def P(value: int) -> Poly:
+    return _as_poly(value)
+
+
+def _atom_poly(atom: Atom) -> Poly:
+    return Poly(((((atom, 1),), 1),))
+
+
+def make_min(a: Poly, b: Poly) -> Poly:
+    if a == b:
+        return a
+    args = tuple(sorted((a, b), key=repr))
+    return _atom_poly(MinAtom(args))
+
+
+def make_max(a: Poly, b: Poly) -> Poly:
+    if a == b:
+        return a
+    args = tuple(sorted((a, b), key=repr))
+    return _atom_poly(MaxAtom(args))
+
+
+def make_div(num: Poly, den: Poly) -> Poly:
+    if den.const_value == 1:
+        return num
+    nc, dc = num.const_value, den.const_value
+    if nc is not None and dc is not None and dc > 0:
+        return P(nc // dc)
+    return _atom_poly(DivAtom(num, den))
+
+
+# ---------------------------------------------------------------------------
+# The prover
+# ---------------------------------------------------------------------------
+def _substitute_atom(p: Poly, target: Atom, value: Poly) -> Poly:
+    """Replace every occurrence of ``target`` (also nested) with ``value``."""
+    out = P(0)
+    for mono, coeff in p.terms:
+        term = P(coeff)
+        for a, e in mono:
+            if a == target:
+                base: Poly = value
+            elif isinstance(a, MinAtom):
+                base = _remake_min(
+                    tuple(_substitute_atom(arg, target, value) for arg in a.args)
+                )
+            elif isinstance(a, MaxAtom):
+                base = _remake_max(
+                    tuple(_substitute_atom(arg, target, value) for arg in a.args)
+                )
+            elif isinstance(a, DivAtom):
+                base = make_div(
+                    _substitute_atom(a.num, target, value),
+                    _substitute_atom(a.den, target, value),
+                )
+            else:
+                base = _atom_poly(a)
+            for _ in range(e):
+                term = term * base
+        out = out + term
+    return out
+
+
+def _remake_min(args: tuple[Poly, ...]) -> Poly:
+    if len(set(args)) == 1:
+        return args[0]
+    return _atom_poly(MinAtom(tuple(sorted(set(args), key=repr))))
+
+
+def _remake_max(args: tuple[Poly, ...]) -> Poly:
+    if len(set(args)) == 1:
+        return args[0]
+    return _atom_poly(MaxAtom(tuple(sorted(set(args), key=repr))))
+
+
+def _linear_decompose(p: Poly, atom: Atom) -> tuple[Poly, Poly] | None:
+    """``p == q*atom + rest`` with ``atom`` absent from q and rest, or None."""
+    q_terms: dict[Mono, int] = {}
+    rest_terms: dict[Mono, int] = {}
+    for mono, coeff in p.terms:
+        exps = dict(mono)
+        e = exps.pop(atom, 0)
+        reduced = tuple(sorted(exps.items(), key=lambda kv: repr(kv[0])))
+        if e == 0:
+            if any(
+                isinstance(a, (MinAtom, MaxAtom, DivAtom))
+                and _atom_poly(a).contains(atom)
+                for a, _ in mono
+            ):
+                return None  # atom nested inside another atom — not linear
+            rest_terms[mono] = rest_terms.get(mono, 0) + coeff
+        elif e == 1:
+            if any(_atom_poly(a).contains(atom) for a, _ in reduced):
+                return None
+            q_terms[reduced] = q_terms.get(reduced, 0) + coeff
+        else:
+            return None
+    return _from_dict(q_terms), _from_dict(rest_terms)
+
+
+def prove_ge0(p: Poly, facts: tuple[Poly, ...] = (), depth: int = 6) -> bool:
+    """Soundly prove ``p >= 0`` for all nonnegative atom values.
+
+    ``facts`` are polynomials known nonnegative on this path (from branch
+    guards). Incomplete by design: ``False`` means "not proven", and the
+    caller reports a finding — never "proven unsafe".
+    """
+    if depth <= 0:
+        return False
+    # fast path: every coefficient nonnegative over nonnegative atoms
+    if all(coeff >= 0 for _, coeff in p.terms):
+        return True
+    if p.const_value is not None:
+        return p.const_value >= 0
+    # case split on a Min/Max atom: pointwise the atom equals one of its
+    # arguments, so substituting each argument everywhere and proving all
+    # (conjunction) is always sound; when the atom's coefficients all
+    # pull one way a single branch suffices (disjunction)
+    for atom in sorted(p.atoms(), key=repr):
+        if isinstance(atom, (MinAtom, MaxAtom)):
+            coeffs = [
+                coeff for mono, coeff in p.terms if atom in dict(mono)
+            ]
+            branches = [
+                prove_ge0(_substitute_atom(p, atom, arg), facts, depth - 1)
+                for arg in atom.args
+            ]
+            all_neg = all(c < 0 for c in coeffs)
+            all_pos = all(c > 0 for c in coeffs)
+            if isinstance(atom, MinAtom) and all_neg and any(branches):
+                return True  # -Min >= -arg for every arg
+            if isinstance(atom, MaxAtom) and all_pos and any(branches):
+                return True  # +Max >= +arg for every arg
+            if all(branches):
+                return True  # pointwise split
+    # floor-division relaxation: b*Div(a,b) ∈ [a-b+1, a] (a>=0, b>=1)
+    for atom in sorted(p.atoms(), key=repr):
+        if isinstance(atom, DivAtom):
+            decomp = _linear_decompose(p, atom)
+            if decomp is None:
+                continue
+            q, rest = decomp
+            a, b = atom.num, atom.den
+            if not prove_ge0(a, facts, depth - 1):
+                continue
+            if not prove_ge0(b - 1, facts, depth - 1):
+                continue
+            if prove_ge0(q, facts, depth - 1):
+                # Div >= (a-b+1)/b and Div >= 0
+                if prove_ge0(rest, facts, depth - 1):
+                    return True
+                if prove_ge0(q * (a - b + 1) + rest * b, facts, depth - 1):
+                    return True
+            if prove_ge0(P(0) - q, facts, depth - 1):
+                # Div <= a/b and Div <= a
+                if prove_ge0(q * a + rest * b, facts, depth - 1):
+                    return True
+                if prove_ge0(q * a + rest, facts, depth - 1):
+                    return True
+    # same-denominator floor-division monotonicity:
+    # Div(a,b) - Div(c,b) >= 0 when a >= c — cancels the matched pair
+    # (this is what proves adjacent OpenMP panels share their boundary)
+    bare = {
+        mono[0][0]: coeff
+        for mono, coeff in p.terms
+        if len(mono) == 1 and mono[0][1] == 1 and isinstance(mono[0][0], DivAtom)
+    }
+    for pos, pc in bare.items():
+        if pc <= 0:
+            continue
+        for neg, nc in bare.items():
+            if nc >= 0 or pos.den != neg.den:
+                continue
+            if not prove_ge0(pos.num - neg.num, facts, depth - 1):
+                continue
+            k = min(pc, -nc)
+            reduced = (
+                p
+                - _atom_poly(pos) * k
+                + _atom_poly(neg) * k
+            )
+            if prove_ge0(reduced, facts, depth - 1):
+                return True
+    # spend a branch fact: p >= fact + (p - fact), fact >= 0
+    for fact in facts:
+        if prove_ge0(p - fact, facts, depth - 1):
+            return True
+    return False
+
+
+def prove_le(a: Poly, b: Poly, facts: tuple[Poly, ...] = ()) -> bool:
+    return prove_ge0(b - a, facts)
+
+
+# ---------------------------------------------------------------------------
+# Monotone endpoint elimination of loop variables
+# ---------------------------------------------------------------------------
+def _bound_atom(a: Atom, sym: LoopSym, lo: Poly, hi: Poly, upper: bool) -> Poly | None:
+    """Rebuild one atom with ``sym`` eliminated toward the wanted bound."""
+    if isinstance(a, MinAtom) or isinstance(a, MaxAtom):
+        new_args = []
+        for arg in a.args:
+            sub = bound_subst(arg, sym, lo, hi, upper)  # Min/Max nondecreasing
+            if sub is None:
+                return None
+            new_args.append(sub)
+        return (
+            _remake_min(tuple(new_args))
+            if isinstance(a, MinAtom)
+            else _remake_max(tuple(new_args))
+        )
+    if isinstance(a, DivAtom):
+        num = bound_subst(a.num, sym, lo, hi, upper)  # nondecreasing in num
+        den = bound_subst(a.den, sym, lo, hi, not upper)  # nonincreasing in den
+        if num is None or den is None:
+            return None
+        return make_div(num, den)
+    return _atom_poly(a)
+
+
+def bound_subst(
+    p: Poly, sym: LoopSym, lo: Poly | None, hi: Poly | None, upper: bool
+) -> Poly | None:
+    """An upper (or lower) bound of ``p`` over ``sym ∈ [lo, hi]``.
+
+    Sound because every expression the kernels build is affine in each
+    loop variable, with variables nested only inside monotone atoms; a
+    shape outside that (``sym`` squared, or multiplied into an atom that
+    also contains it) returns ``None`` and becomes a finding.
+    """
+    out = P(0)
+    for mono, coeff in p.terms:
+        direct = dict(mono).get(sym, 0)
+        nested = [
+            a
+            for a, _ in mono
+            if not isinstance(a, (Sym, LoopSym)) and _atom_poly(a).contains(sym)
+        ]
+        if direct > 1 or (direct and nested):
+            return None
+        term = P(coeff)
+        for a, e in mono:
+            if a == sym:
+                endpoint = hi if (upper == (coeff > 0)) else lo
+                if endpoint is None:
+                    return None
+                base: Poly = endpoint
+            elif a in nested:
+                rebuilt = _bound_atom(a, sym, lo or P(0), hi or P(0), upper == (coeff > 0))
+                if rebuilt is None or (
+                    (hi is None or lo is None) and _atom_poly(a).contains(sym)
+                ):
+                    return None
+                base = rebuilt
+            else:
+                base = _atom_poly(a)
+            for _ in range(e):
+                term = term * base
+        out = out + term
+    return out
+
+
+@dataclass(frozen=True)
+class LoopFrame:
+    atom: LoopSym
+    lo: Poly | None
+    hi: Poly | None  # inclusive
+    parallel: bool = False
+
+
+def eliminate(
+    p: Poly, frames: tuple[LoopFrame, ...], upper: bool
+) -> Poly | None:
+    """Eliminate loop variables innermost-first toward a bound."""
+    out: Poly | None = p
+    for frame in reversed(frames):
+        if out is None:
+            return None
+        if not out.contains(frame.atom):
+            continue
+        out = bound_subst(out, frame.atom, frame.lo, frame.hi, upper)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Abstract interpretation of a kernel body
+# ---------------------------------------------------------------------------
+class _Opaque:
+    def __repr__(self) -> str:
+        return "<opaque>"
+
+
+OPAQUE = _Opaque()
+
+
+@dataclass(frozen=True)
+class PtrVal:
+    root: str
+    offset: Poly
+
+
+@dataclass(frozen=True)
+class RangeVal:
+    lo: Poly | None
+    hi: Poly | None
+
+
+Value = Poly | PtrVal | RangeVal | _Opaque
+
+
+@dataclass(frozen=True)
+class Access:
+    array: str
+    offset: Poly
+    write: bool
+    line: int
+    frames: tuple[LoopFrame, ...]
+    facts: tuple[Poly, ...]
+
+
+@dataclass(frozen=True)
+class CallSite:
+    name: str
+    args: tuple[Value, ...]
+    line: int
+    frames: tuple[LoopFrame, ...]
+    facts: tuple[Poly, ...]
+
+
+@dataclass(frozen=True)
+class Finding:
+    check: str
+    kernel: str
+    line: int
+    message: str
+
+    def describe(self) -> str:
+        return f"{self.kernel}:{self.line}: [{self.check}] {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "check": self.check,
+            "kernel": self.kernel,
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+@dataclass
+class KernelAnalysis:
+    """Everything the interpreter learned about one kernel body."""
+
+    name: str
+    fn: FuncDef
+    accesses: list[Access] = field(default_factory=list)
+    calls: list[CallSite] = field(default_factory=list)
+    findings: list[Finding] = field(default_factory=list)
+
+
+class _Interpreter:
+    def __init__(self, fn: FuncDef, known_kernels: frozenset[str]) -> None:
+        self.fn = fn
+        self.known_kernels = known_kernels
+        self.result = KernelAnalysis(fn.name, fn)
+        self.env: dict[str, Value] = {}
+        self.int_typed: set[str] = set()
+        self.frames: list[LoopFrame] = []
+        self.facts: list[Poly] = []
+        for p in fn.params:
+            if p.pointer:
+                self.env[p.name] = PtrVal(p.name, P(0))
+            elif p.ctype in cparse.INT_TYPES:
+                self.env[p.name] = _atom_poly(Sym(p.name))
+                self.int_typed.add(p.name)
+            else:
+                self.env[p.name] = OPAQUE
+
+    # -- bookkeeping -------------------------------------------------------
+    def flag(self, check: str, line: int, message: str) -> None:
+        self.result.findings.append(Finding(check, self.fn.name, line, message))
+
+    def record_access(self, base: Value, index: Value, write: bool, line: int) -> None:
+        if not isinstance(base, PtrVal):
+            self.flag("bounds", line, "subscript on an unresolvable pointer")
+            return
+        if not isinstance(index, Poly):
+            self.flag("bounds", line, "subscript index is not affine in loop variables")
+            return
+        self.result.accesses.append(
+            Access(
+                base.root,
+                base.offset + index,
+                write,
+                line,
+                tuple(self.frames),
+                tuple(self.facts),
+            )
+        )
+
+    # -- expression evaluation --------------------------------------------
+    def eval(self, e: cparse.Expr) -> Value:
+        if isinstance(e, Num):
+            return P(e.value)
+        if isinstance(e, Var):
+            if e.name in self.env:
+                return self.env[e.name]
+            if e.name == "INT32_MAX":
+                return P(2**31 - 1)
+            self.flag("parse", e.line, f"unknown identifier {e.name!r}")
+            return OPAQUE
+        if isinstance(e, Cast):
+            val = self.eval(e.expr)
+            return val if e.ctype in cparse.INT_TYPES and isinstance(val, Poly) else (
+                val if isinstance(val, Poly) else OPAQUE
+            )
+        if isinstance(e, Unary):
+            val = self.eval(e.expr)
+            if e.op == "-" and isinstance(val, Poly):
+                return val * -1
+            return OPAQUE
+        if isinstance(e, Bin):
+            return self._eval_bin(e)
+        if isinstance(e, Ternary):
+            return self._eval_ternary(e)
+        if isinstance(e, Index):
+            base = self.eval(e.base)
+            index = self.eval(e.index)
+            self.record_access(base, index, write=False, line=e.line)
+            return OPAQUE
+        if isinstance(e, Call):
+            for arg in e.args:
+                self.eval(arg)
+            if e.name in self.known_kernels:
+                self.flag(
+                    "contract", e.line, f"kernel call {e.name!r} used as an expression"
+                )
+            return OPAQUE
+        raise CParseError(f"unhandled expression node {e!r}")
+
+    def _eval_bin(self, e: Bin) -> Value:
+        left = self.eval(e.left)
+        right = self.eval(e.right)
+        if e.op == "+":
+            if isinstance(left, PtrVal) and isinstance(right, Poly):
+                return PtrVal(left.root, left.offset + right)
+            if isinstance(right, PtrVal) and isinstance(left, Poly):
+                return PtrVal(right.root, right.offset + left)
+            if isinstance(left, Poly) and isinstance(right, Poly):
+                return left + right
+        elif e.op == "-":
+            if isinstance(left, PtrVal) and isinstance(right, Poly):
+                return PtrVal(left.root, left.offset - right)
+            if isinstance(left, Poly) and isinstance(right, Poly):
+                return left - right
+        elif e.op == "*":
+            if isinstance(left, Poly) and isinstance(right, Poly):
+                return left * right
+        elif e.op == "/":
+            if isinstance(left, Poly) and isinstance(right, Poly):
+                return make_div(left, right)
+        return OPAQUE
+
+    def _eval_ternary(self, e: Ternary) -> Value:
+        then = self.eval(e.then)
+        other = self.eval(e.other)
+        if (
+            isinstance(e.cond, Bin)
+            and e.cond.op in ("<", "<=", ">", ">=")
+            and isinstance(then, Poly)
+            and isinstance(other, Poly)
+        ):
+            lhs = self.eval(e.cond.left)
+            rhs = self.eval(e.cond.right)
+            if isinstance(lhs, Poly) and isinstance(rhs, Poly):
+                smaller_first = e.cond.op in ("<", "<=")
+                if then == lhs and other == rhs:
+                    return make_min(lhs, rhs) if smaller_first else make_max(lhs, rhs)
+                if then == rhs and other == lhs:
+                    return make_max(lhs, rhs) if smaller_first else make_min(lhs, rhs)
+        else:
+            self.eval(e.cond)
+        return OPAQUE
+
+    # -- branch facts ------------------------------------------------------
+    def _cond_facts(self, cond: cparse.Expr, negate: bool) -> list[Poly]:
+        """``>= 0`` facts implied by ``cond`` being true (or false)."""
+        if isinstance(cond, Unary) and cond.op == "!":
+            return self._cond_facts(cond.expr, not negate)
+        if isinstance(cond, Bin) and cond.op == "&&":
+            if not negate:
+                return self._cond_facts(cond.left, False) + self._cond_facts(
+                    cond.right, False
+                )
+            return []  # ¬(a && b) is a disjunction — no single fact
+        if isinstance(cond, Bin) and cond.op == "||":
+            if negate:
+                return self._cond_facts(cond.left, True) + self._cond_facts(
+                    cond.right, True
+                )
+            return []
+        if isinstance(cond, Bin) and cond.op in ("<", "<=", ">", ">=", "==", "!="):
+            left = self.eval(cond.left)
+            right = self.eval(cond.right)
+            if not (isinstance(left, Poly) and isinstance(right, Poly)):
+                return []
+            op = cond.op
+            if negate:
+                op = {"<": ">=", "<=": ">", ">": "<=", ">=": "<", "==": "!=", "!=": "=="}[op]
+            if op == "<":
+                return [right - left - 1]
+            if op == "<=":
+                return [right - left]
+            if op == ">":
+                return [left - right - 1]
+            if op == ">=":
+                return [left - right]
+            if op == "==":
+                return [left - right, right - left]
+            return []  # != carries no one-sided fact
+        if isinstance(cond, Var):
+            val = self.eval(cond)
+            if isinstance(val, Poly):
+                # truthy nonnegative integer means >= 1; falsy means == 0
+                return [val - 1] if not negate else [val * -1, val]
+            return []
+        return []
+
+    def _usable_facts(self, facts: list[Poly]) -> list[Poly]:
+        """Keep only loop-variable-free facts (valid at any program point)."""
+        live = {f.atom for f in self.frames}
+        out = []
+        for f in facts:
+            if not any(f.contains(a) for a in live) and not any(
+                isinstance(a, LoopSym) for a in f.atoms()
+            ):
+                out.append(f)
+        return out
+
+    # -- statements --------------------------------------------------------
+    def run(self) -> KernelAnalysis:
+        try:
+            self.exec_block(self.fn.body)
+        except CParseError as exc:
+            self.flag("parse", 0, str(exc))
+        return self.result
+
+    def exec_block(self, block: Block) -> None:
+        for stmt in block.stmts:
+            self.exec_stmt(stmt)
+
+    def exec_stmt(self, stmt: cparse.Stmt) -> None:
+        if isinstance(stmt, Decl):
+            self.exec_decl(stmt)
+        elif isinstance(stmt, Assign):
+            self.exec_assign(stmt)
+        elif isinstance(stmt, If):
+            self.exec_if(stmt)
+        elif isinstance(stmt, For):
+            self.exec_for(stmt)
+        elif isinstance(stmt, (Return, Continue)):
+            pass
+        elif isinstance(stmt, Block):
+            self.exec_block(stmt)
+        elif isinstance(stmt, Call):
+            self.exec_call(stmt)
+        else:
+            raise CParseError(f"unhandled statement {stmt!r}")
+
+    def exec_decl(self, stmt: Decl) -> None:
+        numeric = stmt.ctype in cparse.INT_TYPES
+        for item in stmt.items:
+            value: Value = RangeVal(None, None)
+            if item.init is not None:
+                value = self.eval(item.init)
+            if item.pointer:
+                self.env[item.name] = value if isinstance(value, PtrVal) else OPAQUE
+            elif numeric:
+                self.env[item.name] = value if isinstance(value, Poly) else (
+                    value if isinstance(value, RangeVal) else OPAQUE
+                )
+                self.int_typed.add(item.name)
+            else:
+                self.env[item.name] = OPAQUE
+
+    def exec_assign(self, stmt: Assign) -> None:
+        if isinstance(stmt.target, Index):
+            base = self.eval(stmt.target.base)
+            index = self.eval(stmt.target.index)
+            if stmt.value is not None:
+                self.eval(stmt.value)
+            if stmt.op != "=":
+                self.record_access(base, index, write=False, line=stmt.line)
+            self.record_access(base, index, write=True, line=stmt.line)
+            return
+        assert isinstance(stmt.target, Var)
+        name = stmt.target.name
+        if stmt.op == "=":
+            value = self.eval(stmt.value) if stmt.value is not None else OPAQUE
+            if name in self.int_typed and not isinstance(value, (Poly, RangeVal)):
+                value = OPAQUE
+            self.env[name] = value
+        elif stmt.op in ("+=", "-=", "++", "--"):
+            cur = self.env.get(name, OPAQUE)
+            delta: Value = P(1) if stmt.op in ("++", "--") else (
+                self.eval(stmt.value) if stmt.value is not None else OPAQUE
+            )
+            if isinstance(cur, Poly) and isinstance(delta, Poly):
+                sign = 1 if stmt.op in ("+=", "++") else -1
+                self.env[name] = cur + delta * sign
+            else:
+                self.env[name] = OPAQUE
+        else:
+            self.env[name] = OPAQUE
+
+    def _match_clamp(self, stmt: If) -> bool:
+        """``if (v > e) v = e;`` → ``v = min(v, e)`` (and the < mirror)."""
+        if stmt.other is not None or not isinstance(stmt.cond, Bin):
+            return False
+        if stmt.cond.op not in ("<", "<=", ">", ">="):
+            return False
+        if len(stmt.then.stmts) != 1:
+            return False
+        inner = stmt.then.stmts[0]
+        if not (
+            isinstance(inner, Assign)
+            and inner.op == "="
+            and isinstance(inner.target, Var)
+            and isinstance(stmt.cond.left, Var)
+            and inner.target.name == stmt.cond.left.name
+        ):
+            return False
+        cur = self.env.get(inner.target.name)
+        new = self.eval(inner.value) if inner.value is not None else None
+        rhs = self.eval(stmt.cond.right)
+        if not (isinstance(cur, Poly) and isinstance(new, Poly) and new == rhs):
+            return False
+        if stmt.cond.op in (">", ">="):
+            self.env[inner.target.name] = make_min(cur, new)
+        else:
+            self.env[inner.target.name] = make_max(cur, new)
+        return True
+
+    @staticmethod
+    def _ends_with_return(block: Block) -> bool:
+        return bool(block.stmts) and isinstance(block.stmts[-1], Return)
+
+    def exec_if(self, stmt: If) -> None:
+        if self._match_clamp(stmt):
+            return
+        then_facts = self._usable_facts(self._cond_facts(stmt.cond, negate=False))
+        saved_env = dict(self.env)
+        saved_facts = list(self.facts)
+        self.facts.extend(then_facts)
+        self.exec_block(stmt.then)
+        self.env = dict(saved_env)
+        self.facts = list(saved_facts)
+        if stmt.other is not None:
+            self.facts.extend(self._usable_facts(self._cond_facts(stmt.cond, True)))
+            self.exec_block(stmt.other)
+            self.env = dict(saved_env)
+            self.facts = list(saved_facts)
+        if self._ends_with_return(stmt.then) and stmt.other is None:
+            # fall-through path: the guard must have been false
+            self.facts.extend(self._usable_facts(self._cond_facts(stmt.cond, True)))
+
+    def exec_for(self, stmt: For) -> None:
+        if stmt.init is not None:
+            self.exec_stmt(stmt.init)
+        if stmt.step is None or not isinstance(stmt.step.target, Var):
+            self.flag("parse", stmt.line, "for loop without a recognizable step")
+            return
+        var = stmt.step.target.name
+        if stmt.step.op not in ("+=", "++"):
+            self.flag("parse", stmt.line, f"unsupported loop step {stmt.step.op!r}")
+            return
+        entry = self.env.get(var, OPAQUE)
+        lo: Poly | None
+        if isinstance(entry, Poly):
+            lo = entry
+        elif isinstance(entry, RangeVal):
+            lo = entry.lo
+        else:
+            lo = None
+        atom = LoopSym(var, next(_uid_counter))
+        hi = self._loop_upper(stmt.cond, atom, var) if stmt.cond is not None else None
+        if hi is None:
+            self.flag(
+                "bounds", stmt.line, f"cannot bound loop variable {var!r} from its guard"
+            )
+        parallel = bool(stmt.pragma and "parallel" in stmt.pragma)
+        self.env[var] = _atom_poly(atom)
+        self.int_typed.add(var)
+        self.frames.append(LoopFrame(atom, lo, hi, parallel))
+        self.exec_block(stmt.body)
+        self.frames.pop()
+        self.env[var] = RangeVal(lo, None)
+
+    def _loop_upper(self, cond: cparse.Expr, atom: LoopSym, var: str) -> Poly | None:
+        """Inclusive upper bound of the loop variable from its guard."""
+        if not (isinstance(cond, Bin) and cond.op in ("<", "<=")):
+            return None
+        saved = self.env.get(var)
+        self.env[var] = _atom_poly(atom)
+        left = self.eval(cond.left)
+        right = self.eval(cond.right)
+        if saved is not None:
+            self.env[var] = saved
+        if not (isinstance(left, Poly) and isinstance(right, Poly)):
+            return None
+        if right.contains(atom):
+            return None
+        decomp = _linear_decompose(left, atom)
+        if decomp is None:
+            return None
+        q, rest = decomp
+        if q.const_value != 1:
+            return None
+        # var + rest < right  →  var <= right - rest - 1
+        bound = right - rest
+        if cond.op == "<":
+            bound = bound - 1
+        return bound
+
+    def exec_call(self, stmt: Call) -> None:
+        args = tuple(self.eval(a) for a in stmt.args)
+        if stmt.name in self.known_kernels:
+            self.result.calls.append(
+                CallSite(
+                    stmt.name,
+                    args,
+                    stmt.line,
+                    tuple(self.frames),
+                    tuple(self.facts),
+                )
+            )
+
+
+def analyze_kernel(
+    fn: FuncDef, known_kernels: frozenset[str] = frozenset()
+) -> KernelAnalysis:
+    """Interpret one kernel body; returns accesses, call sites, findings."""
+    return _Interpreter(fn, known_kernels).run()
+
+
+# ---------------------------------------------------------------------------
+# Bounds checking against declared contracts
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Region:
+    """A rectangular access region in row/column space (inclusive bounds)."""
+
+    array: str
+    row_lo: Poly
+    row_hi: Poly
+    col_lo: Poly
+    col_hi: Poly
+    write: bool
+
+
+def decompose_offset(offset: Poly, stride: str) -> tuple[Poly, Poly] | None:
+    """Split ``offset`` into ``(row, col)`` against a stride symbol."""
+    return _linear_decompose(offset, Sym(stride))
+
+
+def _extent_poly(expr_text: str) -> Poly:
+    """Parse a contract extent expression (parameter names and + - * /)."""
+    tokens = cparse._tokenize(expr_text)
+    parser = cparse._Parser(tokens)
+    parsed = parser.parse_expr()
+
+    def conv(e: cparse.Expr) -> Poly:
+        if isinstance(e, Num):
+            return P(e.value)
+        if isinstance(e, Var):
+            return _atom_poly(Sym(e.name))
+        if isinstance(e, Bin):
+            left, right = conv(e.left), conv(e.right)
+            if e.op == "+":
+                return left + right
+            if e.op == "-":
+                return left - right
+            if e.op == "*":
+                return left * right
+            if e.op == "/":
+                return make_div(left, right)
+        raise CParseError(f"unsupported contract extent {expr_text!r}")
+
+    return conv(parsed)
+
+
+def check_access_bounds(
+    analysis: KernelAnalysis, arrays: dict[str, dict[str, str]]
+) -> list[Finding]:
+    """Prove every recorded element access inside its declared extent."""
+    findings: list[Finding] = []
+    for acc in analysis.accesses:
+        spec = arrays.get(acc.array)
+        if spec is None:
+            findings.append(
+                Finding(
+                    "contract",
+                    analysis.name,
+                    acc.line,
+                    f"access to undeclared array {acc.array!r}",
+                )
+            )
+            continue
+        if acc.write and spec["mode"] == "r":
+            findings.append(
+                Finding(
+                    "contract",
+                    analysis.name,
+                    acc.line,
+                    f"write to read-only array {acc.array!r}",
+                )
+            )
+        decomp = decompose_offset(acc.offset, spec["stride"])
+        if decomp is None:
+            findings.append(
+                Finding(
+                    "bounds",
+                    analysis.name,
+                    acc.line,
+                    f"offset into {acc.array!r} does not decompose as "
+                    f"row*{spec['stride']} + col",
+                )
+            )
+            continue
+        row, col = decomp
+        rows = _extent_poly(spec["rows"])
+        cols = _extent_poly(spec["cols"])
+        kind = "write" if acc.write else "read"
+        for part, expr, extent in (("row", row, rows), ("column", col, cols)):
+            hi = eliminate(expr, acc.frames, upper=True)
+            lo = eliminate(expr, acc.frames, upper=False)
+            if hi is None or lo is None:
+                findings.append(
+                    Finding(
+                        "bounds",
+                        analysis.name,
+                        acc.line,
+                        f"{kind} {part} index of {acc.array!r} has no computable bound",
+                    )
+                )
+                continue
+            if not prove_ge0(lo, acc.facts):
+                findings.append(
+                    Finding(
+                        "bounds",
+                        analysis.name,
+                        acc.line,
+                        f"cannot prove {kind} {part} index of {acc.array!r} "
+                        f">= 0 (lower bound {lo!r})",
+                    )
+                )
+            if not prove_le(hi, extent - 1, acc.facts):
+                findings.append(
+                    Finding(
+                        "bounds",
+                        analysis.name,
+                        acc.line,
+                        f"cannot prove {kind} {part} index of {acc.array!r} "
+                        f"< {expr_text_of(extent)} (upper bound {hi!r})",
+                    )
+                )
+    return findings
+
+
+def expr_text_of(p: Poly) -> str:
+    return repr(p)
+
+
+def call_regions(
+    call: CallSite,
+    callee_params: tuple[cparse.Param, ...],
+    callee_arrays: dict[str, dict[str, str]],
+    caller_arrays: dict[str, dict[str, str]],
+    caller_name: str,
+) -> tuple[list[tuple[str, Region]], list[Finding]]:
+    """Instantiate the callee's declared regions with the actual arguments.
+
+    Returns ``(regions, findings)`` where each region is expressed in the
+    *caller's* row/column coordinates, ready to check against the
+    caller's extents (and against sibling regions for aliasing).
+    """
+    findings: list[Finding] = []
+    regions: list[tuple[str, Region]] = []
+    if len(call.args) != len(callee_params):
+        return [], [
+            Finding(
+                "contract",
+                caller_name,
+                call.line,
+                f"call to {call.name!r} passes {len(call.args)} args, "
+                f"expected {len(callee_params)}",
+            )
+        ]
+    by_name = dict(zip([p.name for p in callee_params], call.args))
+    for arr_name, spec in callee_arrays.items():
+        base = by_name.get(arr_name)
+        stride_actual = by_name.get(spec["stride"])
+        if not isinstance(base, PtrVal):
+            findings.append(
+                Finding(
+                    "contract",
+                    caller_name,
+                    call.line,
+                    f"callee array {arr_name!r} bound to a non-pointer argument",
+                )
+            )
+            continue
+        caller_spec = caller_arrays.get(base.root)
+        if caller_spec is None:
+            findings.append(
+                Finding(
+                    "contract",
+                    caller_name,
+                    call.line,
+                    f"pointer argument rooted at undeclared array {base.root!r}",
+                )
+            )
+            continue
+        if not (
+            isinstance(stride_actual, Poly)
+            and stride_actual == _atom_poly(Sym(caller_spec["stride"]))
+        ):
+            findings.append(
+                Finding(
+                    "contract",
+                    caller_name,
+                    call.line,
+                    f"stride of callee array {arr_name!r} is not the caller's "
+                    f"row stride — region unmappable",
+                )
+            )
+            continue
+        # instantiate callee extents with actual scalar arguments
+        subst_env: dict[str, Poly] = {}
+        usable = True
+        for p in callee_params:
+            if not p.pointer:
+                actual = by_name[p.name]
+                if isinstance(actual, Poly):
+                    subst_env[p.name] = actual
+                else:
+                    usable = False
+        rows = _instantiate(_extent_poly(spec["rows"]), subst_env) if usable else None
+        cols = _instantiate(_extent_poly(spec["cols"]), subst_env) if usable else None
+        if rows is None or cols is None:
+            findings.append(
+                Finding(
+                    "contract",
+                    caller_name,
+                    call.line,
+                    f"cannot instantiate callee extents for {arr_name!r}",
+                )
+            )
+            continue
+        decomp = decompose_offset(base.offset, caller_spec["stride"])
+        if decomp is None:
+            findings.append(
+                Finding(
+                    "bounds",
+                    caller_name,
+                    call.line,
+                    f"pointer offset into {base.root!r} does not decompose "
+                    f"against its stride",
+                )
+            )
+            continue
+        row0, col0 = decomp
+        regions.append(
+            (
+                arr_name,
+                Region(
+                    base.root,
+                    row0,
+                    row0 + rows - 1,
+                    col0,
+                    col0 + cols - 1,
+                    spec["mode"] != "r",
+                ),
+            )
+        )
+    return regions, findings
+
+
+def _instantiate(p: Poly, env: dict[str, Poly]) -> Poly | None:
+    """Simultaneously substitute callee parameter symbols with actuals.
+
+    One-pass (not sequential) substitution: callee and caller parameter
+    names overlap (``fw_blocked_f32`` passes ``nb = min(k0+blk, n) - k0``
+    for the callee's ``n``), so a sequential rewrite could re-capture a
+    just-introduced caller symbol. Contract extents contain plain
+    symbols only; a symbol with no actual value means the extent cannot
+    be instantiated.
+    """
+    out = P(0)
+    for mono, coeff in p.terms:
+        term = P(coeff)
+        for a, e in mono:
+            if isinstance(a, Sym):
+                if a.name not in env:
+                    return None
+                base = env[a.name]
+            else:
+                return None  # contract extents are plain parameter products
+            for _ in range(e):
+                term = term * base
+        out = out + term
+    return out
+
+
+def check_call_bounds(
+    analysis: KernelAnalysis,
+    caller_arrays: dict[str, dict[str, str]],
+    templates_by_name: dict[str, object],
+    parsed_by_name: dict[str, FuncDef],
+) -> list[Finding]:
+    """Prove every call site's instantiated regions inside caller extents."""
+    findings: list[Finding] = []
+    for call in analysis.calls:
+        callee_tpl = templates_by_name.get(call.name)
+        callee_fn = parsed_by_name.get(call.name)
+        if callee_tpl is None or callee_fn is None:
+            findings.append(
+                Finding(
+                    "contract",
+                    analysis.name,
+                    call.line,
+                    f"call to unknown kernel {call.name!r}",
+                )
+            )
+            continue
+        regions, errs = call_regions(
+            call,
+            callee_fn.params,
+            callee_tpl.arrays,  # type: ignore[attr-defined]
+            caller_arrays,
+            analysis.name,
+        )
+        findings.extend(errs)
+        for arr_name, region in regions:
+            caller_spec = caller_arrays[region.array]
+            rows = _extent_poly(caller_spec["rows"])
+            cols = _extent_poly(caller_spec["cols"])
+            for part, lo_expr, hi_expr, extent in (
+                ("row", region.row_lo, region.row_hi, rows),
+                ("column", region.col_lo, region.col_hi, cols),
+            ):
+                lo = eliminate(lo_expr, call.frames, upper=False)
+                hi = eliminate(hi_expr, call.frames, upper=True)
+                if lo is None or hi is None:
+                    findings.append(
+                        Finding(
+                            "bounds",
+                            analysis.name,
+                            call.line,
+                            f"call region {part} bound for {call.name!r} "
+                            f"arg {arr_name!r} is not computable",
+                        )
+                    )
+                    continue
+                if not prove_ge0(lo, call.facts):
+                    findings.append(
+                        Finding(
+                            "bounds",
+                            analysis.name,
+                            call.line,
+                            f"cannot prove {call.name!r} arg {arr_name!r} "
+                            f"{part} region >= 0 (lower bound {lo!r})",
+                        )
+                    )
+                if not prove_le(hi, extent - 1, call.facts):
+                    findings.append(
+                        Finding(
+                            "bounds",
+                            analysis.name,
+                            call.line,
+                            f"cannot prove {call.name!r} arg {arr_name!r} "
+                            f"{part} region within caller extent "
+                            f"(upper bound {hi!r} vs {extent!r})",
+                        )
+                    )
+    return findings
+
+
+def check_kernel_bounds(
+    template,
+    parsed: FuncDef,
+    templates_by_name: dict[str, object],
+    parsed_by_name: dict[str, FuncDef],
+) -> tuple[KernelAnalysis, list[Finding]]:
+    """Full bounds pass for one kernel: element accesses + call regions."""
+    analysis = analyze_kernel(parsed, frozenset(templates_by_name))
+    findings = list(analysis.findings)
+    findings += check_access_bounds(analysis, template.arrays)
+    findings += check_call_bounds(
+        analysis, template.arrays, templates_by_name, parsed_by_name
+    )
+    return analysis, findings

@@ -1,9 +1,12 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.cli import main
+from repro.core.backends.jit import KERNEL_TEMPLATES
 from repro.graphs.generators import erdos_renyi
 from repro.graphs.io import write_edge_list, write_matrix_market
 
@@ -267,3 +270,44 @@ class TestBenchTransfers:
         rc = main(["bench-transfers", "--check"])
         assert rc == 0
         assert "no drift" in capsys.readouterr().out
+
+
+class TestLintJson:
+    def test_schema_and_violations(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text('"""Doc."""\ndef pub():\n    return 2\n')
+        rc = main(["lint", str(tmp_path), "--json"])
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == 1
+        assert payload["ok"] is False
+        assert payload["count"] == len(payload["violations"]) >= 1
+        v = payload["violations"][0]
+        assert {"rule", "name", "file", "line", "message"} <= set(v)
+
+    def test_clean_tree_json(self, tmp_path, capsys):
+        ok = tmp_path / "repro" / "good.py"
+        ok.parent.mkdir(parents=True)
+        ok.write_text('"""Doc."""\n__all__ = []\n')
+        rc = main(["lint", str(tmp_path), "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True and payload["violations"] == []
+
+
+class TestVerifyKernels:
+    def test_static_json_schema(self, capsys):
+        rc = main(["verify-kernels", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == 1
+        assert payload["ok"] is True
+        assert payload["findings"] == []
+        assert set(payload["kernels"]) == {t.name for t in KERNEL_TEMPLATES}
+
+    def test_static_text_mode(self, capsys):
+        rc = main(["verify-kernels"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out

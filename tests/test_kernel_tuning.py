@@ -198,7 +198,8 @@ def test_flag_probe_drops_rejected_flags(tmp_path):
     from repro.core.backends.jit import _resolve_flags
 
     picky = _fake_compiler(tmp_path, ("-march=native", "-fopenmp"))
-    flags, openmp = _resolve_flags(picky)
+    flags, openmp, sanitize, degraded = _resolve_flags(picky)
+    assert sanitize is None and degraded == ()
     assert "-march=native" not in flags
     assert "-fopenmp" not in flags and not openmp
     assert "-fopenmp-simd" in flags  # the degraded SIMD-only step
@@ -225,6 +226,76 @@ def test_degraded_flag_set_still_compiles(tmp_path, monkeypatch):
         c.ctypes.data, a.ctypes.data, b.ctypes.data, n, n, n, n, n, n, 64
     )
     assert np.array_equal(c, expected)
+
+
+@needs_gcc
+def test_sanitizer_flag_rejected_degrades_to_plain(tmp_path):
+    """A toolchain without ASan must yield a plain build, honestly recorded."""
+    from repro.core.backends.jit import _resolve_flags
+
+    picky = _fake_compiler(tmp_path, ("-fsanitize=address",))
+    flags, _openmp, sanitize, degraded = _resolve_flags(picky, sanitize="asan")
+    assert sanitize is None  # the instrumented request was not honoured
+    assert "sanitize:asan" in degraded
+    assert "-fsanitize=address" not in flags
+    assert "-O3" in flags  # ...but the plain build is intact
+
+
+@needs_gcc
+def test_cc_build_info_reports_degraded_sanitizer(tmp_path, monkeypatch):
+    """load_cc_kernels survives a rejected sanitizer flag; build info is honest."""
+    import repro.core.backends.jit as jit
+
+    picky = _fake_compiler(tmp_path, ("-fsanitize=address",))
+    monkeypatch.setenv("REPRO_CC", picky)
+    monkeypatch.setenv("REPRO_JIT_CACHE", str(tmp_path / "jit-cache"))
+    # marker only: the guard checks the env var, and with the flag
+    # rejected the build degrades to plain, so nothing asan-linked is
+    # ever dlopen'd into this process
+    monkeypatch.setenv("LD_PRELOAD", "libasan-marker")
+    monkeypatch.setattr(jit, "_CC_KERNELS", {})
+    info = jit.cc_build_info(sanitize="asan")
+    assert info is not None, "degraded build must still load"
+    assert info.sanitize is None
+    assert "sanitize:asan" in info.degraded
+
+
+def test_no_compiler_falls_back_to_python_kernels(tmp_path, monkeypatch):
+    """cc absent: load_cc_kernels is None and JITBackend still computes."""
+    import repro.core.backends.jit as jit
+
+    monkeypatch.setenv("REPRO_CC", str(tmp_path / "no-such-cc"))
+    monkeypatch.setattr(jit, "_CC_KERNELS", {})
+    assert jit.load_cc_kernels() is None
+    assert jit.cc_build_info() is None
+    backend = jit.JITBackend()
+    assert backend.flavor in ("numba", "fallback")  # honest, no phantom cc
+    n = 16
+    rng = np.random.default_rng(7)
+    a = rng.random((n, n)).astype(np.float32)
+    b = rng.random((n, n)).astype(np.float32)
+    c = np.full((n, n), np.inf, dtype=np.float32)
+    expected = c.copy()
+    for k in range(n):
+        np.minimum(expected, a[:, k, None] + b[k, None, :], out=expected)
+    backend.update(c, a, b)
+    np.testing.assert_allclose(c, expected, rtol=1e-6)
+
+
+@needs_gcc
+def test_compile_cache_is_lock_serialised(tmp_path):
+    """Satellite: the .so publish leaves the advisory lock file behind."""
+    from repro.core.backends.jit import _DEGRADED_CFLAGS, compile_cc_so
+
+    cache = tmp_path / "jit-cache"
+    so1, _ = compile_cc_so(
+        "gcc", list(_DEGRADED_CFLAGS), False, cache_dir=cache
+    )
+    so2, _ = compile_cc_so(
+        "gcc", list(_DEGRADED_CFLAGS), False, cache_dir=cache
+    )
+    assert so1 == so2 and so1.exists()
+    assert so1.with_suffix(so1.suffix + ".lock").exists()
 
 
 # ----------------------------------------------------------------------

@@ -264,6 +264,69 @@ def test_rpr007_escaping_records_pass(tmp_path):
     assert lint_file(path, root=tmp_path) == []
 
 
+def test_rpr008_cdll_function_without_contract(tmp_path):
+    path = _write(
+        tmp_path, "repro/ffi.py",
+        '"""Doc."""\n'
+        "import ctypes\n"
+        "__all__ = ['Lib']\n"
+        "class Lib:\n"
+        "    def __init__(self, path):\n"
+        "        lib = ctypes.CDLL(path)\n"
+        "        self.f = lib.foo\n"
+        "        self.f.argtypes = [ctypes.c_void_p]\n"
+        "        self.g = lib.bar\n"  # no argtypes, no restype
+        "        lib.baz(0)\n",  # direct call, no declared contract
+    )
+    violations = lint_file(path, root=tmp_path)
+    assert [v.rule for v in violations] == ["RPR008", "RPR008", "RPR008"]
+    messages = " ".join(v.message for v in violations)
+    assert "restype" in messages  # self.f has argtypes but no restype
+
+
+def test_rpr008_declared_contract_passes(tmp_path):
+    path = _write(
+        tmp_path, "repro/ffi_ok.py",
+        '"""Doc."""\n'
+        "import ctypes\n"
+        "__all__ = ['Lib']\n"
+        "class Lib:\n"
+        "    def __init__(self, lib: ctypes.CDLL):\n"
+        "        self.f = lib.foo\n"
+        "        self.f.argtypes = [ctypes.c_void_p]\n"
+        "        self.f.restype = None\n",
+    )
+    assert lint_file(path, root=tmp_path) == []
+
+
+def test_rpr009_unguarded_pointer_escape(tmp_path):
+    """Pointers packed into tuples count too — not just direct call args."""
+    path = _write(
+        tmp_path, "repro/ptr.py",
+        '"""Doc."""\n'
+        "__all__ = ['call']\n"
+        "def call(f, arr):\n"
+        "    args = (arr.ctypes.data, arr.size)\n"
+        "    f(*args)\n",
+    )
+    violations = lint_file(path, root=tmp_path)
+    assert _rules(violations) == {"RPR009"}
+    assert "arr" in violations[0].message
+
+
+def test_rpr009_guarded_pointer_passes(tmp_path):
+    path = _write(
+        tmp_path, "repro/ptr_ok.py",
+        '"""Doc."""\n'
+        "import numpy as np\n"
+        "__all__ = ['call']\n"
+        "def call(f, arr):\n"
+        "    arr = np.ascontiguousarray(arr, dtype=np.float32)\n"
+        "    f(arr.ctypes.data, arr.size)\n",
+    )
+    assert lint_file(path, root=tmp_path) == []
+
+
 def test_syntax_error_reported_not_raised(tmp_path):
     path = _write(tmp_path, "repro/broken.py", "def broken(:\n")
     violations = lint_file(path, root=tmp_path)

@@ -1,0 +1,197 @@
+"""Cross-validation tests for the native-kernel verification layer.
+
+The layer's promise is two-sided and these tests hold both sides at
+once: the static analyzer and the sanitizer harness must each stay
+*silent* on the shipped kernels and each *fire* on every seeded defect
+(off-by-one subscript, dropped remainder guard, widened OpenMP panel,
+serial fan-out, unsound alias routing). Dynamic legs self-skip on
+toolchains without a compiler or sanitizer runtime; the static side
+runs everywhere.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.backends import jit
+from repro.core.backends.jit import (
+    _DEGRADED_CFLAGS,
+    KERNEL_TEMPLATES,
+    cc_compiler,
+    compile_cc_so,
+)
+from repro.verifykernel import (
+    DEFECTS,
+    SCHEMA_VERSION,
+    run_matrix,
+    sanitizer_available,
+    static_findings,
+    verify_kernels,
+)
+from repro.verifykernel import cparse
+from repro.verifykernel.alias import check_python_dispatch, derive_alias_class
+from repro.verifykernel.bounds import analyze_kernel
+from repro.verifykernel.defects import defect_by_name
+
+TPL = {t.name: t for t in KERNEL_TEMPLATES}
+
+needs_cc = pytest.mark.skipif(cc_compiler() is None, reason="needs a C compiler")
+
+
+def _defect_findings(defect):
+    """Static findings with one defect seeded into its home source."""
+    if defect.kind == "python":
+        src = jit.__file__
+        with open(src) as fh:
+            return static_findings(python_source=defect.apply(fh.read()))
+    return static_findings(overrides=defect.overrides(TPL))
+
+
+# ----------------------------------------------------------------------
+# Static pillar: parser, proofs, alias classes, dispatch cross-check
+# ----------------------------------------------------------------------
+def test_every_template_parses():
+    for t in KERNEL_TEMPLATES:
+        fn = cparse.parse_kernel(t.source)
+        assert fn.name == t.name
+
+
+def test_clean_kernels_prove_clean():
+    assert static_findings() == []
+
+
+def test_derived_alias_classes_match_declarations():
+    parsed = {t.name: cparse.parse_kernel(t.source) for t in KERNEL_TEMPLATES}
+    known = frozenset(parsed)
+    for t in KERNEL_TEMPLATES:
+        analysis = analyze_kernel(parsed[t.name], known)
+        cls, findings = derive_alias_class(analysis, t)
+        assert findings == [], f"{t.name}: {[f.describe() for f in findings]}"
+        assert cls == t.alias_class, t.name
+
+
+@pytest.mark.parametrize("defect", DEFECTS, ids=lambda d: d.name)
+def test_each_seeded_defect_is_caught_statically(defect):
+    findings = _defect_findings(defect)
+    checks = {f.check for f in findings}
+    assert defect.static_check in checks, (
+        f"{defect.name}: expected a {defect.static_check!r} finding, got {checks}"
+    )
+
+
+def test_defect_apply_refuses_drifted_source():
+    d = defect_by_name("off_by_one_subscript")
+    with pytest.raises(ValueError, match="drifted"):
+        d.apply("int unrelated(void) { return 0; }")
+
+
+def test_dispatch_check_accepts_shipped_jit():
+    with open(jit.__file__) as fh:
+        assert check_python_dispatch(fh.read()) == []
+
+
+def test_dispatch_check_rejects_constant_seq():
+    with open(jit.__file__) as fh:
+        src = fh.read()
+    bad = src.replace("seq = self._aliased(c, a, b)", "seq = False")
+    assert bad != src
+    findings = check_python_dispatch(bad)
+    assert any(f.check == "dispatch" for f in findings)
+
+
+# ----------------------------------------------------------------------
+# Dynamic pillar: oracle matrix on a plain build (no sanitizer needed)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def plain_kernels(tmp_path_factory):
+    from repro.verifykernel.matrixrun import _load
+
+    cc = cc_compiler()
+    if cc is None:
+        pytest.skip("needs a C compiler")
+    cache = tmp_path_factory.mktemp("vk-jit-cache")
+    so, _ = compile_cc_so(cc, list(_DEGRADED_CFLAGS), False, cache_dir=cache)
+    return _load(so)
+
+
+@needs_cc
+def test_matrix_clean_on_shipped_kernels(plain_kernels):
+    from repro.verifykernel.matrixrun import run_matrix_cases
+
+    cases = run_matrix_cases(plain_kernels, fast=True)
+    bad = [c for c in cases if not c["ok"]]
+    assert not bad, bad
+
+
+@needs_cc
+def test_matrix_flags_unsound_alias_routing(plain_kernels):
+    """Aliased operands forced through the fast kernel must diverge."""
+    from repro.verifykernel.matrixrun import run_matrix_cases
+
+    cases = run_matrix_cases(plain_kernels, fast=True, force_fast_alias=True)
+    assert any(not c["ok"] for c in cases)
+
+
+# ----------------------------------------------------------------------
+# Dynamic pillar: sanitizer legs (self-skipping)
+# ----------------------------------------------------------------------
+def _needs_sanitizer(mode):
+    return pytest.mark.skipif(
+        not sanitizer_available(mode), reason=f"toolchain lacks {mode}"
+    )
+
+
+@_needs_sanitizer("ubsan")
+def test_ubsan_leg_clean_on_shipped_kernels():
+    r = run_matrix("ubsan", fast=True)
+    assert r.ran and r.clean, r.detail
+
+
+@_needs_sanitizer("asan")
+def test_asan_catches_off_by_one_subscript():
+    d = defect_by_name("off_by_one_subscript")
+    r = run_matrix("asan", overrides=d.overrides(TPL), fast=True)
+    assert r.ran and r.faulted, (r.returncode, r.detail)
+
+
+@_needs_sanitizer("tsan")
+def test_tsan_leg_clean_then_catches_widened_panel():
+    clean = run_matrix("tsan", fast=True)
+    assert clean.ran and clean.clean, clean.detail
+    d = defect_by_name("widened_panel")
+    seeded = run_matrix("tsan", overrides=d.overrides(TPL), fast=True)
+    assert seeded.ran and seeded.caught, (seeded.returncode, seeded.detail)
+
+
+# ----------------------------------------------------------------------
+# Report aggregation and downstream consumers
+# ----------------------------------------------------------------------
+def test_verify_kernels_static_report():
+    ver = verify_kernels()  # static-only: no sanitizer legs requested
+    assert ver.ok
+    payload = ver.to_dict()
+    assert payload["schema_version"] == SCHEMA_VERSION
+    assert payload["ok"] is True
+    assert payload["findings"] == []
+    json.dumps(payload)  # must be serialisable as-is
+
+
+def test_tuner_refuses_unverified_native_candidates(monkeypatch, tmp_path):
+    import repro.verifykernel as vk
+    from repro.bench.kernels import tune_kernels
+    from repro.verifykernel.bounds import Finding
+
+    monkeypatch.setenv("REPRO_BENCH_KERNELS", str(tmp_path / "bench.json"))
+    monkeypatch.setattr(
+        vk, "static_findings", lambda: [Finding("bounds", "mp_update_f32", 1, "seeded")]
+    )
+    result = tune_kernels(n=64, tiles=(32,), repeats=1)
+    assert result["verification"]["ok"] is False
+    assert result["verification"]["findings"]
+    flavors = {
+        row.get("options", {}).get("flavor")
+        for row in result["rows"]
+        if row.get("backend") == "jit"
+    }
+    assert not ({"cc", "cc-omp"} & flavors), flavors
