@@ -1,0 +1,143 @@
+"""Cluster scaling baseline (``python -m repro bench-cluster``).
+
+Pins the distributed blocked-FW model's **strong-scaling** (fixed
+``n``, growing node/device count) and **weak-scaling** (``n ∝ √N``,
+constant matrix share per node) curves into ``BENCH_cluster.json`` at
+the repo root. For every configuration the sweep records the statically
+predicted makespan (α–β link replay,
+:func:`repro.verifyplan.timing.predict_cluster_timing`), the network
+busy time, and the exact communication volume — and *also* executes the
+dynamic cluster simulator, asserting its simulated makespan equals the
+static prediction bit-for-bit (``exact`` per entry).
+
+Both sides are deterministic models (simulated clocks, not wall
+clocks), so the baseline is machine-independent and ``--check`` can
+demand exact equality: any schedule or cost-model drift fails CI before
+a wall-clock benchmark would notice.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+__all__ = [
+    "SCALING_CONFIGS",
+    "bench_cluster_path",
+    "collect_baseline",
+    "compare_baseline",
+    "load_baseline",
+    "save_baseline",
+]
+
+#: per-entry fields that must match the recorded baseline exactly (the
+#: models are deterministic, so even the float makespans are pinned)
+BASELINE_FIELDS = (
+    "ok",
+    "exact",
+    "block_size",
+    "num_messages",
+    "total_bytes",
+    "peak_bytes",
+    "num_kernels",
+    "makespan",
+    "net_seconds",
+)
+
+#: (entry name, vertices, nodes, devices/node, edge seed) — strong
+#: scaling holds n fixed while the fleet grows; weak scaling grows the
+#: matrix with the node count (n ∝ √N keeps the per-node share flat)
+SCALING_CONFIGS = (
+    {"name": "strong-n180-1x1", "curve": "strong", "n": 180, "nodes": 1, "devices": 1, "seed": 5},
+    {"name": "strong-n180-2x1", "curve": "strong", "n": 180, "nodes": 2, "devices": 1, "seed": 5},
+    {"name": "strong-n180-2x2", "curve": "strong", "n": 180, "nodes": 2, "devices": 2, "seed": 5},
+    {"name": "strong-n180-4x1", "curve": "strong", "n": 180, "nodes": 4, "devices": 1, "seed": 5},
+    {"name": "strong-n180-4x2", "curve": "strong", "n": 180, "nodes": 4, "devices": 2, "seed": 5},
+    {"name": "weak-n120-1x1", "curve": "weak", "n": 120, "nodes": 1, "devices": 1, "seed": 6},
+    {"name": "weak-n170-2x1", "curve": "weak", "n": 170, "nodes": 2, "devices": 1, "seed": 6},
+    {"name": "weak-n240-4x1", "curve": "weak", "n": 240, "nodes": 4, "devices": 1, "seed": 6},
+)
+
+
+def bench_cluster_path() -> Path:
+    """Canonical location of ``BENCH_cluster.json`` (repo root, or
+    ``REPRO_BENCH_CLUSTER`` when set)."""
+    override = os.environ.get("REPRO_BENCH_CLUSTER")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parents[3] / "BENCH_cluster.json"
+
+
+def _run_config(cfg: dict) -> dict:
+    from repro.cluster import ClusterSpec, verify_cluster
+    from repro.graphs.generators import rmat
+
+    graph = rmat(cfg["n"], 6 * cfg["n"], seed=cfg["seed"])
+    cluster = ClusterSpec.make(cfg["nodes"], cfg["devices"])
+    ver = verify_cluster(cfg["n"], cluster, graph=graph)
+    cross = ver.cross_validation or {}
+    timing = ver.timing
+    return {
+        "config": dict(cfg),
+        "cluster": ver.cluster,
+        "grid": list(ver.grid),
+        "ok": ver.ok,
+        "exact": bool(cross) and all(cross.values()),
+        "block_size": ver.block_size,
+        "num_messages": ver.comm.num_messages if ver.comm else 0,
+        "total_bytes": ver.comm.total_bytes if ver.comm else 0,
+        "peak_bytes": ver.peak_bytes,
+        "num_kernels": ver.num_kernels,
+        "makespan": timing.makespan if timing else 0.0,
+        "net_seconds": timing.net_seconds if timing else 0.0,
+        "compute_seconds": timing.compute_seconds if timing else 0.0,
+    }
+
+
+def collect_baseline(configs=SCALING_CONFIGS) -> dict:
+    """Verify + simulate every scaling configuration; return the payload."""
+    entries = {cfg["name"]: _run_config(cfg) for cfg in configs}
+    return {
+        "experiment": "cluster",
+        "title": "distributed blocked-FW scaling baseline (predicted == simulated)",
+        "generated_by": "python -m repro bench-cluster",
+        "fields": list(BASELINE_FIELDS),
+        "configs": entries,
+    }
+
+
+def save_baseline(payload: dict | None = None, path: Path | str | None = None) -> Path:
+    """Write the baseline to ``BENCH_cluster.json``."""
+    payload = payload or collect_baseline()
+    path = Path(path) if path else bench_cluster_path()
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def load_baseline(path: Path | str | None = None) -> dict:
+    """Read the checked-in baseline."""
+    path = Path(path) if path else bench_cluster_path()
+    return json.loads(path.read_text())
+
+
+def compare_baseline(baseline: dict | None = None) -> list[str]:
+    """Recompute the sweep and diff it against ``baseline`` exactly."""
+    baseline = baseline or load_baseline()
+    current = collect_baseline()
+    drifts: list[str] = []
+    for name, entry in baseline.get("configs", {}).items():
+        cur = current["configs"].get(name)
+        if cur is None:
+            drifts.append(f"{name}: configuration missing from current sweep")
+            continue
+        for field in BASELINE_FIELDS:
+            if entry.get(field) != cur.get(field):
+                drifts.append(
+                    f"{name}: {field} drifted "
+                    f"{entry.get(field)!r} -> {cur.get(field)!r}"
+                )
+    for name in current["configs"]:
+        if name not in baseline.get("configs", {}):
+            drifts.append(f"{name}: new configuration not in baseline (re-record)")
+    return drifts

@@ -13,13 +13,17 @@ Commands
 ``sanitize``      run the schedule sanitizer over the out-of-core drivers
 ``verify-plan``   statically verify the OOC execution plans (no execution)
 ``check-schedule`` happens-before + symbolic critical-path check of the plans
+``verify-cluster`` cross-node HB + communication-volume proofs for the
+                  distributed blocked-FW schedule
+``bench-cluster`` record/check the cluster scaling baseline
 ``lint``          run the repository AST contract checker
 ``verify-kernels`` static bounds/alias proofs + sanitizer legs for the JIT C kernels
 
 Exit codes (``sanitize``, ``verify-plan``, ``check-schedule``,
-``bench-transfers --check``, ``tune-kernels --check``, ``lint``,
-``verify-kernels``): 0 — clean/verified; 1 — hazards, findings, failed
-bounds, or baseline drift; 2 — usage error (argparse).
+``verify-cluster``, ``bench-transfers --check``, ``bench-cluster
+--check``, ``tune-kernels --check``, ``lint``, ``verify-kernels``):
+0 — clean/verified; 1 — hazards, findings, failed bounds, or baseline
+drift; 2 — usage error (argparse).
 
 Every ``--json`` payload carries a top-level ``schema_version`` field
 (:data:`SCHEMA_VERSION`) so downstream consumers can detect format
@@ -497,6 +501,46 @@ def cmd_check_schedule(args) -> int:
     return 0 if ver.ok else 1
 
 
+def cmd_verify_cluster(args) -> int:
+    import json as _json
+
+    from repro.cluster import ClusterSpec, verify_cluster
+
+    graph = _load_graph(args)
+    spec = _device_spec(args)
+    cluster = ClusterSpec.make(args.nodes, args.num_devices, device=spec)
+    ver = verify_cluster(
+        graph.num_vertices,
+        cluster,
+        block_size=args.block_size,
+        graph=None if args.static_only else graph,
+    )
+    if args.json:
+        print(_json.dumps(
+            {"schema_version": SCHEMA_VERSION, **ver.to_dict()}, indent=2
+        ))
+    else:
+        print(ver.describe())
+    return 0 if ver.ok else 1
+
+
+def cmd_bench_cluster(args) -> int:
+    from repro.bench.cluster import compare_baseline, save_baseline
+
+    if args.check:
+        drifts = compare_baseline()
+        if drifts:
+            for line in drifts:
+                print(line)
+            print(f"{len(drifts)} drift(s) from BENCH_cluster.json", file=sys.stderr)
+            return 1
+        print("cluster scaling baseline: no drift")
+        return 0
+    path = save_baseline()
+    print(f"wrote {path}")
+    return 0
+
+
 def cmd_bench_transfers(args) -> int:
     from repro.bench.transfers import compare_baseline, save_baseline
 
@@ -755,6 +799,34 @@ def main(argv=None) -> int:
                    help="check the single-stream (overlap=False) schedules")
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(fn=cmd_check_schedule)
+
+    p = sub.add_parser(
+        "verify-cluster",
+        help="statically prove the distributed blocked-FW schedule "
+             "race/deadlock-free across nodes with exact per-link "
+             "communication volumes, cross-validated against the "
+             "dynamic cluster simulator",
+    )
+    add_graph_args(p)
+    p.add_argument("--nodes", type=int, default=2,
+                   help="cluster node count N (default 2)")
+    p.add_argument("--num-devices", type=int, default=1,
+                   help="devices per node M (default 1)")
+    p.add_argument("--block-size", type=int, default=None,
+                   help="distribution block size (default: planner's choice)")
+    p.add_argument("--static-only", action="store_true",
+                   help="skip the dynamic simulator cross-validation")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(fn=cmd_verify_cluster)
+
+    p = sub.add_parser(
+        "bench-cluster",
+        help="record (default) or --check the cluster scaling baseline "
+             "in BENCH_cluster.json (predicted == simulated makespans)",
+    )
+    p.add_argument("--check", action="store_true",
+                   help="diff the recomputed sweep against the recorded baseline")
+    p.set_defaults(fn=cmd_bench_cluster)
 
     p = sub.add_parser(
         "bench-transfers",

@@ -1,0 +1,203 @@
+"""Cluster topology: nodes, links, and the 2-D block-cyclic layout.
+
+The paper's out-of-core drivers stop at one host and one PCIe bus. This
+module models the next scale: ``N`` nodes × ``M`` devices per node, with
+a modeled interconnect whose per-link **latency** and **bandwidth** are
+distinct from the PCIe constants in :class:`~repro.gpu.device.DeviceSpec`
+(an α–β model per directed link; see
+:class:`~repro.verifyplan.ir.LinkSpec`).
+
+Ranks are numbered ``rank = node · M + d``. Device ``d = 0`` of each node
+is the **lead rank**: it owns the node's share of the distance matrix and
+drives inter-node traffic; sibling ranks (``d ≥ 1``) are intra-node
+workers that receive inner-dimension slices and return partial min-plus
+products (the lowered min-plus **reduce** collective).
+
+Blocks are distributed **2-D block-cyclically** over a ``Pr × Pc``
+process grid (near-square factorisation of ``N``): block ``(i, j)`` of
+the :class:`~repro.core.tiling.BlockLayout` lives on the node at grid
+coordinates ``(i mod Pr, j mod Pc)``. This is the classical ScaLAPACK
+distribution for blocked Floyd–Warshall: each round's pivot row panel
+broadcasts down its grid column, the pivot column panel along its grid
+row, so per-node communication scales as ``O(n² · √P · n_d)`` — the
+closed forms live in :mod:`repro.verifyplan.commbounds`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.tiling import BlockLayout
+from repro.gpu.device import TEST_DEVICE, DeviceSpec
+from repro.gpu.kernels import DEVICE_ELEM_BYTES
+from repro.verifyplan.ir import LinkSpec, NodeSpec
+
+__all__ = [
+    "DEFAULT_INTER_LINK",
+    "DEFAULT_INTRA_LINK",
+    "BlockCyclicLayout",
+    "ClusterSpec",
+    "combine_cost",
+    "near_square_grid",
+    "slice_widths",
+]
+
+#: default inter-node interconnect — deliberately slower than either
+#: preset device's PCIe model (higher latency, lower bandwidth), so the
+#: network is a first-class term in the cluster cost model
+DEFAULT_INTER_LINK = LinkSpec(name="ib", latency=2e-5, bandwidth=5e7)
+
+#: default intra-node link (device-to-device through the host bridge):
+#: lower latency and higher bandwidth than the inter-node fabric
+DEFAULT_INTRA_LINK = LinkSpec(name="pcie-p2p", latency=5e-6, bandwidth=2e8)
+
+
+def near_square_grid(num_nodes: int) -> tuple[int, int]:
+    """Largest ``Pr ≤ √N`` dividing ``N``; returns ``(Pr, N // Pr)``."""
+    if num_nodes < 1:
+        raise ValueError("need at least one node")
+    pr = 1
+    d = 1
+    while d * d <= num_nodes:
+        if num_nodes % d == 0:
+            pr = d
+        d += 1
+    return pr, num_nodes // pr
+
+
+def slice_widths(bk: int, num_devices: int) -> list[int]:
+    """Even split of the inner dimension ``bk`` over ``M`` devices.
+
+    Device 0 (the lead) takes the first slice; trailing slices may be 0
+    when ``bk < M`` (those devices sit the block out).
+    """
+    base, extra = divmod(bk, num_devices)
+    return [base + (1 if d < extra else 0) for d in range(num_devices)]
+
+
+def combine_cost(spec: DeviceSpec, bi: int, bj: int) -> float:
+    """Cost of the elementwise min combining one reduced partial tile.
+
+    One min per element over two operands — purely memory bound; priced
+    with the same roofline the other kernels use so the static and
+    dynamic models agree to the bit.
+    """
+    flops = float(bi * bj)
+    nbytes = DEVICE_ELEM_BYTES * (3.0 * bi * bj)
+    return spec.kernel_launch_overhead + max(
+        flops / spec.minplus_rate, nbytes / spec.mem_bandwidth
+    )
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """``N`` nodes × ``M`` devices plus the interconnect model."""
+
+    name: str
+    num_nodes: int
+    devices_per_node: int
+    device: DeviceSpec
+    inter_link: LinkSpec
+    intra_link: LinkSpec
+    grid: tuple[int, int]
+
+    @classmethod
+    def make(
+        cls,
+        num_nodes: int,
+        devices_per_node: int = 1,
+        *,
+        device: DeviceSpec = TEST_DEVICE,
+        inter_link: LinkSpec = DEFAULT_INTER_LINK,
+        intra_link: LinkSpec = DEFAULT_INTRA_LINK,
+        grid: tuple[int, int] | None = None,
+    ) -> "ClusterSpec":
+        if num_nodes < 1 or devices_per_node < 1:
+            raise ValueError("need num_nodes >= 1 and devices_per_node >= 1")
+        if grid is None:
+            grid = near_square_grid(num_nodes)
+        pr, pc = grid
+        if pr * pc != num_nodes:
+            raise ValueError(f"grid {grid} does not tile {num_nodes} nodes")
+        return cls(
+            name=f"{device.name}-cluster{num_nodes}x{devices_per_node}",
+            num_nodes=num_nodes,
+            devices_per_node=devices_per_node,
+            device=device,
+            inter_link=inter_link,
+            intra_link=intra_link,
+            grid=grid,
+        )
+
+    @property
+    def num_ranks(self) -> int:
+        return self.num_nodes * self.devices_per_node
+
+    def node_of(self, rank: int) -> int:
+        return rank // self.devices_per_node
+
+    def lead_rank(self, node: int) -> int:
+        return node * self.devices_per_node
+
+    def is_lead(self, rank: int) -> bool:
+        return rank % self.devices_per_node == 0
+
+    def grid_coords(self, node: int) -> tuple[int, int]:
+        return node // self.grid[1], node % self.grid[1]
+
+    def node_at(self, gr: int, gc: int) -> int:
+        return gr * self.grid[1] + gc
+
+    def link_of(self, src_rank: int, dst_rank: int) -> LinkSpec:
+        """The link carrying traffic from ``src_rank`` to ``dst_rank``."""
+        if self.node_of(src_rank) == self.node_of(dst_rank):
+            return self.intra_link
+        return self.inter_link
+
+    def rank_name(self, rank: int) -> str:
+        node, d = divmod(rank, self.devices_per_node)
+        return f"n{node}d{d}"
+
+    def node_names(self) -> dict[int, str]:
+        """Rank-id → display name, for finding attribution."""
+        return {r: self.rank_name(r) for r in range(self.num_ranks)}
+
+    def nodes(self) -> list[NodeSpec]:
+        return [
+            NodeSpec(id=node, name=f"node{node}",
+                     num_devices=self.devices_per_node)
+            for node in range(self.num_nodes)
+        ]
+
+
+@dataclass(frozen=True)
+class BlockCyclicLayout:
+    """2-D block-cyclic ownership of an ``n × n`` blocked matrix."""
+
+    n: int
+    block_size: int
+    grid: tuple[int, int]
+    blocks: BlockLayout = field(init=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "blocks", BlockLayout(self.n, self.block_size)
+        )
+
+    @property
+    def num_blocks(self) -> int:
+        return self.blocks.num_blocks
+
+    def size(self, i: int) -> int:
+        return self.blocks.size(i)
+
+    def owner_node(self, i: int, j: int) -> int:
+        pr, pc = self.grid
+        return (i % pr) * pc + (j % pc)
+
+    def owned_blocks(self, node: int):
+        """Blocks owned by ``node``, in canonical (row-major) order."""
+        for i in range(self.num_blocks):
+            for j in range(self.num_blocks):
+                if self.owner_node(i, j) == node:
+                    yield i, j

@@ -1,0 +1,194 @@
+"""Emitter-drift canary: dynamic trace vs ``emit_*_ir`` mirror (RPR010).
+
+Every out-of-core / multi-device / cluster driver in this repository
+ships a static ``emit_*_ir`` mirror that compiles its execution plan to
+a :class:`~repro.verifyplan.ir.PlanIR`. The whole static verification
+stack (residency, def-use, happens-before, bounds, timing) is only as
+trustworthy as that mirror: if someone edits a driver's loop structure
+and forgets the emitter, the verifier silently proves properties of a
+schedule that no longer runs.
+
+This module pins each driver to its mirror on a tiny **canary config**:
+the dynamic run executes under the schedule sanitizer (or, for the
+cluster, the message-tracing simulator) and its op counts are compared
+with the emitted IR's. The sanitizer tracks exactly the kernel launches
+and copies a device observes, so on the static side the comparable
+count is *all* :class:`~repro.verifyplan.ir.KernelOp` (annotations
+included — the driver launches those too) plus
+:class:`~repro.verifyplan.ir.CopyOp`; the cluster compares kernels and
+lowered-collective messages. Any divergence is reported by the repo
+linter as rule **RPR010** on the drifted driver module.
+
+Results are cached per process — ``python -m repro lint src/`` pays for
+each canary once, a few milliseconds per driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["DRIVER_CANARIES", "DriftCheck", "check_drift", "drift_for_module"]
+
+
+@dataclass(frozen=True)
+class DriftCheck:
+    """Outcome of one driver/emitter canary comparison."""
+
+    driver: str
+    #: op counts observed by the dynamic run
+    dynamic: dict[str, int] = field(default_factory=dict)
+    #: op counts of the emitted IR mirror
+    static: dict[str, int] = field(default_factory=dict)
+    #: non-empty when the canary could not run (e.g. infeasible plan)
+    skipped: str = ""
+
+    @property
+    def ok(self) -> bool:
+        if self.skipped:
+            # an infeasible canary proves nothing either way, but a
+            # *crashed* canary means the driver or emitter broke — that
+            # is drift, not a skip
+            return not self.skipped.startswith("canary failed")
+        return self.dynamic == self.static
+
+    def describe(self) -> str:
+        if self.skipped:
+            return f"{self.driver}: skipped ({self.skipped})"
+        status = "in sync" if self.ok else "DRIFT"
+        return f"{self.driver}: {status} dynamic={self.dynamic} static={self.static}"
+
+
+def _ir_ops(irs) -> int:
+    """Kernels + copies across IRs — what the dynamic sanitizer tracks."""
+    from repro.verifyplan.ir import CopyOp, KernelOp
+
+    return sum(
+        isinstance(op, (KernelOp, CopyOp)) for ir in irs for op in ir.ops
+    )
+
+
+def _canary_graph():
+    from repro.graphs.generators import road_like
+
+    return road_like(220, 2.6, seed=1)
+
+
+def _check_single(name: str, emit: Callable) -> DriftCheck:
+    from repro.gpu.device import TEST_DEVICE
+    from repro.sanitize.runner import sanitize_driver
+
+    graph = _canary_graph()
+    report, _ = sanitize_driver(name, graph, TEST_DEVICE)
+    return DriftCheck(
+        driver=name,
+        dynamic={"ops": report.num_ops},
+        static={"ops": _ir_ops(emit(graph, TEST_DEVICE))},
+    )
+
+
+def _check_fw() -> DriftCheck:
+    from repro.core.ooc_fw import emit_fw_ir
+
+    return _check_single(
+        "fw", lambda g, spec: [emit_fw_ir(g.num_vertices, spec)]
+    )
+
+
+def _check_johnson() -> DriftCheck:
+    from repro.core.ooc_johnson import emit_johnson_ir
+
+    return _check_single("johnson", lambda g, spec: [emit_johnson_ir(g, spec)])
+
+
+def _check_boundary() -> DriftCheck:
+    from repro.core.ooc_boundary import BoundaryInfeasibleError, emit_boundary_ir
+
+    try:
+        return _check_single(
+            "boundary", lambda g, spec: [emit_boundary_ir(g, spec)]
+        )
+    except BoundaryInfeasibleError as exc:  # pragma: no cover - canary fits
+        return DriftCheck(driver="boundary", skipped=exc.detail)
+
+
+def _check_multi() -> DriftCheck:
+    from repro.core.multi_gpu import emit_multi_ir
+    from repro.core.ooc_boundary import BoundaryInfeasibleError
+    from repro.gpu.device import TEST_DEVICE
+    from repro.sanitize.runner import sanitize_driver
+
+    graph = _canary_graph()
+    try:
+        report, _ = sanitize_driver("multi-gpu", graph, TEST_DEVICE, num_devices=2)
+    except BoundaryInfeasibleError as exc:  # pragma: no cover - canary fits
+        return DriftCheck(driver="multi-gpu", skipped=exc.detail)
+    return DriftCheck(
+        driver="multi-gpu",
+        dynamic={"ops": report.num_ops},
+        static={"ops": _ir_ops(emit_multi_ir(graph, TEST_DEVICE, 2))},
+    )
+
+
+def _check_cluster() -> DriftCheck:
+    from repro.cluster import ClusterSpec, cluster_fw, emit_cluster_ir
+    from repro.graphs.generators import rmat
+    from repro.verifyplan.ir import KernelOp, SendOp
+
+    graph = rmat(96, 576, seed=3)
+    cluster = ClusterSpec.make(2, 2)
+    result = cluster_fw(graph, cluster)
+    irs = emit_cluster_ir(96, cluster)
+    return DriftCheck(
+        driver="cluster-fw",
+        dynamic={
+            "kernels": result.num_kernels,
+            "messages": result.num_messages,
+        },
+        static={
+            "kernels": sum(
+                isinstance(op, KernelOp) for ir in irs for op in ir.ops
+            ),
+            "messages": sum(
+                isinstance(op, SendOp) for ir in irs for op in ir.ops
+            ),
+        },
+    )
+
+
+#: repo-relative driver module suffix -> canary comparison
+DRIVER_CANARIES: dict[str, Callable[[], DriftCheck]] = {
+    "core/ooc_fw.py": _check_fw,
+    "core/ooc_johnson.py": _check_johnson,
+    "core/ooc_boundary.py": _check_boundary,
+    "core/multi_gpu.py": _check_multi,
+    "cluster/simulate.py": _check_cluster,
+}
+
+_CACHE: dict[str, DriftCheck] = {}
+
+
+def drift_for_module(rel_path: str) -> DriftCheck | None:
+    """Run (or fetch the cached) canary for a driver module path.
+
+    ``rel_path`` is the repo-relative path of the file being linted;
+    returns ``None`` for modules that are not registered drivers.
+    """
+    rel = rel_path.replace("\\", "/")
+    for suffix, check in DRIVER_CANARIES.items():
+        if rel.endswith(suffix):
+            if suffix not in _CACHE:
+                try:
+                    _CACHE[suffix] = check()
+                except Exception as exc:  # canary must never crash the linter
+                    _CACHE[suffix] = DriftCheck(
+                        driver=suffix, skipped=f"canary failed: {exc!r}"
+                    )
+            return _CACHE[suffix]
+    return None
+
+
+def check_drift() -> list[DriftCheck]:
+    """Run every registered driver canary (test-suite entry point)."""
+    return [check for suffix in DRIVER_CANARIES
+            if (check := drift_for_module(suffix)) is not None]

@@ -46,6 +46,13 @@ RPR009  unchecked-ndarray-ffi a raw ``arr.ctypes.data`` pointer handed to a C
                              (``_checked_operand``/``ascontiguousarray``/
                              ``np.require``) — the C kernels assume unit inner
                              stride and a specific element width
+RPR010  emitter-drift        every OOC/multi/cluster driver module with an
+                             ``emit_*_ir`` mirror must stay in sync with its
+                             dynamic schedule: the linter replays a tiny canary
+                             config through both (:mod:`repro.sanitize.drift`)
+                             and flags the driver when the trace op counts
+                             diverge — a drifted mirror makes every static
+                             proof about that driver vacuous
 ======= ==================== =====================================================
 
 Run over paths with :func:`lint_paths`; each finding is a
@@ -73,6 +80,7 @@ RULES: dict[str, tuple[str, str]] = {
     "RPR007": ("dead-event", "record() whose event no reachable wait() consumes"),
     "RPR008": ("ffi-contract", "CDLL function used without declared argtypes/restype"),
     "RPR009": ("unchecked-ndarray-ffi", "ndarray pointer reaches C without dtype/contiguity guard"),
+    "RPR010": ("emitter-drift", "emit_*_ir mirror op counts diverge from the dynamic trace"),
 }
 
 #: engine entry points whose operands RPR002 inspects
@@ -546,6 +554,14 @@ def lint_file(path: Path, root: Path | None = None) -> list[Violation]:
     if not exempt and _module_public_names(tree) and not _declares_all(tree):
         checker._flag("RPR005", tree.body[0] if tree.body else tree,
                       "module defines public names but no __all__")
+    # RPR010 is semantic, not syntactic: registered driver modules are
+    # replayed on a canary config and compared against their IR mirrors
+    from repro.sanitize.drift import drift_for_module
+
+    drift = drift_for_module(rel)
+    if drift is not None and not drift.ok:
+        checker._flag("RPR010", tree.body[0] if tree.body else tree,
+                      f"emit_*_ir mirror out of sync — {drift.describe()}")
     return violations
 
 

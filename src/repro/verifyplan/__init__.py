@@ -30,8 +30,17 @@ output batching). Independent analyses, one contract: the tests in
 agreement between these static predictions and the dynamic traces and
 simulated clocks of real runs.
 
+The same machinery scales past one host: the distributed schedules of
+:mod:`repro.cluster` lower their collectives to point-to-point
+:class:`~repro.verifyplan.ir.SendOp`/:class:`~repro.verifyplan.ir.RecvOp`
+pairs, :func:`analyze_cluster_hb` proves them ordered and matched across
+nodes in every interleaving, :mod:`~repro.verifyplan.commbounds` proves
+the per-link byte counts equal the closed-form 2-D block-cyclic volumes,
+and :func:`predict_cluster_timing` replays the fleet under an α–β link
+model.
+
 Entry points: :func:`verify_plan` / ``python -m repro verify-plan`` /
-``python -m repro check-schedule``.
+``python -m repro check-schedule`` / ``python -m repro verify-cluster``.
 """
 
 from repro.verifyplan.analyze import (
@@ -42,18 +51,41 @@ from repro.verifyplan.analyze import (
     analyze_transfers,
     audit_ir,
 )
-from repro.verifyplan.bounds import DEFAULT_TOLERANCE, BoundCheck
-from repro.verifyplan.hb import HBFinding, HBReport, analyze_hb, merge_hb_reports
+from repro.verifyplan.bounds import (
+    DEFAULT_TOLERANCE,
+    BoundCheck,
+    fw_exact_h2d_bytes,
+)
+from repro.verifyplan.commbounds import (
+    CommReport,
+    CommTally,
+    analyze_comm,
+    cluster_comm_checks,
+    expected_comm_volumes,
+    expected_link_bytes,
+)
+from repro.verifyplan.hb import (
+    HBFinding,
+    HBReport,
+    analyze_cluster_hb,
+    analyze_hb,
+    merge_hb_reports,
+)
 from repro.verifyplan.ir import (
     AllocOp,
     BarrierOp,
+    CollectiveOp,
     CopyOp,
     FreeOp,
     IREmitter,
     KernelOp,
+    LinkSpec,
+    NodeSpec,
     PlanIR,
     RecordOp,
     Rect,
+    RecvOp,
+    SendOp,
     SymBuffer,
     SymEvent,
     WaitOp,
@@ -63,6 +95,7 @@ from repro.verifyplan.timing import (
     TimingCalibration,
     TimingReport,
     kernel_duration,
+    predict_cluster_timing,
     predict_multi_timing,
     predict_timing,
 )
@@ -78,6 +111,9 @@ __all__ = [
     "AllocOp",
     "BarrierOp",
     "BoundCheck",
+    "CollectiveOp",
+    "CommReport",
+    "CommTally",
     "CopyOp",
     "CriticalSegment",
     "DEFAULT_TOLERANCE",
@@ -86,25 +122,36 @@ __all__ = [
     "HBReport",
     "IREmitter",
     "KernelOp",
+    "LinkSpec",
+    "NodeSpec",
     "PlanAudit",
     "PlanFinding",
     "PlanIR",
     "PlanVerification",
     "RecordOp",
     "Rect",
+    "RecvOp",
+    "SendOp",
     "SymBuffer",
     "SymEvent",
     "TimingCalibration",
     "TimingReport",
     "TransferTally",
     "WaitOp",
+    "analyze_cluster_hb",
+    "analyze_comm",
     "analyze_def_use",
     "analyze_hb",
     "analyze_residency",
     "analyze_transfers",
     "audit_ir",
+    "cluster_comm_checks",
+    "expected_comm_volumes",
+    "expected_link_bytes",
+    "fw_exact_h2d_bytes",
     "kernel_duration",
     "merge_hb_reports",
+    "predict_cluster_timing",
     "predict_multi_timing",
     "predict_timing",
     "verify_plan",

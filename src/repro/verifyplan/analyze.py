@@ -24,7 +24,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.verifyplan.ir import AllocOp, CopyOp, FreeOp, KernelOp, PlanIR, Rect
+from repro.verifyplan.ir import (
+    AllocOp,
+    CopyOp,
+    FreeOp,
+    KernelOp,
+    PlanIR,
+    Rect,
+    RecvOp,
+    SendOp,
+)
 
 __all__ = [
     "PlanFinding",
@@ -147,6 +156,15 @@ def analyze_def_use(ir: PlanIR) -> list[PlanFinding]:
                 check_read(acc.buffer, acc.rect, f"kernel {op.name!r}", idx)
             for acc in op.writes:
                 record_write(acc.buffer, acc.rect)
+        elif isinstance(op, SendOp):
+            # a send ships device bytes to another rank: reading an
+            # undefined source region ships garbage (dropped-broadcast
+            # defects surface here on the *receiving* rank's later reads
+            # and here on a sender that forwards a block it never built)
+            check_read(op.access.buffer, op.access.rect,
+                       f"send(tag={op.tag!r} -> rank {op.dst})", idx)
+        elif isinstance(op, RecvOp):
+            record_write(op.access.buffer, op.access.rect)
     return findings
 
 
@@ -189,6 +207,10 @@ def analyze_transfers(ir: PlanIR) -> tuple[TransferTally, list[PlanFinding]]:
         elif isinstance(op, KernelOp):
             for acc in op.writes:
                 invalidate(acc.buffer, acc.rect)
+        elif isinstance(op, RecvOp):
+            # network writes mutate device bytes exactly like kernel
+            # writes; they move no PCIe bytes (commbounds tallies them)
+            invalidate(op.access.buffer, op.access.rect)
         elif isinstance(op, CopyOp):
             acc = op.access
             name = ir.buffers[acc.buffer].name

@@ -35,6 +35,7 @@ __all__ = [
     "BoundCheck",
     "boundary_bound_checks",
     "fw_bound_checks",
+    "fw_exact_h2d_bytes",
     "johnson_bound_checks",
     "multi_bound_checks",
 ]
@@ -79,6 +80,49 @@ class BoundCheck:
         )
 
 
+def fw_exact_h2d_bytes(block_sizes, *, overlap: bool = True) -> int:
+    """Exact upload volume of the blocked-FW schedule, ragged blocks and all.
+
+    Derived term by term from the driver's three stages (``n = Σ bᵢ``,
+    ``rest_k = n − b_k``, ``L = n_d − 1``):
+
+    * stage 1 uploads the diagonal block: ``b_k²``;
+    * stage 2 streams the row and column panels: ``2·b_k·rest_k``;
+    * stage 3 uploads the column panel once per block-row (``b_k·rest_k``)
+      and every work block (``rest_k²``);
+    * stage-3 **row uploads** depend on the double-buffer rotation: buffer
+      ``p = t mod nbuf`` revisits column ``j = t mod L``, so the re-upload
+      of ``A(k,j)`` is elided iff the buffer still holds ``j`` — which
+      happens from step ``nbuf`` on exactly when ``nbuf ≡ 0 (mod L)``.
+      Then only the first-occupancy steps upload
+      (``Σ_{t < min(nbuf, L²)} b_k·b_{js[t mod L]}``); otherwise every one
+      of the ``L²`` steps re-uploads (``L·b_k·rest_k``).
+
+    The earlier closed form assumed square remainder tiles and was only
+    approximate for ``n % b ≠ 0``; this one is exact for any block-size
+    list and matches the emitter/driver byte for byte.
+    """
+    sizes = [int(b) for b in block_sizes]
+    n = sum(sizes)
+    nd = len(sizes)
+    nbuf = 2 if overlap else 1
+    total = 0
+    for k, bk in enumerate(sizes):
+        rest = n - bk
+        total += bk * bk  # stage 1: diagonal block
+        total += 2 * bk * rest  # stage 2: row + column panels
+        total += bk * rest  # stage 3: column-panel uploads (one per i)
+        total += rest * rest  # stage 3: work-block uploads
+        L = nd - 1
+        if L > 0:
+            js = [sizes[j] for j in range(nd) if j != k]
+            if nbuf % L == 0:
+                total += sum(bk * js[t % L] for t in range(min(nbuf, L * L)))
+            else:
+                total += L * bk * rest
+    return total * _ELEM
+
+
 def fw_bound_checks(
     n: int,
     num_blocks: int,
@@ -86,17 +130,62 @@ def fw_bound_checks(
     bytes_d2h: int,
     *,
     tolerance: float = DEFAULT_TOLERANCE,
+    block_sizes=None,
+    overlap: bool = True,
 ) -> list[BoundCheck]:
-    """Blocked FW: Table I's ``O(n_d · n²)`` movement, split by direction."""
+    """Blocked FW: Table I's ``O(n_d · n²)`` movement, split by direction.
+
+    With ``block_sizes`` (the layout's per-block edge lengths) the upload
+    and total checks use :func:`fw_exact_h2d_bytes` and become **exact**
+    even for ragged tilings; without it they fall back to the paper's
+    square-tile ``(2·n_d − 1)·n²`` approximation with ``tolerance``.
+    """
     nd = num_blocks
-    return [
+    d2h_expected = nd * n * n * _ELEM
+    checks = [
         BoundCheck(
             name="fw-d2h-volume",
-            expected=nd * n * n * _ELEM,
+            expected=d2h_expected,
             actual=bytes_d2h,
             mode="exact",
             detail="each outer iteration downloads every block exactly once",
-        ),
+        )
+    ]
+    if block_sizes is not None:
+        h2d_expected = fw_exact_h2d_bytes(block_sizes, overlap=overlap)
+        checks += [
+            BoundCheck(
+                name="fw-h2d-volume",
+                expected=h2d_expected,
+                actual=bytes_h2d,
+                mode="exact",
+                detail=(
+                    "exact ragged-tile upload volume (stage terms + the "
+                    "double-buffer row-reuse rule)"
+                ),
+            ),
+            BoundCheck(
+                name="fw-total-volume",
+                expected=h2d_expected + d2h_expected,
+                actual=bytes_h2d + bytes_d2h,
+                mode="exact",
+                detail="paper Table I: O(n_d · n²) total movement, exact form",
+            ),
+            # the paper's square-tile approximation stays on as a
+            # cross-check of the exact formula (and keeps ``tolerance``
+            # meaningful in exact mode): the ragged correction must be
+            # small relative to the O(n_d · n²) movement
+            BoundCheck(
+                name="fw-h2d-paper-form",
+                expected=max(1, 2 * nd - 1) * n * n * _ELEM,
+                actual=bytes_h2d,
+                mode="approx",
+                tolerance=tolerance,
+                detail="uploads ≈ (2·n_d − 1)·n² elements (square-tile form)",
+            ),
+        ]
+        return checks
+    checks += [
         BoundCheck(
             name="fw-h2d-volume",
             expected=max(1, 2 * nd - 1) * n * n * _ELEM,
@@ -114,6 +203,7 @@ def fw_bound_checks(
             detail="paper Table I: O(n_d · n²) total movement",
         ),
     ]
+    return checks
 
 
 def johnson_bound_checks(

@@ -28,7 +28,17 @@ Conventions:
   ``Stream.record``/``Stream.wait``/``_barrier`` exactly so the
   happens-before checker (:mod:`repro.verifyplan.hb`) and the symbolic
   timing pass (:mod:`repro.verifyplan.timing`) see the same schedule the
-  dynamic sanitizer would.
+  dynamic sanitizer would;
+* distributed schedules (:mod:`repro.cluster`) add one IR per rank
+  (``PlanIR.rank``), message ops (:class:`SendOp`/:class:`RecvOp`) over
+  modeled :class:`LinkSpec` interconnects between :class:`NodeSpec`
+  nodes, and :class:`CollectiveOp` markers recording which lowered
+  point-to-point pairs implement each collective. A send *reads* its
+  source rectangle and a recv *writes* its destination rectangle, so the
+  existing def-use and happens-before analyses see the communication
+  exactly as they see copies; the cross-rank matching lives in
+  :func:`repro.verifyplan.hb.analyze_cluster_hb` and the volume proofs
+  in :mod:`repro.verifyplan.commbounds`.
 """
 
 from __future__ import annotations
@@ -39,13 +49,18 @@ __all__ = [
     "Access",
     "AllocOp",
     "BarrierOp",
+    "CollectiveOp",
     "CopyOp",
     "FreeOp",
     "IREmitter",
     "KernelOp",
+    "LinkSpec",
+    "NodeSpec",
     "PlanIR",
     "RecordOp",
     "Rect",
+    "RecvOp",
+    "SendOp",
     "SymBuffer",
     "SymEvent",
     "WaitOp",
@@ -205,14 +220,95 @@ class BarrierOp:
 
 
 @dataclass(frozen=True)
+class NodeSpec:
+    """One node of a modeled cluster: an id, a name, and its device count."""
+
+    id: int
+    name: str
+    num_devices: int = 1
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """α-β cost model of one interconnect class (distinct from PCIe).
+
+    A transfer of ``b`` bytes costs ``latency + b / bandwidth`` seconds;
+    transfers over the same directed (src, dst) pair serialise, mirroring
+    one DMA engine per link direction.
+    """
+
+    name: str
+    latency: float  # α, seconds per message
+    bandwidth: float  # β, bytes per second
+
+    def duration(self, nbytes: int) -> float:
+        return self.latency + nbytes / self.bandwidth
+
+
+@dataclass(frozen=True)
+class SendOp:
+    """Rendezvous send of ``access`` to rank ``dst`` on channel ``tag``.
+
+    Reads its source rectangle (the HB/def-use analyses treat it like a
+    d2h copy's read). ``collective`` names the collective this message
+    lowers from (``"bcast"``/``"allgather"``/``"reduce"``/``"scatter"``,
+    or ``""`` for a raw point-to-point message); ``key`` is the logical
+    host-block identity for attribution.
+    """
+
+    dst: int
+    tag: str
+    access: Access
+    key: tuple
+    stream: str = "default"
+    collective: str = ""
+
+
+@dataclass(frozen=True)
+class RecvOp:
+    """Rendezvous receive from rank ``src`` on channel ``tag``.
+
+    Writes its destination rectangle. Matching is FIFO per
+    ``(src, dst, tag)`` channel; the cross-node HB pass joins the matched
+    send's vector clock into the receiving stream, so everything ordered
+    before the send happens-before everything after the recv.
+    """
+
+    src: int
+    tag: str
+    access: Access
+    key: tuple
+    stream: str = "default"
+    collective: str = ""
+
+
+@dataclass(frozen=True)
+class CollectiveOp:
+    """Marker recording one collective's membership on a participant rank.
+
+    Clockless (like ``annotate`` kernels): the data movement lives in the
+    lowered :class:`SendOp`/:class:`RecvOp` pairs that follow it. The
+    marker ties those messages back to the collective for the
+    communication-volume proofs and for defect attribution.
+    """
+
+    kind: str  # "bcast" | "allgather" | "reduce" | "scatter"
+    tag: str
+    root: int
+    ranks: tuple[int, ...]
+
+
+@dataclass(frozen=True)
 class PlanIR:
-    """The compiled schedule of one driver on one device."""
+    """The compiled schedule of one driver on one device (or cluster rank)."""
 
     algorithm: str
     device: str
     capacity: int
     buffers: dict[int, SymBuffer] = field(default_factory=dict)
     ops: tuple = ()
+    #: rank id within a cluster schedule (0 for single-device plans)
+    rank: int = 0
 
     @property
     def num_ops(self) -> int:
@@ -226,10 +322,13 @@ class IREmitter:
     full rectangle) or a ``(SymBuffer, Rect)`` pair.
     """
 
-    def __init__(self, algorithm: str, device: str, capacity: int) -> None:
+    def __init__(
+        self, algorithm: str, device: str, capacity: int, *, rank: int = 0
+    ) -> None:
         self.algorithm = algorithm
         self.device = device
         self.capacity = int(capacity)
+        self.rank = int(rank)
         self._buffers: dict[int, SymBuffer] = {}
         self._ops: list = []
         self._next_id = 0
@@ -323,6 +422,51 @@ class IREmitter:
             )
         )
 
+    def send(
+        self,
+        buf: SymBuffer,
+        rect: Rect | None = None,
+        *,
+        dst: int,
+        tag: str,
+        key: tuple,
+        stream: str = "default",
+        collective: str = "",
+    ) -> None:
+        """Mirror a rendezvous send to rank ``dst`` on channel ``tag``."""
+        self._ops.append(
+            SendOp(
+                dst=int(dst), tag=tag, access=self._access(buf, rect),
+                key=tuple(key), stream=stream, collective=collective,
+            )
+        )
+
+    def recv(
+        self,
+        buf: SymBuffer,
+        rect: Rect | None = None,
+        *,
+        src: int,
+        tag: str,
+        key: tuple,
+        stream: str = "default",
+        collective: str = "",
+    ) -> None:
+        """Mirror a rendezvous receive from rank ``src`` on channel ``tag``."""
+        self._ops.append(
+            RecvOp(
+                src=int(src), tag=tag, access=self._access(buf, rect),
+                key=tuple(key), stream=stream, collective=collective,
+            )
+        )
+
+    def collective(self, kind: str, *, tag: str, root: int, ranks) -> None:
+        """Mark this rank's membership in one lowered collective."""
+        self._ops.append(
+            CollectiveOp(kind=kind, tag=tag, root=int(root),
+                         ranks=tuple(int(r) for r in ranks))
+        )
+
     def record(self, name: str, *, stream: str = "default") -> SymEvent:
         """Mirror ``stream.record(Event(name))``; returns the event handle."""
         event = SymEvent(id=self._next_event, name=name)
@@ -345,4 +489,5 @@ class IREmitter:
             capacity=self.capacity,
             buffers=dict(self._buffers),
             ops=tuple(self._ops),
+            rank=self.rank,
         )

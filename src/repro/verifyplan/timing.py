@@ -49,8 +49,11 @@ from repro.verifyplan.ir import (
     CopyOp,
     FreeOp,
     KernelOp,
+    LinkSpec,
     PlanIR,
     RecordOp,
+    RecvOp,
+    SendOp,
     WaitOp,
 )
 
@@ -59,6 +62,7 @@ __all__ = [
     "TimingCalibration",
     "TimingReport",
     "kernel_duration",
+    "predict_cluster_timing",
     "predict_multi_timing",
     "predict_timing",
 ]
@@ -233,7 +237,7 @@ class _DeviceState:
         if self.host_ready >= max(self.engine_ready.values()):
             cursor = self.host_src
         else:
-            engine = max(_ENGINES, key=lambda e: self.engine_ready[e])
+            engine = max(self.engine_ready, key=lambda e: self.engine_ready[e])
             cursor = self.engine_src[engine]
         path: list[CriticalSegment] = []
         while cursor >= 0:
@@ -260,6 +264,8 @@ class TimingReport:
     serial_seconds: float
     overlap_efficiency: float
     num_timed_ops: int
+    #: busy seconds on the modelled interconnect links (cluster plans only)
+    net_seconds: float = 0.0
     critical_path: list[CriticalSegment] = field(default_factory=list)
 
     @property
@@ -282,8 +288,9 @@ class TimingReport:
             f"{self.algorithm} on {self.device}: predicted makespan "
             f"{self.makespan:.6f}s over {self.num_timed_ops} timed ops",
             f"  busy: compute {self.compute_seconds:.6f}s, "
-            f"h2d {self.h2d_seconds:.6f}s, d2h {self.d2h_seconds:.6f}s "
-            f"(serialised {self.serial_seconds:.6f}s)",
+            f"h2d {self.h2d_seconds:.6f}s, d2h {self.d2h_seconds:.6f}s"
+            + (f", net {self.net_seconds:.6f}s" if self.net_seconds else "")
+            + f" (serialised {self.serial_seconds:.6f}s)",
             f"  overlap efficiency {self.overlap_efficiency:.2f}, "
             f"critical path {len(self.critical_path)} op(s)",
         ]
@@ -302,6 +309,7 @@ class TimingReport:
             "compute_seconds": self.compute_seconds,
             "h2d_seconds": self.h2d_seconds,
             "d2h_seconds": self.d2h_seconds,
+            "net_seconds": self.net_seconds,
             "serial_seconds": self.serial_seconds,
             "overlap_efficiency": self.overlap_efficiency,
             "num_timed_ops": self.num_timed_ops,
@@ -396,6 +404,134 @@ def predict_multi_timing(
             state.advance_to(t)
     device = f"{irs[0].device.split('#')[0]}×{len(irs)}"
     return _report_from_states(irs[0].algorithm, device, states, t)
+
+
+def predict_cluster_timing(
+    irs: list[PlanIR],
+    spec: DeviceSpec,
+    *,
+    link_of,
+    calibration: "TimingCalibration | None" = None,
+) -> TimingReport:
+    """Replay per-rank cluster IRs under the α–β interconnect model.
+
+    ``link_of(src, dst)`` maps a directed rank pair to the
+    :class:`~repro.verifyplan.ir.LinkSpec` carrying their traffic. The
+    replay uses the exact clock discipline of the dynamic cluster
+    simulator (:mod:`repro.cluster.simulate`), with eager-buffered sends:
+
+    * a **send** occupies the directed link as an engine of the sending
+      rank: ``start = max(stream, host, link_ready)``,
+      ``end = start + α + nbytes/β``; the wire time is charged entirely
+      on the sender/link side and the message's *arrival time* is ``end``;
+    * a **recv** floors the receiving stream's clock at the FIFO-matched
+      arrival time and costs nothing itself;
+    * a :class:`~repro.verifyplan.ir.BarrierOp` is a fleet barrier
+      flooring every rank's clocks at the fleet-wide elapsed time.
+
+    Every transfer's end time is a fixed function of its predecessors
+    (sender clocks + per-link FIFO order), so the replay is
+    processing-order independent and matches the simulator's makespan
+    **exactly** — the scaling curves the two produce are the same curve.
+    """
+    if not irs:
+        raise ValueError("predict_cluster_timing needs at least one rank IR")
+    if calibration is not None:
+        spec = calibration.apply(spec)
+    states = [_DeviceState() for _ in irs]
+    pos = [0] * len(irs)
+    #: (src, dst, tag) -> FIFO of arrival times
+    arrivals: dict[tuple[int, int, str], list[float]] = {}
+
+    def run_rank(i: int) -> bool:
+        """Advance rank ``i`` until blocked; True if any op was processed."""
+        st, ir = states[i], irs[i]
+        moved = False
+        while pos[i] < len(ir.ops):
+            op = ir.ops[pos[i]]
+            if isinstance(op, BarrierOp):
+                break
+            if isinstance(op, SendOp):
+                link: LinkSpec = link_of(ir.rank, op.dst)
+                engine = f"net:{ir.rank}->{op.dst}"
+                st.engine_ready.setdefault(engine, 0.0)
+                st.engine_src.setdefault(engine, -1)
+                st.busy.setdefault(engine, 0.0)
+                timed = st._schedule(
+                    f"send:{op.tag}", engine, op.stream,
+                    link.duration(op.access.nbytes),
+                )
+                arrivals.setdefault((ir.rank, op.dst, op.tag), []).append(
+                    timed.end
+                )
+            elif isinstance(op, RecvOp):
+                queue = arrivals.get((op.src, ir.rank, op.tag))
+                if not queue:
+                    break  # sender has not issued the message yet
+                arrival = queue.pop(0)
+                if arrival > st.stream_ready.get(op.stream, 0.0):
+                    st.stream_ready[op.stream] = arrival
+                    st.stream_src[op.stream] = -1
+            else:
+                partial = dataclasses.replace(ir, ops=(op,))
+                st.replay(partial, spec)
+            pos[i] += 1
+            moved = True
+        return moved
+
+    while True:
+        progressed = False
+        for i in range(len(irs)):
+            if run_rank(i):
+                progressed = True
+        if all(pos[i] >= len(ir.ops) for i, ir in enumerate(irs)):
+            break
+        at_barrier = [
+            i for i, ir in enumerate(irs)
+            if pos[i] < len(ir.ops) and isinstance(ir.ops[pos[i]], BarrierOp)
+        ]
+        if at_barrier and all(
+            pos[i] >= len(ir.ops) or isinstance(ir.ops[pos[i]], BarrierOp)
+            for i, ir in enumerate(irs)
+        ):
+            t = max(st.elapsed for st in states)
+            for st in states:
+                st.advance_to(t)
+            for i in at_barrier:
+                pos[i] += 1
+            continue
+        if not progressed:
+            raise ValueError(
+                "cluster timing: schedule deadlocks — run analyze_cluster_hb"
+            )
+
+    makespan = max(st.elapsed for st in states)
+    busy = {e: sum(st.busy[e] for st in states) for e in _ENGINES}
+    net = sum(
+        seconds
+        for st in states
+        for engine, seconds in st.busy.items()
+        if engine.startswith("net:")
+    )
+    serial = busy["compute"] + busy["h2d"] + busy["d2h"] + net
+    max_busy = max(
+        max(seconds for seconds in st.busy.values()) for st in states
+    )
+    binding = max(states, key=lambda st: st.elapsed)
+    device = f"{irs[0].device.split('#')[0]}×{len(irs)}"
+    return TimingReport(
+        algorithm=irs[0].algorithm,
+        device=device,
+        makespan=makespan,
+        compute_seconds=busy["compute"],
+        h2d_seconds=busy["h2d"],
+        d2h_seconds=busy["d2h"],
+        serial_seconds=serial,
+        overlap_efficiency=_overlap_efficiency(serial, max_busy, makespan),
+        num_timed_ops=sum(len(st.timed) for st in states),
+        net_seconds=net,
+        critical_path=binding.critical_path(),
+    )
 
 
 @dataclass(frozen=True)

@@ -192,6 +192,7 @@ def _audit_fw(
     timing: bool, calibration: TimingCalibration | None,
 ) -> PlanAudit:
     from repro.core.ooc_fw import emit_fw_ir, plan_fw_block_size
+    from repro.core.tiling import BlockLayout
     from repro.gpu.errors import OutOfMemoryError
 
     n = graph.num_vertices
@@ -200,13 +201,15 @@ def _audit_fw(
         b = plan_fw_block_size(n, spec, overlap=overlap)
     except (ValueError, OutOfMemoryError) as exc:  # pragma: no cover - tiny devices
         return PlanAudit("floyd-warshall", False, reason=str(exc))
-    nd = max(1, (n + b - 1) // b)
+    layout = BlockLayout(n, b)
+    nd = layout.num_blocks
     audit.parameters = {"block_size": b, "num_blocks": nd}
     ir = emit_fw_ir(n, spec, block_size=b, overlap=overlap)
     audit.num_ops = ir.num_ops
     _merge_audit(audit, *audit_ir(ir))
     audit.bounds = fw_bound_checks(
-        n, nd, audit.bytes_h2d, audit.bytes_d2h, tolerance=tolerance
+        n, nd, audit.bytes_h2d, audit.bytes_d2h, tolerance=tolerance,
+        block_sizes=[layout.size(i) for i in range(nd)], overlap=overlap,
     )
     audit.hb = analyze_hb(ir)
     if timing:

@@ -172,15 +172,15 @@ class TestVerifyPlan:
         assert "floyd-warshall" in out and "johnson" not in out
 
     def test_failing_bound_exits_one(self, capsys):
-        # an impossible tolerance turns the approximate FW checks into
-        # failures: documented exit code 1
+        # an impossible tolerance turns the square-tile paper-form
+        # cross-check into a failure: documented exit code 1
         rc = main(["verify-plan", "road:n=220,deg=2.6,seed=1",
                    "--device", "test", "--scale", "1",
                    "--algorithm", "fw", "--tolerance", "1e-9"])
         assert rc == 1
         out = capsys.readouterr().out
         assert "verification FAILED" in out
-        assert "fw-h2d-volume" in out
+        assert "fw-h2d-paper-form" in out
 
 
 class TestSanitizeJson:

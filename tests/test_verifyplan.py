@@ -36,6 +36,10 @@ CONFIGS = [
     pytest.param(lambda: rmat(110, 800, seed=2), TEST_DEVICE, id="rmat110-test"),
     pytest.param(lambda: erdos_renyi(200, 1200, seed=3), TEST_DEVICE, id="er200-test"),
     pytest.param(lambda: road_like(900, 2.6, seed=3), V100_64, id="road900-v100/64"),
+    # deliberately uneven: n=500 with block 161 leaves a 17-wide ragged
+    # last block (nd=4) — the exact-mode FW bounds must still close
+    pytest.param(lambda: road_like(500, 2.6, seed=4), TEST_DEVICE,
+                 id="road500-test-uneven"),
 ]
 
 
