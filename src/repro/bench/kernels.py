@@ -189,12 +189,46 @@ def sweep_backends(
     return rows
 
 
+#: per-row fields mirrored into ``benchmarks/results/kernels.json`` — the
+#: *gated* subset (configuration + bit-identity), never measured timings,
+#: so re-running the sweep only rewrites the mirror when a contract
+#: actually changed
+GATED_ROW_FIELDS = ("backend", "flavor", "n", "tile", "identical")
+
+
+def _gated_row(row: dict) -> dict:
+    return {k: row[k] for k in GATED_ROW_FIELDS if k in row}
+
+
+def _gated_tuned(tuned: dict) -> dict:
+    """Tuned winners reduced to their regression class + configuration —
+    the fields ``tune-kernels --check`` gates on, sans measured Gop/s."""
+    out: dict = {}
+    for fp, entry in tuned.items():
+        if not isinstance(entry, dict):
+            continue
+        out[fp] = {
+            "class": fingerprint_class(fp),
+            "backend": entry.get("backend"),
+            "flavor": entry.get("flavor"),
+            "options": entry.get("options"),
+        }
+    return out
+
+
 def save_sweep(rows: list[dict], path: Path | str | None = None) -> Path:
     """Write the sweep to ``BENCH_kernels.json`` (and mirror a record into
     ``benchmarks/results/`` so ``python -m repro report`` includes it).
 
     Preserves any ``"tuned"`` winners already recorded in the file — a
     sweep refresh must never throw away autotune results.
+
+    Both files are emitted with a stable key order, and the mirror
+    carries only the gated fields (:data:`GATED_ROW_FIELDS`, tuned
+    regression classes) — measured timings, machine info, and build
+    notes stay in the canonical root file, so benchmark re-runs leave
+    the committed mirror byte-identical unless a configuration or
+    bit-identity verdict actually changed.
     """
     path = Path(path) if path else bench_kernels_path()
     tuned = {}
@@ -215,17 +249,43 @@ def save_sweep(rows: list[dict], path: Path | str | None = None) -> Path:
         "best_speedup": best["speedup"] if best else None,
         "tuned": tuned,
     }
-    path.write_text(json.dumps(payload, indent=2))
-    mirror = {
-        **payload,
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    # mirror only the canonical file — a test- or env-redirected sweep
+    # must not touch the committed report record
+    canonical = Path(__file__).resolve().parents[3] / "BENCH_kernels.json"
+    if path.resolve() == canonical:
+        _write_if_changed(results_dir() / "kernels.json", _mirror_payload(payload))
+    return path
+
+
+def _mirror_payload(payload: dict) -> dict:
+    """The gated-fields report record derived from a full sweep payload."""
+    best = payload.get("best")
+    return {
+        "experiment": "kernels",
+        "title": payload["title"],
+        "generated_by": payload["generated_by"],
         "paper_expectation": (
             "repo target: best non-reference backend ≥ 3× the reference "
             "rank-1 loop's Gop/s at n=1024 (ISSUE 1 acceptance)"
         ),
-        "notes": [f"canonical copy: {path}"],
+        "rows": [_gated_row(r) for r in payload["rows"]],
+        "best": _gated_row(best) if best else None,
+        "tuned": _gated_tuned(payload.get("tuned", {}) or {}),
+        "notes": [
+            "gated fields only (config + bit-identity) — measured timings "
+            "live in the canonical copy: BENCH_kernels.json"
+        ],
     }
-    (results_dir() / "kernels.json").write_text(json.dumps(mirror, indent=2))
-    return path
+
+
+def _write_if_changed(path: Path, payload: dict) -> None:
+    """Write ``payload`` only when its serialized form differs — keeps
+    mtimes (and VCS status) quiet across no-op benchmark re-runs."""
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    if path.exists() and path.read_text() == text:
+        return
+    path.write_text(text)
 
 
 # ----------------------------------------------------------------------
@@ -410,7 +470,7 @@ def record_tuned(result: dict, path: Path | str | None = None) -> Path:
         **result["winner"],
         "machine": result["machine"],
     }
-    path.write_text(json.dumps(payload, indent=2))
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
 
 

@@ -16,12 +16,16 @@ Commands
 ``verify-cluster`` cross-node HB + communication-volume proofs for the
                   distributed blocked-FW schedule
 ``bench-cluster`` record/check the cluster scaling baseline
+``verify-update`` static O(n²) transfer proofs + patch-soundness checks for
+                  the dynamic-graph update schedules
+``bench-dynamic`` record/check the update-latency vs re-solve crossover baseline
 ``lint``          run the repository AST contract checker
 ``verify-kernels`` static bounds/alias proofs + sanitizer legs for the JIT C kernels
 
 Exit codes (``sanitize``, ``verify-plan``, ``check-schedule``,
-``verify-cluster``, ``bench-transfers --check``, ``bench-cluster
---check``, ``tune-kernels --check``, ``lint``, ``verify-kernels``):
+``verify-cluster``, ``verify-update``, ``bench-transfers --check``,
+``bench-cluster --check``, ``bench-dynamic --check``,
+``tune-kernels --check``, ``lint``, ``verify-kernels``):
 0 — clean/verified; 1 — hazards, findings, failed bounds, or baseline
 drift; 2 — usage error (argparse).
 
@@ -558,6 +562,39 @@ def cmd_bench_transfers(args) -> int:
     return 0
 
 
+def cmd_verify_update(args) -> int:
+    import json as _json
+
+    from repro.dynamic import verify_update
+
+    spec = _device_spec(args)
+    ver = verify_update(spec)
+    if args.json:
+        print(_json.dumps(
+            {"schema_version": SCHEMA_VERSION, **ver.to_dict()}, indent=2
+        ))
+    else:
+        print(ver.describe())
+    return 0 if ver.ok else 1
+
+
+def cmd_bench_dynamic(args) -> int:
+    from repro.bench.dynamic import compare_dynamic, save_dynamic
+
+    if args.check:
+        drifts = compare_dynamic()
+        if drifts:
+            for line in drifts:
+                print(line)
+            print(f"{len(drifts)} drift(s) from BENCH_dynamic.json", file=sys.stderr)
+            return 1
+        print("dynamic crossover baseline: no drift")
+        return 0
+    path = save_dynamic()
+    print(f"wrote {path}")
+    return 0
+
+
 def cmd_lint(args) -> int:
     import json as _json
     from pathlib import Path
@@ -827,6 +864,29 @@ def main(argv=None) -> int:
     p.add_argument("--check", action="store_true",
                    help="diff the recomputed sweep against the recorded baseline")
     p.set_defaults(fn=cmd_bench_cluster)
+
+    p = sub.add_parser(
+        "verify-update",
+        help="statically prove the dynamic-graph update schedules sound: "
+             "closed-form O(n²) transfer bounds == static IR tally == "
+             "dynamic trace, touched-block coverage, HB cleanliness, and "
+             "the seeded-defect + differential + revalidation suites",
+    )
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="linear device scale (default 1.0 — the sweep "
+                        "configs are already test-sized)")
+    p.add_argument("--device", choices=["v100", "k80", "test"], default="test")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(fn=cmd_verify_update)
+
+    p = sub.add_parser(
+        "bench-dynamic",
+        help="record (default) or --check the modeled update-latency vs "
+             "full re-solve crossover baseline in BENCH_dynamic.json",
+    )
+    p.add_argument("--check", action="store_true",
+                   help="diff the recomputed model against the recorded baseline")
+    p.set_defaults(fn=cmd_bench_dynamic)
 
     p = sub.add_parser(
         "bench-transfers",

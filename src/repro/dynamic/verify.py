@@ -1,0 +1,512 @@
+"""End-to-end verifier for the dynamic-update schedules (``verify-update``).
+
+For every sweep configuration this driver replays a scripted sequence of
+edge-update batches through :class:`~repro.dynamic.patch.DynamicAPSP`
+and, for **every** emitted patch pass:
+
+* audits the static :class:`~repro.verifyplan.ir.PlanIR` mirror
+  (residency/def-use/redundancy via
+  :func:`~repro.verifyplan.analyze.audit_ir`);
+* proves the closed-form transfer bounds of
+  :mod:`repro.verifyplan.updatebounds` equal — byte for byte — both the
+  IR tally and the dynamic transfer trace, with the O(n²) asymptotic
+  gates;
+* proves the per-host-key transfer maps of trace and IR identical (the
+  canonical-generator discipline, cross-checked);
+* runs the happens-before model checker over the two-stream sweep;
+* runs the patch-soundness checker against the measured changed-block
+  set.
+
+After each batch the patched matrix is compared bit-for-bit against a
+full re-solve of the mutated graph, and one cache-revalidation leg
+exercises :class:`~repro.dynamic.cache.DistanceCache` end to end.
+Finally the seeded-defect suite corrupts the op stream three ways —
+shrunken affected region, dropped writeback, stale pivot panel — and
+requires each defect caught *statically* with block attribution.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.blocked_fw import floyd_warshall
+from repro.core.engine import DIST_DTYPE, KernelEngine, default_engine
+from repro.dynamic.cache import DistanceCache
+from repro.dynamic.patch import (
+    DynamicAPSP,
+    EdgeUpdate,
+    OpDict,
+    PatchPass,
+    UpdatePlan,
+    emit_ops_ir,
+    emit_update_ir,
+    trace_tally,
+    update_ops,
+)
+from repro.faults.checkpoint import CheckpointError, CheckpointStore, graph_fingerprint
+from repro.gpu.device import TEST_DEVICE, DeviceSpec
+from repro.graphs.csr import CSRGraph
+from repro.verifyplan.analyze import PlanFinding, audit_ir
+from repro.verifyplan.bounds import BoundCheck
+from repro.verifyplan.hb import HBReport, analyze_hb
+from repro.verifyplan.updatebounds import (
+    SoundnessFinding,
+    check_patch_soundness,
+    ir_transfer_maps,
+    update_bound_checks,
+)
+
+__all__ = [
+    "DEFAULT_UPDATE_CONFIGS",
+    "DefectCheck",
+    "UpdateAudit",
+    "UpdateVerification",
+    "seed_defect",
+    "verify_update",
+]
+
+#: sweep configurations: every update kind, ragged and even partitions,
+#: and an in-core (single-block) layout. ``nd`` is the block-row count.
+DEFAULT_UPDATE_CONFIGS: tuple[dict[str, Any], ...] = (
+    {"name": "road220-mixed", "kind": "road", "n": 220, "deg": 2.6, "seed": 1, "nd": 3},
+    {"name": "rmat120-batch", "kind": "rmat", "n": 120, "m": 800, "seed": 2, "nd": 4},
+    {"name": "er200-ragged", "kind": "er", "n": 200, "m": 1200, "seed": 3, "nd": 2},
+)
+
+
+def _build_graph(cfg: dict[str, Any]) -> CSRGraph:
+    from repro.graphs.generators import erdos_renyi, rmat, road_like
+
+    if cfg["kind"] == "road":
+        return road_like(cfg["n"], cfg["deg"], seed=cfg["seed"])
+    if cfg["kind"] == "rmat":
+        return rmat(cfg["n"], cfg["m"], seed=cfg["seed"])
+    return erdos_renyi(cfg["n"], cfg["m"], seed=cfg["seed"])
+
+
+def _non_edge(graph: CSRGraph, u: int) -> int:
+    row = set(graph.indices[graph.indptr[u] : graph.indptr[u + 1]].tolist())
+    row.add(u)
+    for v in range(graph.num_vertices - 1, -1, -1):
+        if v not in row:
+            return v
+    raise ValueError(f"vertex {u} is connected to every other vertex")
+
+
+def _update_script(graph: CSRGraph, seed: int) -> list[list[EdgeUpdate]]:
+    """Three deterministic batches: decreases + an insertion, increases +
+    a deletion, then a mixed batch. Integer weights keep every float32
+    patch bit-identical to a re-solve."""
+    rng = np.random.default_rng(seed)
+    src, dst, w = graph.edge_array()
+    idx = rng.choice(len(src), size=min(8, len(src)), replace=False)
+    pick = [(int(src[i]), int(dst[i]), float(w[i])) for i in idx]
+    batch1 = [EdgeUpdate(u, v, max(0.0, wt // 2)) for u, v, wt in pick[:3]]
+    batch1.append(EdgeUpdate(pick[0][0], _non_edge(graph, pick[0][0]), 1.0))
+    batch2 = [EdgeUpdate(u, v, wt + 9.0) for u, v, wt in pick[3:5]]
+    batch2.append(EdgeUpdate.delete(*pick[5][:2]))
+    batch3 = [EdgeUpdate(u, v, max(0.0, wt - 1.0)) for u, v, wt in pick[6:8]]
+    batch3.append(EdgeUpdate(pick[3][0], pick[3][1], pick[3][2] + 11.0))
+    batch3.append(EdgeUpdate.delete(*pick[4][:2]))
+    return [batch1, batch2, batch3]
+
+
+# ---------------------------------------------------------------------------
+# seeded defects: controlled corruptions of the canonical op stream
+# ---------------------------------------------------------------------------
+DEFECT_NAMES = ("shrunken-region", "dropped-writeback", "stale-pivot-panel")
+
+
+def seed_defect(
+    ops: Sequence[OpDict],
+    defect: str,
+    plan: UpdatePlan,
+    block: tuple[int, int],
+) -> list[OpDict]:
+    """Corrupt an op stream the way a buggy incremental driver would.
+
+    ``block`` targets the corruption (for ``shrunken-region`` and
+    ``dropped-writeback``: the block whose coverage/writeback is lost).
+    """
+    out = list(ops)
+    i, j = block
+    if defect == "shrunken-region":
+        if plan.kind == "decrease":
+            drop_events = {f"up:{i}:{j}", f"done:{i}:{j}"}
+
+            def dropped(op: OpDict) -> bool:
+                if op.get("key") == ("A", i, j):
+                    return True
+                if op.get("event") in drop_events:
+                    return True
+                return op.get("block") == (i, j)
+
+        else:
+            buf = f"rows{i}"
+
+            def dropped(op: OpDict) -> bool:
+                if op.get("buf") == buf or op.get("key") == ("rows", i):
+                    return True
+                if op.get("event") == f"rows-done:{i}":
+                    return True
+                return op.get("block_row") == i
+
+        return [op for op in out if not dropped(op)]
+    if defect == "dropped-writeback":
+        key = ("A", i, j) if plan.kind == "decrease" else ("rows", i)
+        for pos, op in enumerate(out):
+            if op["kind"] == "d2h" and op.get("key") == key:
+                del out[pos]
+                return out
+        raise ValueError(f"no writeback for {key} to drop")
+    if defect == "stale-pivot-panel":
+        if plan.kind != "decrease":
+            raise ValueError("stale-pivot-panel only applies to decrease sweeps")
+        fold = next(
+            pos for pos, op in enumerate(out)
+            if op["kind"] == "kernel" and op["name"] == "fold_panel"
+        )
+        op = out.pop(fold)
+        last_patch = max(
+            pos for pos, o in enumerate(out)
+            if o["kind"] == "kernel" and o["name"] == "rank1_patch"
+        )
+        out.insert(last_patch + 1, op)
+        return out
+    raise ValueError(f"unknown defect {defect!r}")
+
+
+@dataclass(frozen=True)
+class DefectCheck:
+    """One seeded defect and whether the static layer caught it."""
+
+    name: str
+    config: str
+    caught: bool
+    block: tuple[int, int] | None
+    detail: str
+
+    def describe(self) -> str:
+        status = "caught" if self.caught else "MISSED"
+        return f"defect {self.name} [{self.config}]: {status} — {self.detail}"
+
+
+# ---------------------------------------------------------------------------
+# per-pass audit
+# ---------------------------------------------------------------------------
+@dataclass
+class UpdateAudit:
+    """Static + dynamic cross-audit of one executed patch pass."""
+
+    config: str
+    batch: int
+    kind: str
+    n: int
+    block_size: int
+    num_blocks: int
+    k: int
+    affected_rows: int
+    peak_bytes: int
+    capacity: int
+    bytes_h2d: int
+    bytes_d2h: int
+    num_h2d: int
+    num_d2h: int
+    findings: list[PlanFinding] = field(default_factory=list)
+    bounds: list[BoundCheck] = field(default_factory=list)
+    soundness: list[SoundnessFinding] = field(default_factory=list)
+    hb: HBReport | None = None
+    trace_match: bool = False
+
+    @property
+    def verified(self) -> bool:
+        return (
+            not self.findings
+            and not self.soundness
+            and all(c.ok for c in self.bounds)
+            and (self.hb is None or self.hb.ok)
+            and self.trace_match
+            and self.peak_bytes <= self.capacity
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "config": self.config,
+            "batch": self.batch,
+            "kind": self.kind,
+            "n": self.n,
+            "block_size": self.block_size,
+            "num_blocks": self.num_blocks,
+            "k": self.k,
+            "affected_rows": self.affected_rows,
+            "peak_bytes": self.peak_bytes,
+            "capacity": self.capacity,
+            "bytes_h2d": self.bytes_h2d,
+            "bytes_d2h": self.bytes_d2h,
+            "num_h2d": self.num_h2d,
+            "num_d2h": self.num_d2h,
+            "findings": [f.describe() for f in self.findings],
+            "bounds": {c.name: c.ok for c in self.bounds},
+            "soundness": [s.describe() for s in self.soundness],
+            "hb_ok": None if self.hb is None else self.hb.ok,
+            "trace_match": self.trace_match,
+            "verified": self.verified,
+        }
+
+
+def audit_pass(
+    config: str, batch: int, patch: PatchPass, spec: DeviceSpec
+) -> UpdateAudit:
+    """Run every static analysis over one executed pass."""
+    plan = patch.plan
+    ir = emit_update_ir(plan, spec)
+    peak, tally, findings = audit_ir(ir)
+    dyn = trace_tally(patch.trace)
+    ir_h2d, ir_d2h = ir_transfer_maps(ir)
+    audit = UpdateAudit(
+        config=config,
+        batch=batch,
+        kind=plan.kind,
+        n=plan.n,
+        block_size=plan.block_size,
+        num_blocks=plan.num_blocks,
+        k=plan.k,
+        affected_rows=len(plan.affected_rows),
+        peak_bytes=peak,
+        capacity=spec.memory_bytes,
+        bytes_h2d=tally.bytes_h2d,
+        bytes_d2h=tally.bytes_d2h,
+        num_h2d=tally.num_h2d,
+        num_d2h=tally.num_d2h,
+        findings=list(findings),
+    )
+    ir_tally = {
+        "bytes_h2d": tally.bytes_h2d,
+        "bytes_d2h": tally.bytes_d2h,
+        "num_h2d": tally.num_h2d,
+        "num_d2h": tally.num_d2h,
+    }
+    audit.bounds = update_bound_checks(plan, ir_tally, dyn)
+    audit.soundness = check_patch_soundness(plan, ir, patch.changed_blocks)
+    audit.hb = analyze_hb(ir)
+    audit.trace_match = (
+        ir_h2d == dyn["h2d_by_key"] and ir_d2h == dyn["d2h_by_key"]
+    )
+    return audit
+
+
+# ---------------------------------------------------------------------------
+# the full verification
+# ---------------------------------------------------------------------------
+@dataclass
+class UpdateVerification:
+    """Everything ``repro verify-update`` proves, in one report."""
+
+    device: str
+    audits: list[UpdateAudit] = field(default_factory=list)
+    defects: list[DefectCheck] = field(default_factory=list)
+    differential: dict[str, bool] = field(default_factory=dict)
+    revalidation: dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            bool(self.audits)
+            and all(a.verified for a in self.audits)
+            and bool(self.defects)
+            and all(d.caught for d in self.defects)
+            and bool(self.differential)
+            and all(self.differential.values())
+            and bool(self.revalidation)
+            and all(self.revalidation.values())
+        )
+
+    def describe(self) -> str:
+        lines = [f"verify-update on {self.device}:"]
+        for audit in self.audits:
+            status = "ok" if audit.verified else "FAILED"
+            lines.append(
+                f"  {audit.config} batch {audit.batch} [{audit.kind}] "
+                f"n={audit.n} b={audit.block_size} k={audit.k} "
+                f"rows={audit.affected_rows}: h2d={audit.bytes_h2d} "
+                f"d2h={audit.bytes_d2h} peak={audit.peak_bytes} [{status}]"
+            )
+            for check in audit.bounds:
+                if not check.ok:
+                    lines.append(f"    bound {check.describe()}")
+            for finding in audit.findings:
+                lines.append(f"    finding {finding.describe()}")
+            for sound in audit.soundness:
+                lines.append(f"    soundness {sound.describe()}")
+            if audit.hb is not None and not audit.hb.ok:
+                lines.append("    happens-before FAILED")
+            if not audit.trace_match:
+                lines.append("    trace/IR per-key transfer maps diverge")
+        for defect in self.defects:
+            lines.append(f"  {defect.describe()}")
+        for name, match in sorted(self.differential.items()):
+            status = "bit-identical" if match else "DIVERGED"
+            lines.append(f"  differential {name}: incremental vs re-solve {status}")
+        for name, passed in sorted(self.revalidation.items()):
+            lines.append(f"  revalidation {name}: {'ok' if passed else 'FAILED'}")
+        lines.append(f"overall: {'ok' if self.ok else 'FAILED'}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "device": self.device,
+            "ok": self.ok,
+            "audits": [a.to_dict() for a in self.audits],
+            "defects": [
+                {
+                    "name": d.name,
+                    "config": d.config,
+                    "caught": d.caught,
+                    "block": list(d.block) if d.block else None,
+                    "detail": d.detail,
+                }
+                for d in self.defects
+            ],
+            "differential": dict(self.differential),
+            "revalidation": dict(self.revalidation),
+        }
+
+
+def _defect_checks(
+    config: str, patch: PatchPass, spec: DeviceSpec
+) -> list[DefectCheck]:
+    """Seed the three defects into one pass's op stream and require each
+    caught statically with the right block attribution."""
+    plan = patch.plan
+    checks: list[DefectCheck] = []
+    target = max(patch.changed_blocks) if patch.changed_blocks else (0, 0)
+    defects = ["shrunken-region", "dropped-writeback"]
+    if plan.kind == "decrease":
+        defects.append("stale-pivot-panel")
+    for name in defects:
+        ops = seed_defect(list(update_ops(plan)), name, plan, target)
+        ir = emit_ops_ir(ops, plan, spec)
+        findings = check_patch_soundness(plan, ir, patch.changed_blocks)
+        _peak, tally, _plan_findings = audit_ir(ir)
+        ir_tally = {
+            "bytes_h2d": tally.bytes_h2d,
+            "bytes_d2h": tally.bytes_d2h,
+            "num_h2d": tally.num_h2d,
+            "num_d2h": tally.num_d2h,
+        }
+        bounds = update_bound_checks(plan, ir_tally, trace_tally(patch.trace))
+        bounds_caught = any(not c.ok for c in bounds)
+        if name == "stale-pivot-panel":
+            hits = [f for f in findings if f.kind == "stale-pivot-panel"]
+            caught = bool(hits)
+            block = hits[0].block if hits else None
+        elif name == "dropped-writeback":
+            hits = [
+                f for f in findings
+                if f.kind in ("missing-writeback", "uncovered-block")
+                and f.block == target
+            ]
+            caught = bool(hits) and bounds_caught
+            block = hits[0].block if hits else None
+        else:
+            hits = [
+                f for f in findings
+                if f.kind == "uncovered-block" and f.block == target
+            ]
+            caught = bool(hits)
+            block = hits[0].block if hits else None
+        detail = (
+            "; ".join(f.describe() for f in hits[:2])
+            if hits
+            else "no soundness finding attributed to the seeded block"
+        )
+        if name == "dropped-writeback":
+            detail += (
+                "; bound tally "
+                + ("also diverged" if bounds_caught else "DID NOT diverge")
+            )
+        checks.append(
+            DefectCheck(name=name, config=config, caught=caught, block=block, detail=detail)
+        )
+    return checks
+
+
+def _revalidation_checks(
+    graph: CSRGraph,
+    block_size: int,
+    engine: KernelEngine,
+) -> dict[str, bool]:
+    """One end-to-end :class:`DistanceCache` leg: rotate, refuse, reuse."""
+    checks: dict[str, bool] = {}
+    src, dst, w = graph.edge_array()
+    updates = [EdgeUpdate(int(src[0]), int(dst[0]), max(0.0, float(w[0]) // 2))]
+    with tempfile.TemporaryDirectory(prefix="repro-dyncache-") as tmp:
+        cache = DistanceCache(tmp)
+        apsp = DynamicAPSP(graph, engine=engine, block_size=block_size)
+        baseline = apsp.dist.copy()
+        cache.store(graph, baseline)
+        new_graph, new_dist, _result = cache.revalidate(
+            graph, updates, engine=engine, block_size=block_size
+        )
+        # content-hash key rotated with the mutation
+        checks["fingerprint-rotates"] = graph_fingerprint(new_graph) != graph_fingerprint(graph)
+        # revalidated entry is served for the new graph, bit-identically
+        reloaded = cache.lookup(new_graph)
+        checks["revalidated-entry-reused"] = (
+            reloaded is not None and np.array_equal(reloaded, new_dist)
+        )
+        # and it equals a from-scratch solve of the mutated graph
+        resolved = floyd_warshall(new_graph.to_dense(DIST_DTYPE), engine=engine)
+        checks["revalidated-bit-identical"] = np.array_equal(new_dist, resolved)
+        # a store bound to another graph's fingerprint is refused
+        try:
+            CheckpointStore(cache._subdir(graph_fingerprint(graph))).bind(
+                algorithm="dynamic-dist", fingerprint=graph_fingerprint(new_graph)
+            )
+            checks["stale-checkpoint-refused"] = False
+        except CheckpointError:
+            checks["stale-checkpoint-refused"] = True
+    return checks
+
+
+def verify_update(
+    spec: DeviceSpec | None = None,
+    configs: Sequence[dict[str, Any]] = DEFAULT_UPDATE_CONFIGS,
+    *,
+    engine: KernelEngine | None = None,
+) -> UpdateVerification:
+    """Verify every dynamic-update schedule on the sweep configurations."""
+    spec = spec if spec is not None else TEST_DEVICE
+    engine = engine if engine is not None else default_engine()
+    ver = UpdateVerification(device=spec.name)
+    defect_sources: dict[str, tuple[str, PatchPass]] = {}
+    for cfg in configs:
+        graph = _build_graph(cfg)
+        n = graph.num_vertices
+        block_size = -(-n // int(cfg["nd"]))
+        apsp = DynamicAPSP(graph, engine=engine, block_size=block_size)
+        differential = True
+        for batch_no, batch in enumerate(_update_script(graph, cfg["seed"])):
+            result = apsp.apply(batch)
+            for patch in result.passes:
+                ver.audits.append(audit_pass(cfg["name"], batch_no, patch, spec))
+                # remember one changed pass per kind for the defect suite
+                if patch.changed_blocks and patch.plan.kind not in defect_sources:
+                    defect_sources[patch.plan.kind] = (cfg["name"], patch)
+            reference = floyd_warshall(apsp.graph.to_dense(DIST_DTYPE), engine=engine)
+            differential = differential and bool(np.array_equal(apsp.dist, reference))
+        ver.differential[cfg["name"]] = differential
+    for kind in ("decrease", "increase"):
+        entry = defect_sources.get(kind)
+        if entry is not None:
+            ver.defects.extend(_defect_checks(entry[0], entry[1], spec))
+    first = configs[0]
+    graph = _build_graph(first)
+    ver.revalidation = _revalidation_checks(
+        graph, -(-graph.num_vertices // int(first["nd"])), engine
+    )
+    return ver

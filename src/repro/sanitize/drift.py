@@ -156,6 +156,27 @@ def _check_cluster() -> DriftCheck:
     )
 
 
+def _check_dynamic() -> DriftCheck:
+    from repro.dynamic.patch import DynamicAPSP, EdgeUpdate, emit_update_ir
+    from repro.gpu.device import TEST_DEVICE
+    from repro.graphs.generators import rmat
+    from repro.verifyplan.ir import CopyOp, KernelOp
+
+    graph = rmat(64, 384, seed=5)
+    apsp = DynamicAPSP(graph, block_size=32)
+    src, dst, _w = graph.edge_array()
+    result = apsp.apply([EdgeUpdate(int(src[0]), int(dst[0]), 0.0)])
+    dynamic = {"kernels": 0, "copies": 0}
+    static = {"kernels": 0, "copies": 0}
+    for patch in result.passes:
+        dynamic["kernels"] += patch.num_kernels
+        dynamic["copies"] += len(patch.trace)
+        ir = emit_update_ir(patch.plan, TEST_DEVICE)
+        static["kernels"] += sum(isinstance(op, KernelOp) for op in ir.ops)
+        static["copies"] += sum(isinstance(op, CopyOp) for op in ir.ops)
+    return DriftCheck(driver="dynamic-patch", dynamic=dynamic, static=static)
+
+
 #: repo-relative driver module suffix -> canary comparison
 DRIVER_CANARIES: dict[str, Callable[[], DriftCheck]] = {
     "core/ooc_fw.py": _check_fw,
@@ -163,6 +184,7 @@ DRIVER_CANARIES: dict[str, Callable[[], DriftCheck]] = {
     "core/ooc_boundary.py": _check_boundary,
     "core/multi_gpu.py": _check_multi,
     "cluster/simulate.py": _check_cluster,
+    "dynamic/patch.py": _check_dynamic,
 }
 
 _CACHE: dict[str, DriftCheck] = {}

@@ -53,6 +53,18 @@ RPR010  emitter-drift        every OOC/multi/cluster driver module with an
                              and flags the driver when the trace op counts
                              diverge — a drifted mirror makes every static
                              proof about that driver vacuous
+RPR011  stale-dist-mutation  solved state is immutable outside its owner: no
+                             in-place subscript stores to a ``.dist`` matrix
+                             outside ``repro/dynamic/`` (route mutations
+                             through :class:`repro.dynamic.DynamicAPSP` so the
+                             patch is scheduled, proven O(n²), and the cache
+                             fingerprint rotates), none to the frozen CSR
+                             arrays ``.weights``/``.indptr``/``.indices``
+                             anywhere (rebuild via ``apply_edge_updates``),
+                             and none to a result's ``.store.data`` outside
+                             ``repro/core/`` — a silent in-place write leaves
+                             every downstream consumer (caches, selectors,
+                             checkpoints) holding stale answers
 ======= ==================== =====================================================
 
 Run over paths with :func:`lint_paths`; each finding is a
@@ -81,6 +93,7 @@ RULES: dict[str, tuple[str, str]] = {
     "RPR008": ("ffi-contract", "CDLL function used without declared argtypes/restype"),
     "RPR009": ("unchecked-ndarray-ffi", "ndarray pointer reaches C without dtype/contiguity guard"),
     "RPR010": ("emitter-drift", "emit_*_ir mirror op counts diverge from the dynamic trace"),
+    "RPR011": ("stale-dist-mutation", "in-place write to solved dist/CSR state outside its owner"),
 }
 
 #: engine entry points whose operands RPR002 inspects
@@ -165,6 +178,8 @@ class _Checker(ast.NodeVisitor):
         self.violations: list[Violation] = []
         self.in_core = "/core/" in f"/{self.rel}" and "/backends/" not in self.rel
         self.in_bench = "/bench/" in f"/{self.rel}"
+        self.in_dynamic = "/dynamic/" in f"/{self.rel}"
+        self.in_core_pkg = "/core/" in f"/{self.rel}"
 
     def _flag(self, rule: str, node: ast.AST, message: str) -> None:
         name, _ = RULES[rule]
@@ -263,6 +278,58 @@ class _Checker(ast.NodeVisitor):
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_defaults(node)
+        self.generic_visit(node)
+
+    # -- RPR011 --------------------------------------------------------
+    #: CSR arrays frozen by contract — no in-place element stores anywhere
+    _FROZEN_CSR_ATTRS = ("weights", "indptr", "indices")
+
+    def _check_solved_store(self, target: ast.AST) -> None:
+        """Flag ``<obj>.dist[...] = …`` / ``<obj>.weights[...] = …``-style
+        in-place stores to solved or frozen state (see RPR011)."""
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._check_solved_store(elt)
+            return
+        if not isinstance(target, ast.Subscript) or not isinstance(
+            target.value, ast.Attribute
+        ):
+            return
+        attr = target.value.attr
+        if attr in self._FROZEN_CSR_ATTRS and not self.in_dynamic:
+            self._flag(
+                "RPR011", target,
+                f"in-place store to frozen CSR array .{attr}[...]; graphs "
+                "are immutable — build the mutated graph with "
+                "repro.dynamic.apply_edge_updates instead",
+            )
+        elif attr == "dist" and not self.in_dynamic:
+            self._flag(
+                "RPR011", target,
+                "in-place store to a solved .dist matrix outside the "
+                "repro.dynamic API; the write bypasses the verified patch "
+                "schedule and leaves content-hash caches stale — go "
+                "through repro.dynamic.DynamicAPSP.apply",
+            )
+        elif (
+            attr == "data"
+            and isinstance(target.value.value, ast.Attribute)
+            and target.value.value.attr == "store"
+            and not self.in_core_pkg
+        ):
+            self._flag(
+                "RPR011", target,
+                "in-place store to a result's .store.data outside "
+                "repro/core/; solved stores are immutable once returned",
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_solved_store(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_solved_store(node.target)
         self.generic_visit(node)
 
 

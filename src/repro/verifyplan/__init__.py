@@ -39,8 +39,16 @@ the per-link byte counts equal the closed-form 2-D block-cyclic volumes,
 and :func:`predict_cluster_timing` replays the fleet under an α–β link
 model.
 
+Incremental schedules get the same treatment:
+:mod:`~repro.verifyplan.updatebounds` proves the dynamic-graph patch
+sweeps of :mod:`repro.dynamic` move ``O(n²)`` bytes (closed form ==
+static IR tally == dynamic trace), that the statically-derived
+touched-block set covers every block the patch actually changes, and
+that the pivot panels are folded before any block kernel reads them.
+
 Entry points: :func:`verify_plan` / ``python -m repro verify-plan`` /
-``python -m repro check-schedule`` / ``python -m repro verify-cluster``.
+``python -m repro check-schedule`` / ``python -m repro verify-cluster``
+/ ``python -m repro verify-update``.
 """
 
 from repro.verifyplan.analyze import (
@@ -99,6 +107,16 @@ from repro.verifyplan.timing import (
     predict_multi_timing,
     predict_timing,
 )
+from repro.verifyplan.updatebounds import (
+    SoundnessFinding,
+    check_patch_soundness,
+    decrease_d2h_bytes,
+    decrease_h2d_bytes,
+    increase_d2h_bytes,
+    ir_transfer_maps,
+    static_touched_blocks,
+    update_bound_checks,
+)
 from repro.verifyplan.verifier import (
     ALGORITHM_NAMES,
     PlanAudit,
@@ -132,6 +150,7 @@ __all__ = [
     "Rect",
     "RecvOp",
     "SendOp",
+    "SoundnessFinding",
     "SymBuffer",
     "SymEvent",
     "TimingCalibration",
@@ -145,14 +164,21 @@ __all__ = [
     "analyze_residency",
     "analyze_transfers",
     "audit_ir",
+    "check_patch_soundness",
     "cluster_comm_checks",
+    "decrease_d2h_bytes",
+    "decrease_h2d_bytes",
     "expected_comm_volumes",
     "expected_link_bytes",
     "fw_exact_h2d_bytes",
+    "increase_d2h_bytes",
+    "ir_transfer_maps",
     "kernel_duration",
     "merge_hb_reports",
     "predict_cluster_timing",
     "predict_multi_timing",
     "predict_timing",
+    "static_touched_blocks",
+    "update_bound_checks",
     "verify_plan",
 ]

@@ -382,7 +382,7 @@ class TestEmitterDrift:
         from repro.sanitize.drift import check_drift
 
         checks = check_drift()
-        assert len(checks) == 5
+        assert len(checks) == 6
         for check in checks:
             assert check.ok and not check.skipped, check.describe()
 

@@ -327,6 +327,90 @@ def test_rpr009_guarded_pointer_passes(tmp_path):
     assert lint_file(path, root=tmp_path) == []
 
 
+def test_rpr011_dist_store_outside_dynamic(tmp_path):
+    path = _write(
+        tmp_path, "repro/select/tweak.py",
+        '"""Doc."""\n'
+        "__all__ = ['shortcut']\n"
+        "def shortcut(apsp, u, v, w):\n"
+        "    apsp.dist[u, v] = w\n",
+    )
+    violations = lint_file(path, root=tmp_path)
+    assert _rules(violations) == {"RPR011"}
+    v = violations[0]
+    assert v.name == "stale-dist-mutation" and v.line == 4
+    assert "DynamicAPSP" in v.message
+
+
+def test_rpr011_frozen_csr_arrays(tmp_path):
+    """weights/indptr/indices element stores are flagged everywhere,
+    including augmented assignments and tuple targets."""
+    path = _write(
+        tmp_path, "repro/graphs/mutate.py",
+        '"""Doc."""\n'
+        "__all__ = ['reweight']\n"
+        "def reweight(g, e, w):\n"
+        "    g.weights[e] = w\n"
+        "    g.indptr[0] += 1\n"
+        "    g.indices[e], x = e, 0\n",
+    )
+    violations = lint_file(path, root=tmp_path)
+    assert [v.rule for v in violations] == ["RPR011"] * 3
+    assert {v.line for v in violations} == {4, 5, 6}
+    assert all("apply_edge_updates" in v.message for v in violations)
+
+
+def test_rpr011_store_data_outside_core(tmp_path):
+    path = _write(
+        tmp_path, "repro/analysis/poke.py",
+        '"""Doc."""\n'
+        "__all__ = ['poke']\n"
+        "def poke(result):\n"
+        "    result.store.data[...] = 0\n",
+    )
+    violations = lint_file(path, root=tmp_path)
+    assert _rules(violations) == {"RPR011"}
+    assert ".store.data" in violations[0].message
+
+
+def test_rpr011_dynamic_and_core_owners_exempt(tmp_path):
+    """The owning packages may mutate their own state: repro/dynamic/
+    for dist/CSR panels, repro/core/ for a result's backing store."""
+    dyn = _write(
+        tmp_path, "repro/dynamic/patching.py",
+        '"""Doc."""\n'
+        "__all__ = ['patch']\n"
+        "def patch(self, rows, view):\n"
+        "    self.dist[rows, :] = view\n"
+        "    self.graph.weights[0] = 1.0\n",
+    )
+    core = _write(
+        tmp_path, "repro/core/shift.py",
+        '"""Doc."""\n'
+        "__all__ = ['unshift']\n"
+        "def unshift(result, delta):\n"
+        "    result.store.data[...] = result.store.data - delta\n",
+    )
+    assert lint_file(dyn, root=tmp_path) == []
+    assert lint_file(core, root=tmp_path) == []
+
+
+def test_rpr011_reads_and_local_names_pass(tmp_path):
+    """Reads of dist/CSR arrays and stores to local matrices are fine —
+    only attribute-chain element stores are the stale-state hazard."""
+    path = _write(
+        tmp_path, "repro/analysis/reader.py",
+        '"""Doc."""\n'
+        "import numpy as np\n"
+        "__all__ = ['scan']\n"
+        "def scan(apsp, g):\n"
+        "    dist = apsp.dist.copy()\n"
+        "    dist[0, 0] = 0.0\n"
+        "    return float(dist.sum() + g.weights[0] + apsp.dist[1, 2])\n",
+    )
+    assert lint_file(path, root=tmp_path) == []
+
+
 def test_syntax_error_reported_not_raised(tmp_path):
     path = _write(tmp_path, "repro/broken.py", "def broken(:\n")
     violations = lint_file(path, root=tmp_path)
