@@ -19,13 +19,18 @@ Commands
 ``verify-update`` static O(n²) transfer proofs + patch-soundness checks for
                   the dynamic-graph update schedules
 ``bench-dynamic`` record/check the update-latency vs re-solve crossover baseline
+``serve``         run the batched/cached/admission-controlled query service
+                  over a deterministic workload (``--selftest`` for the
+                  differential smoke test)
+``bench-serve``   record/check the serving latency/throughput baseline
 ``lint``          run the repository AST contract checker
 ``verify-kernels`` static bounds/alias proofs + sanitizer legs for the JIT C kernels
 
 Exit codes (``sanitize``, ``verify-plan``, ``check-schedule``,
 ``verify-cluster``, ``verify-update``, ``bench-transfers --check``,
-``bench-cluster --check``, ``bench-dynamic --check``,
-``tune-kernels --check``, ``lint``, ``verify-kernels``):
+``bench-cluster --check``, ``bench-dynamic --check``, ``serve``,
+``bench-serve --check``, ``tune-kernels --check``, ``lint``,
+``verify-kernels``):
 0 — clean/verified; 1 — hazards, findings, failed bounds, or baseline
 drift; 2 — usage error (argparse).
 
@@ -595,6 +600,108 @@ def cmd_bench_dynamic(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import json as _json
+
+    from repro.serve import AdmissionError, run_selftest
+    from repro.serve.loadgen import generate_queries, generate_updates
+    from repro.serve.service import APSPService
+
+    if args.selftest:
+        report = run_selftest(seed=args.seed, verbose=not args.json)
+        if args.json:
+            print(_json.dumps(
+                {"schema_version": SCHEMA_VERSION, **report}, indent=2, default=str
+            ))
+        else:
+            print("serve selftest: " + ("PASS" if report["ok"] else "FAIL"))
+        return 0 if report["ok"] else 1
+
+    graph = _load_graph(args)
+    spec = _device_spec(args)
+    tenants = tuple(f"tenant{i}" for i in range(max(1, args.tenants)))
+    service = APSPService(
+        graph,
+        spec=spec,
+        cache_dir=args.cache_dir or None,
+        spool_dir=args.spool_dir or None,
+        budget_seconds=args.budget_seconds if args.budget_seconds > 0 else None,
+        batch_size=args.batch_size or None,
+    )
+    queries = generate_queries(
+        graph, num_queries=args.queries, seed=args.seed, tenants=tenants,
+        point_fraction=args.point_fraction, full_fraction=args.full_fraction,
+    )
+    waves = [queries]
+    if args.mutations:
+        half = len(queries) // 2
+        waves = [queries[:half], queries[half:]]
+    responses = []
+    rejected = 0
+    for wave_index, wave in enumerate(waves):
+        if wave_index:
+            service.mutate(
+                generate_updates(
+                    service.graph, num_updates=args.mutations, seed=args.seed + 1
+                )
+            )
+        for query in wave:
+            try:
+                service.submit(query)
+            except AdmissionError:
+                rejected += 1
+        responses.extend(service.drain())
+    latencies = np.array([r.latency for r in responses], dtype=np.float64)
+    stats = service.stats()
+    if args.json:
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "graph": {"n": graph.num_vertices, "m": graph.num_edges},
+            "device": spec.name,
+            "answered": len(responses),
+            "rejected": rejected,
+            "p50_us": float(np.percentile(latencies, 50) * 1e6) if len(responses) else None,
+            "p99_us": float(np.percentile(latencies, 99) * 1e6) if len(responses) else None,
+            "qps": len(responses) / stats["now_seconds"] if stats["now_seconds"] else None,
+            "stats": stats,
+        }
+        print(_json.dumps(payload, indent=2))
+        return 0
+    print(f"graph:   {graph}")
+    print(f"device:  {spec.name}; batch plan: {stats['batch_plan']} sources/launch")
+    print(f"answered {len(responses)} queries ({rejected} refused at admission) "
+          f"in {stats['now_seconds'] * 1e3:.3f} modeled ms")
+    if len(responses):
+        print(f"  latency p50 {np.percentile(latencies, 50) * 1e6:.1f} µs, "
+              f"p99 {np.percentile(latencies, 99) * 1e6:.1f} µs; "
+              f"throughput {len(responses) / stats['now_seconds']:.0f} q/s")
+    print("  served from: " + ", ".join(
+        f"{k}={v}" for k, v in stats["served"].items()))
+    if stats["cache"] is not None:
+        c = stats["cache"]
+        print(f"  closure cache: {c['ram_hits']} ram + {c['disk_hits']} disk hits, "
+              f"{c['misses']} misses, {c['evictions']} evictions, "
+              f"{c['revalidate_hits']} revalidations")
+    return 0
+
+
+def cmd_bench_serve(args) -> int:
+    from repro.bench.serve import compare_serve, save_serve
+
+    if args.check:
+        drifts = compare_serve()
+        if drifts:
+            for line in drifts:
+                print(line)
+            print(f"{len(drifts)} drift(s) from BENCH_serve.json", file=sys.stderr)
+            return 1
+        print("serving baseline: no drift (>=3x batching floor holds)")
+        return 0
+    path = save_serve()
+    print(f"wrote {path}")
+    return 0
+
+
 def cmd_lint(args) -> int:
     import json as _json
     from pathlib import Path
@@ -887,6 +994,56 @@ def main(argv=None) -> int:
     p.add_argument("--check", action="store_true",
                    help="diff the recomputed model against the recorded baseline")
     p.set_defaults(fn=cmd_bench_dynamic)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the APSP query service over a deterministic workload: "
+             "batched MSSP answers, fingerprint-keyed closure cache, "
+             "analytic admission control, weighted-fair tenant scheduling",
+    )
+    p.add_argument("graph", nargs="?", default="er:n=96,m=400",
+                   help="path (.mtx/.txt) or spec (default er:n=96,m=400)")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="linear device scale (default 1.0)")
+    p.add_argument("--device", choices=["v100", "k80", "test"], default="test")
+    p.add_argument("--selftest", action="store_true",
+                   help="run the end-to-end differential smoke test "
+                        "(service answers vs fresh solves, incl. a "
+                        "seeded-fault leg) and exit 0/1")
+    p.add_argument("--queries", type=int, default=64,
+                   help="generated queries (default 64)")
+    p.add_argument("--tenants", type=int, default=2,
+                   help="number of round-robin tenants (default 2)")
+    p.add_argument("--point-fraction", type=float, default=0.4,
+                   help="fraction of point queries (default 0.4)")
+    p.add_argument("--full-fraction", type=float, default=0.05,
+                   help="fraction of full-APSP queries (default 0.05)")
+    p.add_argument("--mutations", type=int, default=0,
+                   help="apply N edge mutations mid-workload (revalidates "
+                        "the closure cache)")
+    p.add_argument("--budget-seconds", type=float, default=0.0,
+                   help="admission budget: refuse requests past this "
+                        "predicted backlog (0 disables)")
+    p.add_argument("--batch-size", type=int, default=0,
+                   help="cap the MSSP batch size (0: the bat formula)")
+    p.add_argument("--cache-dir", metavar="DIR", default="",
+                   help="closure-cache directory (persistent across runs)")
+    p.add_argument("--spool-dir", metavar="DIR", default="",
+                   help="checkpoint spool: a restarted service resumes "
+                        "long solves from here instead of recomputing")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "bench-serve",
+        help="record (default) or --check the modeled serving "
+             "latency/throughput baseline in BENCH_serve.json "
+             "(--check also enforces the >=3x batching floor)",
+    )
+    p.add_argument("--check", action="store_true",
+                   help="diff the re-driven service against the recorded baseline")
+    p.set_defaults(fn=cmd_bench_serve)
 
     p = sub.add_parser(
         "bench-transfers",

@@ -1,0 +1,34 @@
+"""The APSP query service (ROADMAP item 1).
+
+A batched, cached, admission-controlled serving layer over the solver
+stack: point/SSSP/full queries coalesce into ``bat``-sized Johnson MSSP
+batches, answers come from a fingerprint-keyed closure cache with
+patch-forward revalidation, the analytic selector prices admission, and
+solves checkpoint/resume through the chaos harness. See
+``docs/SERVING.md`` for the request model and semantics.
+"""
+
+from repro.serve.admission import AdmissionController, TenantState
+from repro.serve.batcher import SourceBatch, coalesce
+from repro.serve.cache import CacheStats, ClosureCache
+from repro.serve.loadgen import generate_queries, generate_updates
+from repro.serve.request import AdmissionError, Query, Response, Ticket
+from repro.serve.selftest import run_selftest
+from repro.serve.service import APSPService
+
+__all__ = [
+    "APSPService",
+    "AdmissionController",
+    "AdmissionError",
+    "CacheStats",
+    "ClosureCache",
+    "Query",
+    "Response",
+    "SourceBatch",
+    "TenantState",
+    "Ticket",
+    "coalesce",
+    "generate_queries",
+    "generate_updates",
+    "run_selftest",
+]

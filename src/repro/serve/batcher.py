@@ -1,0 +1,94 @@
+"""Coalescing pending row queries into Johnson MSSP batches.
+
+The paper's batching formula ``bat = (L − S)/(c·m)``
+(:func:`repro.core.ooc_johnson.plan_batch_size`) sizes how many SSSP
+instances one MSSP kernel launch can carry. The serving layer repurposes
+it as *request* batching: every pending point/SSSP query needs one source
+row, and amortising many sources per launch is where the throughput lives
+(occupancy: a single-source launch leaves the grid almost empty).
+
+Coalescing uses **keyed dedup**: each batch keeps one row per *distinct*
+source, in first-request order, and every ticket records the row index of
+*its own* source. Two tenants requesting overlapping source sets share
+rows without ever being handed another query's row — a naive
+``sorted(set(sources))`` dedup breaks the per-query source mapping as soon
+as request order differs from sorted order (regression-tested in
+``tests/test_serve_batcher.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.serve.request import Ticket
+
+__all__ = ["SourceBatch", "coalesce"]
+
+
+@dataclass(frozen=True)
+class SourceBatch:
+    """One MSSP launch worth of coalesced row queries.
+
+    ``sources`` holds the distinct sources in first-request order;
+    ``assignments`` maps every ticket to the row index of its own source
+    (several tickets may share a row — that is the dedup paying off).
+    """
+
+    sources: np.ndarray
+    assignments: tuple[tuple[Ticket, int], ...]
+
+    @property
+    def num_sources(self) -> int:
+        return int(self.sources.size)
+
+    @property
+    def num_queries(self) -> int:
+        return len(self.assignments)
+
+
+def coalesce(tickets: Sequence[Ticket], batch_size: int) -> list[SourceBatch]:
+    """Group row-needing tickets into batches of ≤ ``batch_size`` distinct
+    sources.
+
+    Tickets are consumed in the given (fair-queue) order; a ticket whose
+    source already has a row in the open batch joins that row instead of
+    widening the batch (keyed dedup). The batch closes when it holds
+    ``batch_size`` distinct sources, so the kernel grid never exceeds the
+    ``bat`` formula's memory plan.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    batches: list[SourceBatch] = []
+    row_of: dict[int, int] = {}
+    order: list[int] = []
+    assignments: list[tuple[Ticket, int]] = []
+
+    def close() -> None:
+        if order:
+            batches.append(
+                SourceBatch(
+                    sources=np.asarray(order, dtype=np.int64),
+                    assignments=tuple(assignments),
+                )
+            )
+        row_of.clear()
+        order.clear()
+        assignments.clear()
+
+    for ticket in tickets:
+        if not ticket.query.needs_row:
+            raise ValueError(f"cannot coalesce a {ticket.query.kind!r} query")
+        source = ticket.query.source
+        row = row_of.get(source)
+        if row is None:
+            if len(order) >= batch_size:
+                close()
+            row = len(order)
+            row_of[source] = row
+            order.append(source)
+        assignments.append((ticket, row))
+    close()
+    return batches

@@ -1,0 +1,102 @@
+"""Deterministic load generation for the serving layer.
+
+The generator is pure in its seed: the same ``(graph, spec, seed)`` always
+produces the same query stream and mutation schedule, which is what lets
+the service bench (:mod:`repro.bench.serve`) commit modeled latency
+numbers and lets the CLI's ``repro serve`` demo reproduce a workload
+exactly. Weights of generated mutations stay integer-valued so every
+service answer remains bit-identical to a fresh solve (the property the
+differential harness in ``tests/test_serve.py`` checks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dynamic.patch import EdgeUpdate
+from repro.graphs.csr import CSRGraph
+from repro.serve.request import Query
+
+__all__ = ["generate_queries", "generate_updates"]
+
+#: generated mutation weights stay in the generators' integer range
+_WEIGHT_LO, _WEIGHT_HI = 1, 100
+
+
+def generate_queries(
+    graph: CSRGraph,
+    *,
+    num_queries: int,
+    seed: int = 0,
+    tenants: "tuple[str, ...]" = ("default",),
+    point_fraction: float = 0.4,
+    full_fraction: float = 0.0,
+    distinct_sources: bool = False,
+) -> list[Query]:
+    """A seeded stream of ``num_queries`` mixed queries.
+
+    ``point_fraction`` / ``full_fraction`` split the stream (the rest are
+    SSSP rows); tenants round-robin. With ``distinct_sources=True`` every
+    row query gets its own source (capped at ``n`` queries) — the offered-
+    load shape the throughput bench uses, where batching has no dedup help
+    and the ≥3× win must come from occupancy alone.
+    """
+    if not 0.0 <= point_fraction + full_fraction <= 1.0:
+        raise ValueError("point_fraction + full_fraction must lie in [0, 1]")
+    if not tenants:
+        raise ValueError("need at least one tenant")
+    n = graph.num_vertices
+    rng = np.random.default_rng(seed)
+    if distinct_sources:
+        if num_queries > n:
+            raise ValueError(
+                f"distinct_sources needs num_queries <= n, got {num_queries} > {n}"
+            )
+        sources = rng.permutation(n)[:num_queries]
+    else:
+        sources = rng.integers(0, n, size=num_queries)
+    rolls = rng.random(num_queries)
+    targets = rng.integers(0, n, size=num_queries)
+    queries: list[Query] = []
+    for i in range(num_queries):
+        tenant = tenants[i % len(tenants)]
+        if rolls[i] < full_fraction:
+            queries.append(Query.full(tenant=tenant))
+        elif rolls[i] < full_fraction + point_fraction:
+            queries.append(Query.point(int(sources[i]), int(targets[i]), tenant=tenant))
+        else:
+            queries.append(Query.sssp(int(sources[i]), tenant=tenant))
+    return queries
+
+
+def generate_updates(
+    graph: CSRGraph,
+    *,
+    num_updates: int,
+    seed: int = 0,
+    delete_fraction: float = 0.2,
+) -> list[EdgeUpdate]:
+    """A seeded batch of edge mutations: integer re-weights (decreases
+    and increases alike) plus a ``delete_fraction`` of deletions, biased
+    toward existing edges so increases/deletions actually bite."""
+    n = graph.num_vertices
+    if n < 2:
+        raise ValueError("graph needs at least two vertices to mutate")
+    rng = np.random.default_rng(seed)
+    src, dst, _w = graph.edge_array()
+    updates: list[EdgeUpdate] = []
+    for i in range(num_updates):
+        if len(src) and rng.random() < 0.75:
+            e = int(rng.integers(0, len(src)))
+            u, v = int(src[e]), int(dst[e])
+        else:
+            u = int(rng.integers(0, n))
+            v = int(rng.integers(0, n - 1))
+            if v >= u:
+                v += 1
+        if rng.random() < delete_fraction:
+            updates.append(EdgeUpdate.delete(u, v))
+        else:
+            weight = float(rng.integers(_WEIGHT_LO, _WEIGHT_HI + 1))
+            updates.append(EdgeUpdate(u, v, weight))
+    return updates

@@ -1,0 +1,154 @@
+"""Request model of the APSP query service.
+
+Production traffic at the ROADMAP's scale is not whole-matrix solves but
+streams of small *queries*: point-to-point distances, single-source rows,
+and the occasional full closure. A :class:`Query` describes one of the
+three kinds; :meth:`APSPService.submit <repro.serve.service.APSPService.submit>`
+wraps it in a :class:`Ticket` (arrival time on the modeled clock, admission
+cost estimate, fair-queuing virtual finish time) and a later ``drain``
+produces one :class:`Response` per ticket.
+
+Everything is timestamped on the service's *modeled* clock (simulated
+seconds, same unit as :attr:`repro.core.result.APSPResult.simulated_seconds`),
+never wall clock — latency numbers are machine-independent and CI-gateable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "AdmissionError",
+    "QUERY_KINDS",
+    "Query",
+    "Response",
+    "Ticket",
+]
+
+#: the three request kinds the service accepts
+QUERY_KINDS = ("point", "sssp", "full")
+
+
+@dataclass(frozen=True)
+class Query:
+    """One client request: a point distance, an SSSP row, or a full closure.
+
+    ``u`` is the source for ``point``/``sssp`` queries; ``v`` is the target
+    of a ``point`` query (unused otherwise). Construct via the
+    :meth:`point` / :meth:`sssp` / :meth:`full` helpers.
+    """
+
+    kind: str
+    u: int = -1
+    v: int = -1
+    tenant: str = "default"
+
+    def __post_init__(self) -> None:
+        if self.kind not in QUERY_KINDS:
+            raise ValueError(f"unknown query kind {self.kind!r}; choose from {QUERY_KINDS}")
+        if self.kind in ("point", "sssp") and self.u < 0:
+            raise ValueError(f"{self.kind} query needs a source vertex")
+        if self.kind == "point" and self.v < 0:
+            raise ValueError("point query needs a target vertex")
+
+    @classmethod
+    def point(cls, u: int, v: int, *, tenant: str = "default") -> "Query":
+        return cls("point", u=int(u), v=int(v), tenant=tenant)
+
+    @classmethod
+    def sssp(cls, source: int, *, tenant: str = "default") -> "Query":
+        return cls("sssp", u=int(source), tenant=tenant)
+
+    @classmethod
+    def full(cls, *, tenant: str = "default") -> "Query":
+        return cls("full", tenant=tenant)
+
+    @property
+    def source(self) -> int:
+        """The SSSP source this query needs a row for (``point``/``sssp``)."""
+        return self.u
+
+    @property
+    def needs_row(self) -> bool:
+        return self.kind in ("point", "sssp")
+
+
+@dataclass
+class Ticket:
+    """One admitted request in flight.
+
+    ``vfinish`` is the weighted-fair-queuing virtual finish time assigned
+    at admission; drains execute pending tickets in ``(vfinish, ticket_id)``
+    order, which is what keeps one flooding tenant from starving the rest.
+    """
+
+    ticket_id: int
+    query: Query
+    arrival: float
+    cost_estimate: float
+    vfinish: float
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        q = self.query
+        return (
+            f"Ticket(#{self.ticket_id} {q.kind} tenant={q.tenant!r} "
+            f"arrival={self.arrival:.6f})"
+        )
+
+
+@dataclass
+class Response:
+    """The answer to one ticket, with its modeled service timeline.
+
+    ``value`` is a float for ``point`` queries, an ``(n,)`` distance row
+    for ``sssp``, and an ``(n, n)`` matrix for ``full`` — always in
+    external vertex order and the library's distance dtype, bit-identical
+    to a fresh :func:`repro.core.api.solve_apsp` on the graph version the
+    query executed against (``fingerprint``).
+
+    ``served_from`` names the path that produced the answer:
+    ``"closure-cache"`` / ``"row-cache"`` (no device work), ``"batch"``
+    (coalesced Johnson MSSP batch), ``"solve"`` (full out-of-core solve),
+    or ``"solve-resumed"`` (full solve resumed from checkpoints).
+    """
+
+    ticket_id: int
+    query: Query
+    value: "float | np.ndarray"
+    arrival: float
+    started: float
+    completed: float
+    served_from: str
+    fingerprint: str
+
+    @property
+    def latency(self) -> float:
+        """Modeled seconds from arrival to completion."""
+        return self.completed - self.arrival
+
+
+class AdmissionError(RuntimeError):
+    """The service refused a request: admitting it would push the queue's
+    predicted backlog past the admission budget.
+
+    ``retry_after`` is the modeled seconds until the current backlog is
+    predicted to drain — the client's back-off hint.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        backlog_seconds: float,
+        budget_seconds: float,
+        retry_after: float,
+    ) -> None:
+        super().__init__(
+            f"{message} (predicted backlog {backlog_seconds:.6f}s "
+            f"vs budget {budget_seconds:.6f}s; retry after {retry_after:.6f}s)"
+        )
+        self.backlog_seconds = backlog_seconds
+        self.budget_seconds = budget_seconds
+        self.retry_after = retry_after

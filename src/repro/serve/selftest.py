@@ -1,0 +1,125 @@
+"""`repro serve --selftest`: an end-to-end differential smoke test.
+
+Runs the full service composition — admission, fair queuing, batching,
+closure/row caching, patch-forward revalidation, and a seeded-fault leg —
+on a small graph and checks every answer bit-identically against fresh
+:func:`repro.core.api.solve_apsp` ground truth. Deterministic in its
+seed, fast enough for CI, and returns a JSON-serialisable report with an
+overall ``ok`` flag (the CLI exits non-zero when any check fails).
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.api import solve_apsp
+from repro.faults.plan import FaultPlan
+from repro.graphs.generators import erdos_renyi
+from repro.gpu.device import TEST_DEVICE
+from repro.serve.loadgen import generate_queries, generate_updates
+from repro.serve.service import APSPService
+
+__all__ = ["run_selftest"]
+
+
+def _truth(graph) -> np.ndarray:
+    return solve_apsp(graph, algorithm="johnson", device=TEST_DEVICE).to_array()
+
+
+def _check_responses(responses, truth: np.ndarray) -> list[str]:
+    failures: list[str] = []
+    for resp in responses:
+        q = resp.query
+        if q.kind == "point":
+            expected = float(truth[q.u, q.v])
+            ok = float(resp.value) == expected
+        elif q.kind == "sssp":
+            ok = np.array_equal(np.asarray(resp.value), truth[q.source])
+        else:
+            ok = np.array_equal(np.asarray(resp.value), truth)
+        if not ok:
+            failures.append(
+                f"ticket {resp.ticket_id} ({q.kind}, via {resp.served_from}) "
+                "diverged from fresh solve"
+            )
+    return failures
+
+
+def run_selftest(*, seed: int = 0, verbose: bool = False) -> dict:
+    """Run the service selftest; returns a report dict with ``ok``."""
+    graph = erdos_renyi(48, 180, seed=seed, name="selftest")
+    checks: list[dict] = []
+
+    def record(name: str, failures: list[str], detail: "dict | None" = None) -> None:
+        checks.append(
+            {"name": name, "ok": not failures, "failures": failures, **(detail or {})}
+        )
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-selftest-") as tmp:
+        tmp_path = Path(tmp)
+        service = APSPService(
+            graph,
+            spec=TEST_DEVICE,
+            cache_dir=tmp_path / "cache",
+            spool_dir=tmp_path / "spool",
+        )
+
+        # leg 1: mixed point/SSSP/full stream against the initial graph
+        for query in generate_queries(
+            graph, num_queries=24, seed=seed, tenants=("alpha", "beta"),
+            point_fraction=0.4, full_fraction=0.1,
+        ):
+            service.submit(query)
+        truth = _truth(graph)
+        record("mixed-stream", _check_responses(service.drain(), truth))
+
+        # leg 2: mutate (patch-forward revalidation), then query again
+        updates = generate_updates(graph, num_updates=4, seed=seed + 1)
+        result = service.mutate(updates)
+        for query in generate_queries(
+            service.graph, num_queries=12, seed=seed + 2, tenants=("alpha", "beta"),
+            point_fraction=0.5,
+        ):
+            service.submit(query)
+        truth2 = _truth(service.graph)
+        failures = _check_responses(service.drain(), truth2)
+        if result is None:
+            failures.append("mutation did not revalidate the cached closure")
+        record("mutate-revalidate", failures)
+
+        # leg 3: seeded transient faults mid-batch must retry, never
+        # corrupt an answer
+        chaos = APSPService(
+            graph,
+            spec=TEST_DEVICE,
+            # horizon 3: the single coalesced batch issues only a handful of
+            # guarded ops, so faults must land on early ordinals to fire; at
+            # most 3 consecutive per site, within the default retry budget
+            faults=FaultPlan.random(
+                seed + 3, 6, sites=("h2d", "d2h", "kernel"), horizon=3
+            ),
+        )
+        for query in generate_queries(
+            graph, num_queries=16, seed=seed + 4, point_fraction=0.25,
+        ):
+            chaos.submit(query)
+        failures = _check_responses(chaos.drain(), truth)
+        injected = chaos.device.fault_report.injected
+        if injected == 0:
+            failures.append("fault leg injected no faults (plan never fired)")
+        record("seeded-faults", failures, {"injected": injected})
+
+        report = {
+            "ok": all(c["ok"] for c in checks),
+            "seed": seed,
+            "graph": {"n": graph.num_vertices, "m": graph.num_edges},
+            "checks": checks,
+            "stats": service.stats(),
+        }
+    if verbose:  # pragma: no cover - cosmetic
+        for check in checks:
+            print(f"  {'ok ' if check['ok'] else 'FAIL'} {check['name']}")
+    return report

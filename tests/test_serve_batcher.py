@@ -1,0 +1,145 @@
+"""Keyed-dedup coalescing: per-query source ordering must survive batching.
+
+The regression this file pins down (ISSUE satellite): when tenants submit
+*overlapping* source sets in non-sorted order, a naive
+``sorted(set(sources))`` dedup reorders the launch's source vector out
+from under row assignments made in arrival order — queries get some other
+tenant's row. :func:`repro.serve.batcher.coalesce` keys every assignment
+by source id instead; the foil implementation below demonstrates the
+failure mode the real batcher must not have.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import erdos_renyi
+from repro.gpu.device import TEST_DEVICE
+from repro.serve import APSPService, Query, SourceBatch, Ticket, coalesce
+from repro.serve.batcher import coalesce as coalesce_direct
+from tests.conftest import oracle_apsp
+
+
+def _ticket(ticket_id: int, source: int, tenant: str = "default") -> Ticket:
+    return Ticket(
+        ticket_id=ticket_id,
+        query=Query.sssp(source, tenant=tenant),
+        arrival=0.0,
+        cost_estimate=0.0,
+        vfinish=float(ticket_id),
+    )
+
+
+def _naive_sorted_set_dedup(tickets, batch_size):
+    """The buggy foil: distinct sources emitted *sorted*, rows assigned in
+    arrival order — the classic mismatch the keyed dedup exists to avoid."""
+    batches = []
+    for lo in range(0, len(tickets), batch_size):
+        chunk = tickets[lo : lo + batch_size]
+        rows: dict[int, int] = {}
+        assignments = []
+        for ticket in chunk:
+            row = rows.setdefault(ticket.query.source, len(rows))
+            assignments.append((ticket, row))
+        sources = np.array(sorted(rows), dtype=np.int64)
+        batches.append(SourceBatch(sources=sources, assignments=tuple(assignments)))
+    return batches
+
+
+def _assignments_consistent(batches) -> bool:
+    return all(
+        int(batch.sources[row]) == ticket.query.source
+        for batch in batches
+        for ticket, row in batch.assignments
+    )
+
+
+# overlapping tenant source sets, deliberately not in sorted order
+OVERLAP = [
+    _ticket(0, 5, "alpha"),
+    _ticket(1, 2, "beta"),
+    _ticket(2, 5, "beta"),   # alpha's source again, other tenant
+    _ticket(3, 9, "alpha"),
+    _ticket(4, 2, "alpha"),
+]
+
+
+class TestKeyedDedupRegression:
+    def test_every_assignment_maps_to_its_own_source(self):
+        batches = coalesce(OVERLAP, 8)
+        assert _assignments_consistent(batches)
+        (batch,) = batches
+        # shared sources coalesce into one launch row each, in arrival order
+        assert batch.sources.tolist() == [5, 2, 9]
+        assert batch.num_sources == 3
+        assert batch.num_queries == 5
+        rows = {t.ticket_id: row for t, row in batch.assignments}
+        assert rows == {0: 0, 1: 1, 2: 0, 3: 2, 4: 1}
+
+    def test_naive_sorted_set_dedup_fails_this_exact_case(self):
+        """Keeps the regression honest: the foil mis-assigns on the same
+        input the real batcher handles, so this test would fail if
+        ``coalesce`` ever regressed to sorted-set dedup."""
+        assert not _assignments_consistent(_naive_sorted_set_dedup(OVERLAP, 8))
+
+    @given(
+        sources=st.lists(st.integers(0, 9), min_size=1, max_size=30),
+        batch_size=st.integers(1, 6),
+    )
+    @settings(max_examples=100, deadline=None, derandomize=True)
+    def test_property_rows_always_consistent(self, sources, batch_size):
+        tickets = [_ticket(i, s) for i, s in enumerate(sources)]
+        batches = coalesce(tickets, batch_size)
+        assert _assignments_consistent(batches)
+        # every ticket appears exactly once, in order
+        flat = [t.ticket_id for b in batches for t, _ in b.assignments]
+        assert flat == list(range(len(tickets)))
+        for batch in batches:
+            assert 1 <= batch.num_sources <= batch_size
+            assert len(set(batch.sources.tolist())) == batch.num_sources
+
+
+class TestBatchBoundaries:
+    def test_closes_at_batch_size_distinct_sources(self):
+        tickets = [_ticket(i, s) for i, s in enumerate([1, 1, 2, 3, 2, 4])]
+        batches = coalesce(tickets, 3)
+        assert [b.sources.tolist() for b in batches] == [[1, 2, 3], [4]]
+        # duplicates of an already-batched source don't consume a slot
+        assert batches[0].num_queries == 5
+
+    def test_rejects_full_queries_and_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            coalesce([_ticket(0, 1)], 0)
+        full = Ticket(
+            ticket_id=0, query=Query.full(), arrival=0.0,
+            cost_estimate=0.0, vfinish=0.0,
+        )
+        with pytest.raises(ValueError):
+            coalesce([full], 4)
+
+    def test_reexport_is_the_same_object(self):
+        assert coalesce is coalesce_direct
+
+
+class TestEndToEndOverlap:
+    def test_overlapping_tenants_get_their_own_rows(self):
+        """The service-level surface of the regression: interleaved tenants
+        querying an overlapping, unsorted source set must each receive the
+        row for *their* source."""
+        graph = erdos_renyi(20, 70, seed=30)
+        truth = oracle_apsp(graph)
+        service = APSPService(graph, spec=TEST_DEVICE, row_budget=0)
+        pattern = [(5, "alpha"), (2, "beta"), (5, "beta"), (9, "alpha"),
+                   (2, "alpha"), (11, "beta"), (9, "beta"), (5, "alpha")]
+        for source, tenant in pattern:
+            service.submit(Query.sssp(source, tenant=tenant))
+        responses = service.drain()
+        assert len(responses) == len(pattern)
+        for resp in responses:
+            assert np.array_equal(
+                np.asarray(resp.value, dtype=np.float64),
+                truth[resp.query.source],
+            ), (resp.query.source, resp.query.tenant)

@@ -1,0 +1,125 @@
+"""The serving benchmark baseline (``BENCH_serve.json``) and its CI gate.
+
+The committed baseline must reproduce exactly on the modeled clock, the
+issue's hard floor — batched throughput ≥ 3× unbatched at offered loads
+≥ 64 — must hold in the recorded figures, and ``compare_serve`` must
+flag tampering, missing configurations, and floor violations.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import serve as bench_serve
+from repro.bench.serve import (
+    BASELINE_FIELDS,
+    SPEEDUP_FLOOR,
+    SPEEDUP_GATE_LOAD,
+    bench_serve_path,
+    collect_serve,
+    compare_serve,
+    load_serve,
+    save_serve,
+)
+from repro.cli import main
+
+#: a cheap stand-in for the real config table (n=40 on the V100 model runs
+#: in milliseconds; the real table is exercised once by the no-drift test)
+TINY_CONFIGS = (
+    {"name": "tiny-rmat", "kind": "rmat", "n": 40, "m": 160,
+     "device": "v100", "seed": 3},
+)
+TINY_LOADS = (4, 8)
+
+
+class TestCommittedBaseline:
+    def test_no_drift_from_committed_baseline(self):
+        """The CI gate: recollecting on the modeled clock reproduces every
+        recorded figure exactly and the batching floor holds."""
+        assert compare_serve() == []
+
+    def test_recorded_speedups_clear_the_floor(self):
+        baseline = load_serve()
+        gated = 0
+        for entry in baseline["configs"].values():
+            for load, row in entry["loads"].items():
+                assert set(BASELINE_FIELDS) <= set(row)
+                if int(load) >= SPEEDUP_GATE_LOAD:
+                    gated += 1
+                    assert row["speedup"] >= SPEEDUP_FLOOR
+        assert gated >= 2  # both configs gate at 64 and 128
+
+    def test_path_env_override(self, monkeypatch, tmp_path):
+        target = tmp_path / "elsewhere.json"
+        monkeypatch.setenv("REPRO_BENCH_SERVE", str(target))
+        assert bench_serve_path() == target
+        monkeypatch.delenv("REPRO_BENCH_SERVE")
+        assert bench_serve_path().name == "BENCH_serve.json"
+
+
+class TestCompareSemantics:
+    @pytest.fixture
+    def tiny_baseline(self, monkeypatch):
+        monkeypatch.setattr(bench_serve, "SERVE_CONFIGS", TINY_CONFIGS)
+        monkeypatch.setattr(bench_serve, "OFFERED_LOADS", TINY_LOADS)
+        return collect_serve()
+
+    def test_identical_payload_has_no_drift(self, tiny_baseline):
+        assert compare_serve(copy.deepcopy(tiny_baseline)) == []
+
+    def test_tampered_field_is_flagged(self, tiny_baseline):
+        tampered = copy.deepcopy(tiny_baseline)
+        row = tampered["configs"]["tiny-rmat"]["loads"]["4"]
+        row["batched_qps"] += 1.0
+        drifts = compare_serve(tampered)
+        assert any("batched_qps drifted" in d for d in drifts)
+
+    def test_missing_and_new_configs_are_flagged(self, tiny_baseline):
+        renamed = copy.deepcopy(tiny_baseline)
+        renamed["configs"]["ghost"] = renamed["configs"].pop("tiny-rmat")
+        drifts = compare_serve(renamed)
+        assert any("ghost: configuration missing" in d for d in drifts)
+        assert any("tiny-rmat: new configuration" in d for d in drifts)
+
+    def test_floor_violation_is_flagged(self, tiny_baseline, monkeypatch):
+        # gate the tiny loads and raise the floor beyond reach: the check
+        # must fail on the floor even though every figure matches exactly
+        monkeypatch.setattr(bench_serve, "SPEEDUP_GATE_LOAD", min(TINY_LOADS))
+        monkeypatch.setattr(bench_serve, "SPEEDUP_FLOOR", 1e9)
+        drifts = compare_serve(copy.deepcopy(tiny_baseline))
+        assert any("below the 1000000000.0x floor" in d for d in drifts)
+
+
+class TestBenchServeCli:
+    @pytest.fixture
+    def redirected(self, monkeypatch, tmp_path):
+        path = tmp_path / "BENCH_serve.json"
+        monkeypatch.setenv("REPRO_BENCH_SERVE", str(path))
+        monkeypatch.setattr(bench_serve, "SERVE_CONFIGS", TINY_CONFIGS)
+        monkeypatch.setattr(bench_serve, "OFFERED_LOADS", TINY_LOADS)
+        return path
+
+    def test_record_then_check_roundtrip(self, redirected, capsys):
+        assert main(["bench-serve"]) == 0
+        assert redirected.exists()
+        assert main(["bench-serve", "--check"]) == 0
+        assert "no drift" in capsys.readouterr().out
+
+    def test_check_fails_on_tampered_file(self, redirected, capsys):
+        save_serve()
+        payload = json.loads(redirected.read_text())
+        payload["configs"]["tiny-rmat"]["loads"]["8"]["speedup"] = 0.0
+        redirected.write_text(json.dumps(payload))
+        assert main(["bench-serve", "--check"]) == 1
+        assert "speedup drifted" in capsys.readouterr().out
+
+    def test_redirected_save_does_not_touch_mirror(self, redirected, tmp_path):
+        from repro.bench.runner import results_dir
+
+        mirror = results_dir() / "serve.json"
+        before = mirror.read_text()
+        save_serve()
+        assert mirror.read_text() == before
